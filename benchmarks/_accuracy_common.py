@@ -1,0 +1,87 @@
+"""Shared experiment harness for the accuracy tables (Tables 4 and 5).
+
+Implements the paper's §6.2 protocol at reproduction scale: start from a
+trained model, initialize centroids randomly, replace *all* encoder linear
+layers, then calibrate with (a) eLUT-NN and (b) the baseline LUT-NN
+algorithm under identical small calibration budgets, and evaluate the
+deployed (hard-assignment, INT8-LUT) models.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+import numpy as np
+
+from repro.core import (
+    BaselineLUTNNCalibrator,
+    ELUTNNCalibrator,
+    convert_to_lut_nn,
+    evaluate_accuracy,
+    freeze_all_luts,
+    set_lut_mode,
+)
+from repro.workloads import sample_batches, train_classifier
+
+#: Quantization severity used by the accuracy experiments.  The paper uses
+#: V=2/CT=16 on hidden dims of 768-1280; at our hidden dim of 32 the
+#: matched relative severity is V=4/CT=4 (same codebook-to-dim ratio class).
+ACCURACY_V = 4
+ACCURACY_CT = 4
+
+
+@dataclass
+class AccuracyRow:
+    task: str
+    original: float
+    baseline_lut_nn: float
+    elut_nn: float
+
+
+def run_accuracy_experiment(
+    task_name: str,
+    task,
+    model_factory: Callable[[], object],
+    train_samples: int = 1024,
+    calib_samples: int = 128,
+    test_samples: int = 512,
+    train_epochs: int = 8,
+    calib_epochs: int = 8,
+    train_lr: float = 2e-3,
+) -> AccuracyRow:
+    """One row of Table 4/5: original vs baseline LUT-NN vs eLUT-NN."""
+    train = sample_batches(task, train_samples, 32)
+    test = sample_batches(task, test_samples, 64)
+    calib = sample_batches(task, calib_samples, 32)
+
+    model = model_factory()
+    train_classifier(model, train, epochs=train_epochs, lr=train_lr)
+    original = evaluate_accuracy(model, test)
+    state = model.state_dict()
+
+    def convert_and_calibrate(calibrator) -> float:
+        candidate = model_factory()
+        candidate.load_state_dict(state)
+        convert_to_lut_nn(
+            candidate,
+            [b[0] for b in calib],
+            v=ACCURACY_V,
+            ct=ACCURACY_CT,
+            rng=np.random.default_rng(11),
+            centroid_init="random",  # paper §6.2 calibration setup
+        )
+        calibrator.calibrate(candidate, calib, epochs=calib_epochs)
+        set_lut_mode(candidate, "lut")
+        freeze_all_luts(candidate, quantize_int8=True)
+        return evaluate_accuracy(candidate, test)
+
+    elut = convert_and_calibrate(ELUTNNCalibrator(beta=10.0, lr=1e-3))
+    baseline = convert_and_calibrate(BaselineLUTNNCalibrator(lr=1e-3))
+    return AccuracyRow(task=task_name, original=original,
+                       baseline_lut_nn=baseline, elut_nn=elut)
+
+
+def summarize(rows: List[AccuracyRow]):
+    orig = np.mean([r.original for r in rows])
+    base = np.mean([r.baseline_lut_nn for r in rows])
+    elut = np.mean([r.elut_nn for r in rows])
+    return orig, base, elut

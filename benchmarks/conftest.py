@@ -1,0 +1,48 @@
+"""Shared fixtures and reporting helpers for the paper-reproduction benches.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section 6).  Results are printed as plain-text tables and archived under
+``benchmarks/results/`` so paper-vs-measured comparisons (EXPERIMENTS.md)
+can be refreshed from a single run of::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def report(results_dir):
+    """Write a named result table to disk and echo it to stdout."""
+
+    def _report(name: str, text: str) -> None:
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return _report
+
+
+@pytest.fixture(scope="session")
+def upmem():
+    from repro.pim import get_platform
+
+    return get_platform("upmem")
+
+
+@pytest.fixture(scope="session")
+def wimpy():
+    from repro.baselines import wimpy_host
+
+    return wimpy_host()

@@ -1,0 +1,156 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+1. Load schemes (Fig. 9 / P4): across workload shapes, no single LUT load
+   scheme dominates — the scheme the tuner picks depends on whether the
+   sub-LUT fits the 64 KB WRAM and how many rows amortize the gather.
+2. Auto-tuner value: tuned mappings vs a fixed "reasonable default"
+   mapping, quantifying what Algorithm 1 buys end to end.
+3. eLUT-NN loss terms: calibrating with and without the reconstruction
+   loss (beta = 0 ablation) on a converted model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table, geomean
+from repro.core import (
+    ELUTNNCalibrator,
+    LUTShape,
+    convert_to_lut_nn,
+    evaluate_accuracy,
+    freeze_all_luts,
+    set_lut_mode,
+)
+from repro.mapping import AutoTuner, Mapping, estimate_latency, is_legal
+from repro.nn import TextClassifier
+from repro.pim import get_platform
+from repro.workloads import SyntheticTextTask, sample_batches, train_classifier
+
+
+def test_ablation_load_scheme_choice(benchmark, report):
+    """The tuner's preferred load scheme varies with workload shape."""
+    platform = get_platform("upmem")
+    shapes = [
+        LUTShape(n=32768, h=1024, f=4096, v=4, ct=16),  # BERT-large FFN1
+        LUTShape(n=32768, h=768, f=768, v=4, ct=16),  # BERT-base O
+        LUTShape(n=4096, h=768, f=3072, v=8, ct=8),  # small batch, coarse V
+        LUTShape(n=1024, h=256, f=256, v=4, ct=64),  # many centroids
+        LUTShape(n=65536, h=1280, f=5120, v=4, ct=16),  # ViT-huge FFN1
+    ]
+
+    def run():
+        tuner = AutoTuner(platform)
+        return {s: tuner.tune(s) for s in shapes}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [f"N={s.n},H={s.h},F={s.f},CT={s.ct}", r.mapping.load_scheme,
+         "->".join(r.mapping.traversal), f"{r.cost:.3f}"]
+        for s, r in results.items()
+    ]
+    report("ablation_load_scheme", format_table(
+        ["workload", "scheme", "traversal", "latency_s"], rows))
+
+    # Every result is legal and finite; the tuner is not degenerate (it
+    # must not pick the same micro-kernel tile sizes for every workload).
+    for s, r in results.items():
+        assert is_legal(s, r.mapping, platform)
+    distinct_kernels = {
+        (r.mapping.n_m_tile, r.mapping.f_m_tile, r.mapping.cb_m_tile,
+         r.mapping.load_scheme)
+        for r in results.values()
+    }
+    assert len(distinct_kernels) >= 3
+
+
+def test_ablation_tuner_vs_default_mapping(benchmark, report):
+    """Quantify Algorithm 1's benefit over a fixed sensible mapping."""
+    platform = get_platform("upmem")
+    shapes = [
+        LUTShape(n=32768, h=768, f=2304, v=4, ct=16),
+        LUTShape(n=32768, h=768, f=3072, v=4, ct=16),
+        LUTShape(n=32768, h=3072, f=768, v=4, ct=16),
+        LUTShape(n=16384, h=1024, f=4096, v=4, ct=16),
+    ]
+
+    def default_mapping(shape):
+        # A plausible hand-written default: use all PEs via 32 groups,
+        # fine-grain loads, medium tiles.
+        n_s = max(shape.n // 32, 1)
+        f_s = max(shape.f // (platform.num_pes // 32), 1)
+        return Mapping(
+            n_s_tile=n_s, f_s_tile=f_s,
+            n_m_tile=min(32, n_s), f_m_tile=min(8, f_s),
+            cb_m_tile=min(32, shape.cb),
+            load_scheme="fine", f_load_tile=min(8, f_s),
+        )
+
+    def run():
+        tuner = AutoTuner(platform)
+        out = []
+        for shape in shapes:
+            tuned = tuner.tune(shape)
+            default = default_mapping(shape)
+            assert is_legal(shape, default, platform)
+            t_default = estimate_latency(shape, default, platform).total
+            out.append((shape, tuned.cost, t_default))
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    gains = [d / t for _, t, d in rows]
+    report(
+        "ablation_tuner_value",
+        format_table(
+            ["workload", "tuned_s", "default_s", "gain"],
+            [[f"N={s.n},H={s.h},F={s.f}", f"{t:.3f}", f"{d:.3f}", f"{d / t:.2f}x"]
+             for (s, t, d), g in zip(rows, gains)],
+        ),
+    )
+    assert all(g >= 1.0 for g in gains)
+    assert geomean(gains) > 1.2  # tuning buys a real improvement
+
+
+def test_ablation_reconstruction_loss(benchmark, report):
+    """eLUT-NN minus the reconstruction loss (beta=0) calibrates worse or
+    equal — the loss term is load-bearing (paper §4.2)."""
+    task = SyntheticTextTask(vocab_size=64, seq_len=16, num_classes=8,
+                             peak_mass=0.55, seed=9)
+    train = sample_batches(task, 768, 32)
+    test = sample_batches(task, 384, 64)
+    calib = sample_batches(task, 96, 32)
+
+    def factory():
+        return TextClassifier(vocab_size=64, max_seq_len=16, num_classes=8,
+                              dim=32, num_layers=4, num_heads=4,
+                              rng=np.random.default_rng(5))
+
+    def run():
+        model = factory()
+        train_classifier(model, train, epochs=8, lr=2e-3)
+        state = model.state_dict()
+        original = evaluate_accuracy(model, test)
+
+        def calibrated(beta):
+            m = factory()
+            m.load_state_dict(state)
+            convert_to_lut_nn(m, [b[0] for b in calib], v=4, ct=4,
+                              rng=np.random.default_rng(11), centroid_init="random")
+            ELUTNNCalibrator(beta=beta, lr=1e-3).calibrate(m, calib, epochs=8)
+            set_lut_mode(m, "lut")
+            freeze_all_luts(m, quantize_int8=True)
+            return evaluate_accuracy(m, test)
+
+        return original, calibrated(10.0), calibrated(0.0)
+
+    original, with_recon, without_recon = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "ablation_reconstruction_loss",
+        format_table(
+            ["setting", "accuracy"],
+            [["original", f"{original:.3f}"],
+             ["eLUT-NN (beta=10)", f"{with_recon:.3f}"],
+             ["eLUT-NN (beta=0, no recon loss)", f"{without_recon:.3f}"]],
+        ),
+    )
+    assert with_recon >= without_recon - 0.03
+    assert with_recon > original - 0.12

@@ -1,0 +1,57 @@
+"""Extension experiment — LUT-NN applied to the decode (generation) phase.
+
+The paper positions existing DRAM-PIM deployments as GEMV accelerators for
+single-batch GPT inference (§1-2) and targets the batched-GEMM regime with
+PIM-DL.  This extension closes the loop: it applies PIM-DL's LUT kernels to
+the decode phase itself and measures per-token throughput against the
+products' native GEMV mode across batch sizes and hidden dims.
+
+Expected shape: LUT decode matches GEMV at batch 1 on small models (both
+weight-streaming bound, LUT has CCS overhead) and pulls ahead as the batch
+or hidden dim grows, because the tables are read per *selected centroid*
+(H/V entries per row) instead of streaming the full weight matrix per row.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table, geomean
+from repro.baselines import a2_gpu
+from repro.engine import GEMVDecodeEngine, LUTDecodeEngine
+from repro.pim import get_platform
+from repro.workloads import opt_style
+
+BATCHES = (1, 2, 4, 8)
+HIDDEN_DIMS = (1024, 2048, 4096)
+
+
+def test_ext_decode_serving(benchmark, report):
+    platform = get_platform("aim")
+    host = a2_gpu()
+
+    def run():
+        grid = np.empty((len(BATCHES), len(HIDDEN_DIMS)))
+        for i, b in enumerate(BATCHES):
+            for j, h in enumerate(HIDDEN_DIMS):
+                cfg = opt_style(h, seq_len=128, batch_size=b)
+                gemv = GEMVDecodeEngine(platform, host).run(
+                    cfg, batch_size=b, context_len=512
+                )
+                lut = LUTDecodeEngine(platform, host, v=4, ct=16).run(
+                    cfg, batch_size=b, context_len=512
+                )
+                grid[i, j] = gemv.token_latency_s / lut.token_latency_s
+        return grid
+
+    grid = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[f"batch={b}"] + [f"{grid[i, j]:.2f}" for j in range(len(HIDDEN_DIMS))]
+            for i, b in enumerate(BATCHES)]
+    rows.append(["geomean", f"{geomean(grid.ravel()):.2f}", "", ""])
+    report("ext_decode_serving",
+           format_table(["", *(f"h={h}" for h in HIDDEN_DIMS)], rows))
+
+    # LUT decode never loses badly and wins clearly at batch >= 4.
+    assert grid.min() > 0.8
+    assert grid[BATCHES.index(8)].min() > 1.5
+    # The gain grows with batch size at every hidden dim.
+    assert np.all(np.diff(grid, axis=0) > -1e-9)

@@ -1,0 +1,67 @@
+"""Extension experiment — full generation requests (prefill + decode).
+
+Combines the paper's two regimes into one serving metric: time-to-first-
+token (batched prefill, PIM-DL's target workload) plus per-token decode
+latency (the GEMV regime existing DRAM-PIM deployments target).  LUT-NN
+serving should win the full request on both the prefill-heavy and the
+decode-heavy side of the sweep.
+"""
+
+import pytest
+
+from repro.analysis import format_table, geomean
+from repro.baselines import a2_gpu
+from repro.engine import GenerationServer
+from repro.pim import get_platform
+from repro.workloads import opt_style
+
+
+def test_ext_generation_serving(benchmark, report):
+    platform = get_platform("aim")
+    host = a2_gpu()
+    lut_server = GenerationServer(platform, host, v=4, ct=16, lut_nn=True)
+    native_server = GenerationServer(platform, host, lut_nn=False)
+    scenarios = [
+        ("chat (short prompt, long gen)", 128, 256, 4),
+        ("summarize (long prompt, short gen)", 1024, 64, 4),
+        ("batch offline", 512, 128, 8),
+    ]
+
+    def run():
+        rows = []
+        for name, prompt, gen, batch in scenarios:
+            config = opt_style(2048, seq_len=prompt, batch_size=batch)
+            lut = lut_server.run(config, prompt_len=prompt, generate_len=gen,
+                                 batch_size=batch)
+            native = native_server.run(config, prompt_len=prompt, generate_len=gen,
+                                       batch_size=batch)
+            rows.append((name, lut, native))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = []
+    for name, lut, native in rows:
+        table.append([
+            name,
+            f"{lut.time_to_first_token_s * 1e3:.0f} / {native.time_to_first_token_s * 1e3:.0f}",
+            f"{lut.per_token_decode_s * 1e6:.0f} / {native.per_token_decode_s * 1e6:.0f}",
+            f"{native.request_latency_s / lut.request_latency_s:.2f}x",
+        ])
+    report(
+        "ext_generation_serving",
+        format_table(
+            ["scenario", "TTFT ms (lut/native)", "decode us/tok (lut/native)",
+             "request speedup"],
+            table,
+        ),
+    )
+
+    gains = [native.request_latency_s / lut.request_latency_s
+             for _, lut, native in rows]
+    assert all(g > 1.0 for g in gains), "LUT-NN serving must win every scenario"
+    assert geomean(gains) > 2.0
+    # Prefill (batched GEMM) is where LUT-NN helps most (the paper's thesis).
+    for _, lut, native in rows:
+        prefill_gain = native.prefill_s / lut.prefill_s
+        decode_gain = native.per_token_decode_s / lut.per_token_decode_s
+        assert prefill_gain > decode_gain

@@ -1,0 +1,65 @@
+"""Extension experiment — multi-tenant PE space sharing on UPMEM.
+
+Paper Fig. 12-(c) shows small batches underutilize the PIM system (host-PIM
+transfers dominate small kernels).  Space-sharing the 1024 PEs between W
+concurrent small-batch requests trades per-request latency for aggregate
+throughput; this bench quantifies the trade and checks the crossover:
+sharing helps at small batch and stops helping once a single request can
+saturate the system.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.baselines import wimpy_host
+from repro.engine import space_sharing_sweep
+from repro.pim import get_platform
+from repro.workloads import bert_base
+
+WAYS = [1, 2, 4]
+
+
+def test_ext_space_sharing(benchmark, report):
+    platform = get_platform("upmem")
+    host = wimpy_host()
+
+    def run():
+        return {
+            batch: space_sharing_sweep(
+                platform, host, bert_base(batch_size=batch), ways_options=WAYS
+            )
+            for batch in (8, 64)
+        }
+
+    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for batch, points in sweeps.items():
+        base = points[0].throughput_rps
+        for p in points:
+            rows.append([
+                f"batch={batch}", p.ways, p.pes_per_slice,
+                f"{p.request_latency_s:.2f}",
+                f"{p.throughput_rps / base:.2f}x",
+            ])
+    report(
+        "ext_space_sharing",
+        format_table(
+            ["workload", "ways", "PEs/slice", "latency_s", "throughput vs 1-way"],
+            rows,
+        ),
+    )
+
+    small = {p.ways: p for p in sweeps[8]}
+    large = {p.ways: p for p in sweeps[64]}
+    # Sharing buys real aggregate throughput at small batch...
+    assert small[4].throughput_rps > small[1].throughput_rps * 1.2
+    # ...and never buys more at large batch than at small (a single large
+    # request utilizes the PEs at least as well).
+    small_gain = small[4].throughput_rps / small[1].throughput_rps
+    large_gain = large[4].throughput_rps / large[1].throughput_rps
+    assert small_gain >= large_gain - 0.05
+    # Latency always degrades with sharing — the trade is real.
+    for points in sweeps.values():
+        latencies = [p.request_latency_s for p in points]
+        assert latencies == sorted(latencies)

@@ -1,0 +1,43 @@
+"""Fig. 3 — computation-reduction analysis of LUT-NN vs GEMM.
+
+Paper: at N=H=F=1024, LUT-NN reduces FLOPs by 3.66x-18.29x over GEMM and
+multiplications make up only 2.9%-14.3% of LUT-NN's total operations.
+"""
+
+from repro.analysis import format_table, sweep_centroid_count, sweep_sub_vector_length
+
+
+def test_fig03_flop_reduction(benchmark, report):
+    def run():
+        return (
+            sweep_sub_vector_length(vs=(2, 4, 8, 16), ct=16),
+            sweep_centroid_count(cts=(64, 32, 16, 8), v=4),
+        )
+
+    v_sweep, ct_sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for p in v_sweep:
+        rows.append(
+            [f"V={p.v}/CT={p.ct}", p.additions, p.multiplications,
+             round(p.reduction_over_gemm, 2), f"{p.multiplication_fraction:.1%}"]
+        )
+    for p in ct_sweep:
+        rows.append(
+            [f"V={p.v}/CT={p.ct}", p.additions, p.multiplications,
+             round(p.reduction_over_gemm, 2), f"{p.multiplication_fraction:.1%}"]
+        )
+    report(
+        "fig03_flop_reduction",
+        format_table(["config", "adds", "mults", "reduction_vs_gemm", "mult_frac"], rows),
+    )
+
+    # Shape checks against the paper's reported ranges.
+    reductions = [p.reduction_over_gemm for p in v_sweep]
+    assert reductions == sorted(reductions)
+    assert 3.3 < reductions[0] < 4.0  # paper: 3.66x at V=2
+    assert 17.0 < reductions[-1] < 19.5  # paper: 18.29x at V=16
+    fractions = [p.multiplication_fraction for p in v_sweep + ct_sweep]
+    assert all(0.02 < f < 0.16 for f in fractions)  # paper: 2.9%-14.3%
+    ct_reductions = [p.reduction_over_gemm for p in ct_sweep]
+    assert ct_reductions == sorted(ct_reductions)  # improves as CT shrinks

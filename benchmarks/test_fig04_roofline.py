@@ -1,0 +1,36 @@
+"""Fig. 4 — roofline analysis of LUT kernels on the host CPU.
+
+Paper: converting the FC layers of BERT-base/large and ViT-huge to LUT-NN
+(fused QKV, INT8 LUTs, batch 64, seq 512) yields arithmetic intensities of
+0.204-0.288 ops/byte — every operator deep in the memory-bound region of a
+CPU with 795.11 GOPS peak.
+"""
+
+from repro.analysis import CPU_PEAK_GOPS, format_table, lut_roofline_points
+from repro.workloads import bert_base, bert_large, vit_huge
+
+
+def test_fig04_roofline(benchmark, report):
+    configs = [bert_base(), bert_large(), vit_huge(seq_len=264, batch_size=64)]
+
+    def run():
+        return [p for cfg in configs for p in lut_roofline_points(cfg, v=2, ct=16)]
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [p.model, p.operator, round(p.arithmetic_intensity, 3),
+         round(p.attainable_gops, 1), p.memory_bound]
+        for p in points
+    ]
+    report(
+        "fig04_roofline",
+        format_table(["model", "op", "ops_per_byte", "attainable_GOPS", "mem_bound"], rows),
+    )
+
+    intensities = [p.arithmetic_intensity for p in points]
+    # Paper band: 0.204-0.288 ops/byte for every LUT operator.
+    assert min(intensities) > 0.19
+    assert max(intensities) < 0.30
+    assert all(p.memory_bound for p in points)
+    assert all(p.attainable_gops < 0.05 * CPU_PEAK_GOPS for p in points)

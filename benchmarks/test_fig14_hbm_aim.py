@@ -1,0 +1,63 @@
+"""Fig. 14 — PIM-DL vs normal (GEMM/GEMV) DNN inference on HBM-PIM and AiM.
+
+Paper (seq 128, batch 1-8, hidden dims from the OPT family):
+PIM-DL achieves 23.94x / 19.06x geomean speedup on HBM-PIM / AiM over the
+products' native GEMV-sequence inference; the gain grows with batch size
+(up to 2.23x across the sweep) and shrinks slightly with hidden dim.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table, geomean
+from repro.baselines import a2_gpu
+from repro.engine import GEMMPIMEngine, PIMDLEngine
+from repro.pim import get_platform
+from repro.workloads import opt_style
+
+BATCHES = (1, 2, 4, 8)
+HIDDEN_DIMS = (1024, 2048, 2560, 4096)
+PAPER_GEOMEAN = {"hbm-pim": 23.94, "aim": 19.06}
+
+
+@pytest.fixture(scope="module", params=["hbm-pim", "aim"])
+def platform_name(request):
+    return request.param
+
+
+def test_fig14_pim_dl_vs_native_inference(benchmark, report, platform_name):
+    platform = get_platform(platform_name)
+    host = a2_gpu()
+
+    def run():
+        grid = np.empty((len(BATCHES), len(HIDDEN_DIMS)))
+        for i, b in enumerate(BATCHES):
+            for j, h in enumerate(HIDDEN_DIMS):
+                cfg = opt_style(h, seq_len=128, batch_size=b)
+                native = GEMMPIMEngine(platform, host).run(cfg).total_s
+                pimdl = PIMDLEngine(platform, host, v=4, ct=16).run(cfg).total_s
+                grid[i, j] = native / pimdl
+        return grid
+
+    grid = benchmark.pedantic(run, rounds=1, iterations=1)
+    gm = geomean(grid.ravel())
+
+    rows = [[f"batch={b}"] + [f"{grid[i, j]:.1f}" for j in range(len(HIDDEN_DIMS))]
+            for i, b in enumerate(BATCHES)]
+    rows.append(["geomean", f"{gm:.1f}", f"paper {PAPER_GEOMEAN[platform_name]}", "", ""])
+    report(
+        f"fig14_{platform_name}",
+        format_table(["", *(f"h={h}" for h in HIDDEN_DIMS)], rows),
+    )
+
+    # Order-of-magnitude speedup over native GEMV-sequence inference.
+    assert gm > 8.0
+    assert gm < PAPER_GEOMEAN[platform_name] * 2
+    # Gain grows with batch size at every hidden dim (paper's trend)...
+    per_batch = grid.mean(axis=1)
+    assert all(np.diff(per_batch) > 0)
+    # ...by a meaningful factor across the sweep (paper: up to 2.23x).
+    assert per_batch[-1] / per_batch[0] > 1.15
+    # ...and shrinks from the smallest to the largest hidden dim.
+    per_hidden = grid.mean(axis=0)
+    assert per_hidden[0] > per_hidden[-1]

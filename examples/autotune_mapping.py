@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Explore the LUT-NN hardware mapping space for one linear layer.
+
+Uses the paper's Fig. 13 workload — BERT-large's FFN1 at V=4/CT=16, i.e.
+(N, CB, CT, F) = (32768, 256, 16, 4096) — to show:
+
+* what the PIM-DL Auto-Tuner (Algorithm 1) picks on each DRAM-PIM platform;
+* how the three LUT load schemes of Fig. 9 compare at their best;
+* how closely the analytical model (Eqs. 3-10) tracks the event-level
+  simulator ("measured" latency).
+
+Run:  python examples/autotune_mapping.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import LUTShape
+from repro.mapping import AutoTuner, enumerate_micro_kernels, estimate_latency
+from repro.pim import PIMSimulator, get_platform
+
+SHAPE = LUTShape(n=32768, h=1024, f=4096, v=4, ct=16)
+
+
+def tuner_on_every_platform() -> None:
+    rows = []
+    for name in ("upmem", "hbm-pim", "aim"):
+        platform = get_platform(name)
+        result = AutoTuner(platform).tune(SHAPE)
+        m = result.mapping
+        rows.append([
+            platform.name,
+            f"{m.n_s_tile}x{m.f_s_tile}",
+            f"{m.n_m_tile}/{m.f_m_tile}/{m.cb_m_tile}",
+            m.load_scheme,
+            "->".join(m.traversal),
+            f"{result.cost * 1e3:.2f}",
+        ])
+    print("Auto-tuner picks for BERT-large FFN1 (N=32768, CB=256, CT=16, F=4096):")
+    print(format_table(
+        ["platform", "sub-LUT tile", "m-tiles n/f/cb", "scheme", "traversal", "latency_ms"],
+        rows,
+    ))
+
+
+def best_mapping_per_scheme(platform) -> None:
+    best = {}
+    for n_s, f_s in [(1024, 128), (2048, 64), (16384, 8), (512, 256)]:
+        for mapping in enumerate_micro_kernels(SHAPE, n_s, f_s, platform,
+                                               max_points=3000):
+            cost = estimate_latency(SHAPE, mapping, platform).total
+            if mapping.load_scheme not in best or cost < best[mapping.load_scheme][0]:
+                best[mapping.load_scheme] = (cost, mapping)
+
+    simulator = PIMSimulator(platform)
+    rows = []
+    for scheme, (cost, mapping) in sorted(best.items()):
+        simulated = simulator.run(SHAPE, mapping).total_s
+        error = abs(cost - simulated) / simulated
+        rows.append([
+            scheme,
+            f"{mapping.n_s_tile}x{mapping.f_s_tile}",
+            f"{cost * 1e3:.2f}",
+            f"{simulated * 1e3:.2f}",
+            f"{error:.1%}",
+        ])
+    print(f"\nBest mapping per LUT load scheme on {platform.name}"
+          " (model vs simulator):")
+    print(format_table(
+        ["scheme", "sub-LUT tile", "model_ms", "simulated_ms", "model error"], rows,
+    ))
+
+
+def main() -> None:
+    np.set_printoptions(precision=3)
+    tuner_on_every_platform()
+    best_mapping_per_scheme(get_platform("upmem"))
+
+
+if __name__ == "__main__":
+    main()

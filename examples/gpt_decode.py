@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Decode-phase (GPT-style) serving: where does LUT-NN help generation?
+
+The paper's motivation (§1-2): HBM-PIM and AiM already accelerate
+single-batch GPT inference because decode is GEMV-dominated; PIM-DL extends
+DRAM-PIMs to the batched GEMM regime.  This example closes the loop by
+applying LUT-NN *to the decode phase itself* and comparing per-token cost:
+
+* GEMV decode on the PIM (the products' native mode);
+* LUT-NN decode on the PIM (tables resident, per-token gathers);
+* FP32 decode on a V100.
+
+It also demonstrates a functional DecoderLM generating text before and
+after LUT-NN conversion.
+
+Run:  python examples/gpt_decode.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.baselines import a2_gpu, v100_gpu
+from repro.core import convert_to_lut_nn, freeze_all_luts, set_lut_mode
+from repro.engine import GEMVDecodeEngine, HostDecodeEngine, LUTDecodeEngine
+from repro.nn import DecoderLM
+from repro.pim import get_platform
+from repro.workloads import opt_style
+
+
+def serving_comparison() -> None:
+    rows = []
+    for hidden in (1024, 2048, 4096):
+        config = opt_style(hidden, seq_len=128, batch_size=1)
+        for batch in (1, 8):
+            gemv = GEMVDecodeEngine(get_platform("aim"), a2_gpu()).run(
+                config, batch_size=batch, context_len=512
+            )
+            lut = LUTDecodeEngine(get_platform("aim"), a2_gpu(), v=4, ct=16).run(
+                config, batch_size=batch, context_len=512
+            )
+            gpu = HostDecodeEngine(v100_gpu()).run(
+                config, batch_size=batch, context_len=512
+            )
+            rows.append([
+                hidden, batch,
+                f"{gemv.tokens_per_s:,.0f}",
+                f"{lut.tokens_per_s:,.0f}",
+                f"{gpu.tokens_per_s:,.0f}",
+                f"{gemv.token_latency_s / lut.token_latency_s:.2f}x",
+            ])
+    print("Decode throughput on AiM (tokens/s) and LUT-NN gain over GEMV:")
+    print(format_table(
+        ["hidden", "batch", "GEMV-PIM", "LUT-PIM", "V100 FP32", "LUT vs GEMV"],
+        rows,
+    ))
+
+
+def functional_generation() -> None:
+    rng = np.random.default_rng(0)
+    model = DecoderLM(vocab_size=32, max_seq_len=16, dim=32,
+                      num_layers=2, num_heads=4, rng=rng)
+    prompt = np.array([[3, 7, 11]])
+    before = model.generate(prompt, new_tokens=6)
+
+    # Convert the decoder's linear layers to LUT-NN (k-means codebooks —
+    # a trained model would get an eLUT-NN calibration pass here).
+    calib = rng.integers(0, 32, size=(64, 12))
+    convert_to_lut_nn(model, [calib], v=4, ct=8, rng=rng)
+    set_lut_mode(model, "lut")
+    freeze_all_luts(model, quantize_int8=True)
+    after = model.generate(prompt, new_tokens=6)
+
+    print("\nFunctional generation (untrained 2-layer decoder, demo only):")
+    print(f"  original model : {before[0].tolist()}")
+    print(f"  LUT-NN model   : {after[0].tolist()}")
+    match = int((before == after).sum() - prompt.size)
+    print(f"  ({match}/6 continuation tokens identical after INT8 LUT conversion)")
+
+
+def main() -> None:
+    serving_comparison()
+    functional_generation()
+
+
+if __name__ == "__main__":
+    main()

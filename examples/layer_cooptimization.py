@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Per-layer (V, CT) co-optimization: error-aware configuration planning.
+
+The paper uses one (V, CT) pair for the whole model.  Layers tolerate
+approximation very differently, though — this example measures each layer's
+error/latency frontier, plans a mixed per-layer assignment under a latency
+budget, converts the model with it, and compares deployed accuracy against
+the uniform configurations at matched latency.
+
+Run:  python examples/layer_cooptimization.py
+"""
+
+import numpy as np
+
+from repro.analysis import ErrorProbe, format_table, worst_layers
+from repro.baselines import wimpy_host
+from repro.core import (
+    ELUTNNCalibrator,
+    convert_with_plan,
+    evaluate_accuracy,
+    freeze_all_luts,
+    measure_candidates,
+    plan_layer_configs,
+    set_lut_mode,
+    uniform_plan,
+)
+from repro.nn import TextClassifier
+from repro.pim import get_platform
+from repro.workloads import SyntheticTextTask, sample_batches, train_classifier
+
+CANDIDATES = ((2, 8), (4, 8), (4, 4), (8, 4))
+
+
+def build_model():
+    return TextClassifier(vocab_size=64, max_seq_len=16, num_classes=8,
+                          dim=32, num_layers=4, num_heads=4,
+                          rng=np.random.default_rng(3))
+
+
+def main() -> None:
+    task = SyntheticTextTask(vocab_size=64, seq_len=16, num_classes=8,
+                             peak_mass=0.55, seed=1)
+    train = sample_batches(task, 768, 32)
+    test = sample_batches(task, 384, 64)
+    calib = sample_batches(task, 128, 32)
+    calib_inputs = [x for x, _ in calib]
+
+    print("training the substrate model ...")
+    model = build_model()
+    train_classifier(model, train, epochs=8, lr=2e-3)
+    state = model.state_dict()
+    original = evaluate_accuracy(model, test)
+    print(f"original accuracy: {original:.3f}\n")
+
+    # ------------------------------------------------------------------
+    # Step 1: measure every layer's error/latency frontier.
+    # ------------------------------------------------------------------
+    platform = get_platform("upmem")
+    host = wimpy_host()
+    frontier = measure_candidates(
+        model, calib_inputs, platform=platform, host=host,
+        serving_rows=8192, candidates=CANDIDATES, rng=np.random.default_rng(5),
+    )
+    sample_name = sorted(frontier)[0]
+    print(f"frontier of {sample_name}:")
+    print(format_table(
+        ["V", "CT", "rel. output error", "latency_ms"],
+        [[p.v, p.ct, f"{p.error:.3f}", f"{p.latency_s * 1e3:.2f}"]
+         for p in frontier[sample_name]],
+    ))
+
+    # ------------------------------------------------------------------
+    # Step 2: plan a mixed assignment at the uniform V=4/CT=4 latency.
+    # ------------------------------------------------------------------
+    uniform = uniform_plan(frontier, v=4, ct=4)
+    plan = plan_layer_configs(frontier, latency_budget_s=uniform.predicted_latency_s)
+    mixed = sorted(set(plan.assignment.values()))
+    print(f"\nplanned per-layer configs (budget = uniform V=4/CT=4 latency "
+          f"{uniform.predicted_latency_s * 1e3:.1f} ms): {mixed}")
+    print(f"predicted error: planned {plan.predicted_error:.3f} "
+          f"vs uniform {uniform.predicted_error:.3f}")
+
+    # ------------------------------------------------------------------
+    # Step 3: convert + calibrate with each assignment, compare deployed.
+    # ------------------------------------------------------------------
+    def deploy(assignment, label):
+        candidate = build_model()
+        candidate.load_state_dict(state)
+        convert_with_plan(candidate, calib_inputs, assignment,
+                          rng=np.random.default_rng(7))
+        ELUTNNCalibrator(beta=10.0, lr=1e-3).calibrate(candidate, calib, epochs=6)
+        set_lut_mode(candidate, "lut")
+        freeze_all_luts(candidate, quantize_int8=True)
+        acc = evaluate_accuracy(candidate, test)
+        print(f"  {label}: deployed accuracy {acc:.3f}")
+        return candidate
+
+    print("\ndeploying:")
+    deploy(uniform.assignment, "uniform V=4/CT=4 ")
+    planned_model = deploy(plan.assignment, "planned per-layer")
+
+    # ------------------------------------------------------------------
+    # Step 4: diagnose the deployed model's residual error per layer.
+    # ------------------------------------------------------------------
+    reports = ErrorProbe(planned_model).run(calib_inputs[:2])
+    print("\nworst remaining layers by output error:")
+    print(format_table(
+        ["layer", "act err", "out err", "codebook util"],
+        [[r.name, f"{r.activation_error:.3f}", f"{r.output_error:.3f}",
+          f"{r.codebook_utilization:.0%}"] for r in worst_layers(reports, k=3)],
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Serve transformers on every platform: PIM-DL vs CPU/GPU/PIM-GEMM.
+
+Regenerates the headline comparison of the paper on all three DRAM-PIM
+products at once:
+
+* UPMEM DDR4-PIM vs the CPU server (FP32/INT8) and GEMM-on-PIM (Fig. 10);
+* HBM-PIM / AiM vs their native GEMV-sequence inference (Fig. 14) and an
+  NVIDIA V100 (Fig. 15).
+
+Run:  python examples/platform_comparison.py
+"""
+
+from repro.analysis import format_table, geomean
+from repro.baselines import (
+    a2_gpu,
+    cpu_server_fp32,
+    cpu_server_int8,
+    v100_gpu,
+    wimpy_host,
+)
+from repro.engine import GEMMPIMEngine, HostEngine, PIMDLEngine
+from repro.pim import get_platform
+from repro.workloads import bert_base, bert_large, opt_style, vit_huge
+
+
+def ddr4_pim_comparison() -> None:
+    platform = get_platform("upmem")
+    host = wimpy_host()
+    rows = []
+    for cfg in (bert_base(), bert_large(), vit_huge()):
+        engines = {
+            "CPU FP32": HostEngine(cpu_server_fp32()),
+            "CPU INT8": HostEngine(cpu_server_int8()),
+            "PIM GEMM": GEMMPIMEngine(platform, host),
+            "PIM-DL V=2": PIMDLEngine(platform, host, v=2, ct=16),
+            "PIM-DL V=4": PIMDLEngine(platform, host, v=4, ct=16),
+        }
+        reports = {name: engine.run(cfg) for name, engine in engines.items()}
+        rows.append(
+            [cfg.name]
+            + [f"{reports[k].total_s:.1f}" for k in engines]
+            + [f"{reports[k].energy.total_j / 1e3:.1f}" for k in engines]
+        )
+    headers = (
+        ["model"]
+        + [f"{k} (s)" for k in ("CPU FP32", "CPU INT8", "PIM GEMM", "PIM-DL V=2", "PIM-DL V=4")]
+        + [f"{k} (kJ)" for k in ("CPU FP32", "CPU INT8", "PIM GEMM", "PIM-DL V=2", "PIM-DL V=4")]
+    )
+    print("UPMEM DDR4-PIM platform (batch 64 / seq 512; ViT-huge batch 128):")
+    print(format_table(headers, rows))
+
+
+def simulated_pim_comparison() -> None:
+    gpu = HostEngine(v100_gpu())
+    rows = []
+    for name in ("hbm-pim", "aim"):
+        platform = get_platform(name)
+        host = a2_gpu()
+        vs_native, vs_gpu = [], []
+        for batch in (1, 2, 4, 8):
+            for hidden in (1024, 2048, 2560, 4096):
+                cfg = opt_style(hidden, seq_len=128, batch_size=batch)
+                pimdl = PIMDLEngine(platform, host, v=4, ct=16).run(cfg).total_s
+                native = GEMMPIMEngine(platform, host).run(cfg).total_s
+                vs_native.append(native / pimdl)
+                vs_gpu.append(gpu.run(cfg).total_s / pimdl)
+        rows.append([
+            platform.name,
+            f"{geomean(vs_native):.1f}x",
+            f"{geomean(vs_gpu):.2f}x",
+            f"{max(vs_gpu):.2f}x",
+        ])
+    print("\nSimulated HBM-PIM / AiM platforms (seq 128, batch 1-8, OPT dims):")
+    print(format_table(
+        ["platform", "vs native PIM inference (geomean)",
+         "vs V100 (geomean)", "vs V100 (best)"],
+        rows,
+    ))
+
+
+def main() -> None:
+    ddr4_pim_comparison()
+    simulated_pim_comparison()
+
+
+if __name__ == "__main__":
+    main()

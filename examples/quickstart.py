@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Quickstart: convert a transformer to LUT-NN and deploy it on a DRAM-PIM.
+
+Walks the full PIM-DL pipeline of the paper's Fig. 5 in five steps:
+
+1. Train a small transformer text classifier on a synthetic task
+   (standing in for a pre-trained BERT checkpoint).
+2. Convert every encoder linear layer to a ``LUTLinear`` (codebooks +
+   pre-computable tables) using a small calibration sample.
+3. Calibrate with the eLUT-NN algorithm (reconstruction loss + STE).
+4. Freeze INT8 look-up tables and switch the model to deployment mode.
+5. Auto-tune the LUT kernels for UPMEM PIM-DIMMs and estimate the
+   end-to-end serving latency vs a GEMM-based PIM offload.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import (
+    ELUTNNCalibrator,
+    convert_to_lut_nn,
+    evaluate_accuracy,
+    freeze_all_luts,
+    lut_layers,
+    set_lut_mode,
+)
+from repro.mapping import AutoTuner
+from repro.nn import TextClassifier
+from repro.pim import get_platform
+from repro.workloads import SyntheticTextTask, sample_batches, train_classifier
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # ------------------------------------------------------------------
+    # 1. A "pre-trained" model: train a small classifier from scratch.
+    # ------------------------------------------------------------------
+    task = SyntheticTextTask(vocab_size=64, seq_len=16, num_classes=6,
+                             peak_mass=0.6, seed=1)
+    train = sample_batches(task, 768, 32)
+    test = sample_batches(task, 384, 64)
+    model = TextClassifier(vocab_size=64, max_seq_len=16, num_classes=6,
+                           dim=32, num_layers=4, num_heads=4, rng=rng)
+    print("training the substrate model ...")
+    train_classifier(model, train, epochs=8, lr=2e-3)
+    original_acc = evaluate_accuracy(model, test)
+    print(f"original model accuracy: {original_acc:.3f}")
+
+    # ------------------------------------------------------------------
+    # 2. LUT-NN conversion: replace all encoder linears with LUTLinear.
+    # ------------------------------------------------------------------
+    calib = sample_batches(task, 128, 32)
+    replaced = convert_to_lut_nn(
+        model, [tokens for tokens, _ in calib], v=4, ct=8, rng=rng
+    )
+    print(f"converted {len(replaced)} linear layers to LUT-NN:")
+    for name, layer in replaced[:4]:
+        print(f"  {name}: {layer}")
+
+    # ------------------------------------------------------------------
+    # 3. eLUT-NN calibration (paper Eq. 1: model loss + beta * recon loss).
+    # ------------------------------------------------------------------
+    print("calibrating with eLUT-NN ...")
+    result = ELUTNNCalibrator(beta=10.0, lr=1e-3).calibrate(model, calib, epochs=6)
+    print(f"calibration: {result.steps} steps, "
+          f"final loss {result.final_loss:.4f}, "
+          f"reconstruction {result.reconstruction_history[-1]:.5f}")
+
+    # ------------------------------------------------------------------
+    # 4. Deployment: freeze INT8 LUTs and evaluate the deployed model.
+    # ------------------------------------------------------------------
+    set_lut_mode(model, "lut")
+    freeze_all_luts(model, quantize_int8=True)
+    deployed_acc = evaluate_accuracy(model, test)
+    print(f"deployed LUT-NN accuracy (INT8 tables): {deployed_acc:.3f} "
+          f"(original {original_acc:.3f})")
+
+    # ------------------------------------------------------------------
+    # 5. Hardware mapping: tune each layer's LUT kernel for UPMEM.
+    # ------------------------------------------------------------------
+    platform = get_platform("upmem")
+    tuner = AutoTuner(platform)
+    serving_tokens = 8192  # batch 16 x seq 512, say
+    rows = []
+    for name, layer in lut_layers(model):
+        shape = layer.lut_shape(n=serving_tokens)
+        tuned = tuner.tune(shape)
+        rows.append([
+            name,
+            f"({shape.n},{shape.cb},{shape.ct},{shape.f})",
+            tuned.mapping.load_scheme,
+            f"{tuned.mapping.n_s_tile}x{tuned.mapping.f_s_tile}",
+            f"{tuned.cost * 1e3:.2f}",
+        ])
+    print("\nauto-tuned LUT kernel mappings on", platform.name)
+    print(format_table(
+        ["layer", "(N,CB,CT,F)", "scheme", "sub-LUT tile", "latency_ms"], rows
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs where the `wheel` package
+(required by setuptools' PEP 660 backend at this version) is unavailable."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""repro — a reproduction of PIM-DL (ASPLOS 2024).
+
+PIM-DL expands the applicability of commodity DRAM-PIMs (UPMEM PIM-DIMM,
+Samsung HBM-PIM, SK-Hynix AiM) to deep learning by replacing the GEMMs of
+transformer linear layers with table lookups (LUT-NN), calibrated with the
+eLUT-NN algorithm and mapped onto PIM hardware by an analytical auto-tuner.
+
+Package map
+-----------
+``repro.autograd``   numpy reverse-mode autodiff (calibration substrate)
+``repro.nn``         module system + transformer models
+``repro.core``       LUT-NN conversion, operators, eLUT-NN calibration
+``repro.pim``        DRAM-PIM platform models, kernels, event simulator
+``repro.mapping``    mapping space, analytical model (Eqs. 3-10), auto-tuner
+``repro.engine``     PIM-DL inference engine + baseline engines
+``repro.baselines``  CPU/GPU roofline hosts
+``repro.workloads``  model configs and synthetic tasks
+``repro.analysis``   FLOP/roofline analytics and reporting
+
+Quickstart
+----------
+>>> from repro import convert_to_lut_nn, ELUTNNCalibrator  # doctest: +SKIP
+
+See ``examples/quickstart.py`` for the full conversion → calibration →
+deployment walkthrough and ``benchmarks/`` for the paper's experiments.
+"""
+
+from . import analysis, autograd, baselines, core, engine, mapping, nn, pim, workloads
+from .core import (
+    BaselineLUTNNCalibrator,
+    Codebooks,
+    ELUTNNCalibrator,
+    LUTLinear,
+    LUTShape,
+    convert_to_lut_nn,
+    evaluate_accuracy,
+    freeze_all_luts,
+    set_lut_mode,
+)
+from .engine import GEMMPIMEngine, HostEngine, PIMDLEngine
+from .mapping import AutoTuner, Mapping
+from .pim import PIMSimulator, get_platform
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "autograd",
+    "nn",
+    "core",
+    "pim",
+    "mapping",
+    "engine",
+    "baselines",
+    "workloads",
+    "analysis",
+    "LUTShape",
+    "Codebooks",
+    "LUTLinear",
+    "convert_to_lut_nn",
+    "set_lut_mode",
+    "freeze_all_luts",
+    "ELUTNNCalibrator",
+    "BaselineLUTNNCalibrator",
+    "evaluate_accuracy",
+    "AutoTuner",
+    "Mapping",
+    "PIMSimulator",
+    "get_platform",
+    "PIMDLEngine",
+    "GEMMPIMEngine",
+    "HostEngine",
+    "__version__",
+]

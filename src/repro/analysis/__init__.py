@@ -1,0 +1,36 @@
+"""Analysis utilities: FLOP accounting, rooflines, and result reporting."""
+
+from .flop_analysis import (
+    FlopPoint,
+    gemm_total_ops,
+    sweep_centroid_count,
+    sweep_sub_vector_length,
+)
+from .error_analysis import ErrorProbe, LayerErrorReport, worst_layers
+from .reporting import format_table, geomean, normalize, speedups
+from .roofline_analysis import (
+    CPU_MEM_BW_GBPS,
+    CPU_PEAK_GOPS,
+    RooflinePoint,
+    lut_roofline_points,
+    traffic_breakdown,
+)
+
+__all__ = [
+    "FlopPoint",
+    "sweep_sub_vector_length",
+    "sweep_centroid_count",
+    "gemm_total_ops",
+    "RooflinePoint",
+    "lut_roofline_points",
+    "traffic_breakdown",
+    "CPU_PEAK_GOPS",
+    "CPU_MEM_BW_GBPS",
+    "geomean",
+    "format_table",
+    "normalize",
+    "speedups",
+    "ErrorProbe",
+    "LayerErrorReport",
+    "worst_layers",
+]

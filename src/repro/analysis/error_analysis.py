@@ -1,0 +1,117 @@
+"""Per-layer approximation-error diagnostics for converted models.
+
+LUT-NN's only approximation is replacing activation sub-vectors with their
+nearest centroids; everything downstream is exact.  When a converted model
+loses accuracy, the question is *which layer's* codebooks fail to represent
+its activations.  This module measures, per ``LUTLinear`` layer on real
+batches:
+
+* activation reconstruction error ``||A - H(A)|| / ||A||``;
+* output error ``||A W - H(A) W|| / ||A W||`` (what the reconstruction
+  loss of paper Eq. 1 penalizes);
+* codebook utilization (fraction of centroids ever selected) — dead
+  centroids indicate failed clustering or calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.ccs import closest_centroid_search, hard_replace
+from ..core.codebook import Codebooks
+from ..core.conversion import lut_layers
+from ..nn.module import Module
+
+
+@dataclass(frozen=True)
+class LayerErrorReport:
+    """Approximation diagnostics of one converted layer."""
+
+    name: str
+    activation_error: float  # relative L2 of A vs H(A)
+    output_error: float  # relative L2 of AW vs H(A)W
+    codebook_utilization: float  # selected centroids / total centroids
+    rows_measured: int
+
+
+def _relative_error(approx: np.ndarray, exact: np.ndarray) -> float:
+    denom = np.linalg.norm(exact)
+    if denom == 0:
+        return 0.0
+    return float(np.linalg.norm(approx - exact) / denom)
+
+
+class ErrorProbe:
+    """Collect per-layer inputs during forwards, then score them."""
+
+    def __init__(self, model: Module, max_rows: int = 4096):
+        self.model = model
+        self.max_rows = max_rows
+        self._records: Dict[str, List[np.ndarray]] = {}
+
+    def run(self, batches) -> List[LayerErrorReport]:
+        """Feed ``batches`` (model inputs) and report per-layer errors."""
+        layers = lut_layers(self.model)
+        if not layers:
+            raise ValueError("model has no LUTLinear layers to probe")
+        self._records = {name: [] for name, _ in layers}
+
+        originals = {}
+        try:
+            for name, layer in layers:
+                originals[name] = layer.forward
+
+                def wrapped(x, _orig=layer.forward, _name=name, _layer=layer):
+                    data = x.data if hasattr(x, "data") else np.asarray(x)
+                    flat = data.reshape(-1, _layer.in_features)
+                    stored = sum(r.shape[0] for r in self._records[_name])
+                    room = self.max_rows - stored
+                    if room > 0:
+                        self._records[_name].append(flat[:room].copy())
+                    return _orig(x)
+
+                layer.forward = wrapped
+            for batch in batches:
+                if isinstance(batch, tuple):
+                    self.model(batch[0])
+                else:
+                    self.model(batch)
+        finally:
+            for name, layer in layers:
+                if "forward" in layer.__dict__:
+                    del layer.__dict__["forward"]
+
+        reports = []
+        for name, layer in layers:
+            chunks = self._records[name]
+            if not chunks:
+                raise RuntimeError(f"no activations reached layer {name!r}")
+            activations = np.concatenate(chunks, axis=0)
+            codebooks = Codebooks(layer.centroids.data)
+            replaced = hard_replace(activations, codebooks)
+            weight = layer.weight.data
+            indices = closest_centroid_search(activations, codebooks)
+            used = np.zeros((codebooks.cb, codebooks.ct), dtype=bool)
+            used[np.arange(codebooks.cb)[None, :], indices] = True
+            reports.append(
+                LayerErrorReport(
+                    name=name,
+                    activation_error=_relative_error(replaced, activations),
+                    output_error=_relative_error(
+                        replaced @ weight, activations @ weight
+                    ),
+                    codebook_utilization=float(used.mean()),
+                    rows_measured=activations.shape[0],
+                )
+            )
+        return reports
+
+
+def worst_layers(
+    reports: List[LayerErrorReport], k: int = 3
+) -> List[LayerErrorReport]:
+    """The ``k`` layers with the highest output error."""
+    return sorted(reports, key=lambda r: r.output_error, reverse=True)[:k]

@@ -1,0 +1,66 @@
+"""Computation-reduction analysis (paper Fig. 3).
+
+Reproduces the two sweeps of Fig. 3 at N = H = F = 1024: the op breakdown
+(add vs multiply) as the sub-vector length V grows with CT = 16, and as the
+centroid count CT shrinks with V = 4, along with the FLOP-reduction line
+(3.66x–18.29x over GEMM; multiplications only 2.9%–14.3% of LUT-NN ops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.analytics import flop_reduction, gemm_ops, lutnn_ops
+from ..core.codebook import LUTShape
+
+
+@dataclass(frozen=True)
+class FlopPoint:
+    """One bar+line point of Fig. 3."""
+
+    v: int
+    ct: int
+    additions: int
+    multiplications: int
+    reduction_over_gemm: float
+    multiplication_fraction: float
+
+
+def _point(n: int, h: int, f: int, v: int, ct: int) -> FlopPoint:
+    shape = LUTShape(n=n, h=h, f=f, v=v, ct=ct)
+    ops = lutnn_ops(shape)
+    return FlopPoint(
+        v=v,
+        ct=ct,
+        additions=ops.additions,
+        multiplications=ops.multiplications,
+        reduction_over_gemm=flop_reduction(shape),
+        multiplication_fraction=ops.multiplication_fraction,
+    )
+
+
+def sweep_sub_vector_length(
+    vs: Sequence[int] = (2, 4, 8, 16),
+    ct: int = 16,
+    n: int = 1024,
+    h: int = 1024,
+    f: int = 1024,
+) -> List[FlopPoint]:
+    """Left half of Fig. 3: V sweep at CT = 16."""
+    return [_point(n, h, f, v, ct) for v in vs]
+
+
+def sweep_centroid_count(
+    cts: Sequence[int] = (64, 32, 16, 8),
+    v: int = 4,
+    n: int = 1024,
+    h: int = 1024,
+    f: int = 1024,
+) -> List[FlopPoint]:
+    """Right half of Fig. 3: CT sweep at V = 4."""
+    return [_point(n, h, f, v, ct) for ct in cts]
+
+
+def gemm_total_ops(n: int = 1024, h: int = 1024, f: int = 1024) -> int:
+    return gemm_ops(n, h, f).total

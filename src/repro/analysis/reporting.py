@@ -1,0 +1,61 @@
+"""Result aggregation and plain-text table rendering for benches/examples."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's aggregate for speedups)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geomean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geomean requires positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned plain-text table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in str_rows)) if str_rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def normalize(values: Dict[str, float], baseline_key: str) -> Dict[str, float]:
+    """Express ``values`` relative to ``values[baseline_key]``."""
+    if baseline_key not in values:
+        raise KeyError(f"baseline {baseline_key!r} missing")
+    base = values[baseline_key]
+    if base == 0:
+        raise ValueError("baseline value is zero")
+    return {k: v / base for k, v in values.items()}
+
+
+def speedups(latencies: Dict[str, float], baseline_key: str) -> Dict[str, float]:
+    """Speedup of each entry over the baseline (baseline_time / entry_time)."""
+    if baseline_key not in latencies:
+        raise KeyError(f"baseline {baseline_key!r} missing")
+    base = latencies[baseline_key]
+    return {k: base / v for k, v in latencies.items()}

@@ -1,0 +1,73 @@
+"""Roofline analysis of LUT kernels (paper Fig. 4).
+
+The paper converts the FC layers of BERT-base/large and ViT-huge to LUT-NN
+(Q/K/V fused, INT8 LUTs, batch 64, seq 512) and measures arithmetic
+intensity on a dual Xeon 4210 with Intel Advisor, finding every LUT operator
+at 0.204–0.288 ops/byte — deep in the memory-bound region of a CPU whose
+peak is 795.11 GOPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.analytics import lut_arithmetic_intensity, lut_kernel_bytes, lut_storage_bytes
+from ..core.codebook import LUTShape
+from ..workloads.configs import TransformerConfig
+
+#: Peak CPU throughput measured by the paper's Intel Advisor run (Fig. 4).
+CPU_PEAK_GOPS = 795.11
+
+#: Sustained memory bandwidth of the dual Xeon 4210 (4 DDR4 channels).
+CPU_MEM_BW_GBPS = 85.0
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One operator on the roofline plot."""
+
+    operator: str
+    model: str
+    arithmetic_intensity: float  # ops / byte
+    attainable_gops: float
+    memory_bound: bool
+
+
+def lut_roofline_points(
+    config: TransformerConfig, v: int = 2, ct: int = 16
+) -> List[RooflinePoint]:
+    """Roofline points of the four LUT operators of ``config``.
+
+    Uses INT8 LUT entries and byte indices, matching the paper's deployed
+    configuration for this analysis.
+    """
+    ridge = CPU_PEAK_GOPS / CPU_MEM_BW_GBPS  # ops/byte where roofs meet
+    points = []
+    n = config.tokens
+    for name, h, f in config.linear_layer_shapes():
+        shape = LUTShape(n=n, h=h, f=f, v=v, ct=ct)
+        intensity = lut_arithmetic_intensity(shape)
+        attainable = min(CPU_PEAK_GOPS, intensity * CPU_MEM_BW_GBPS)
+        points.append(
+            RooflinePoint(
+                operator=name,
+                model=config.name,
+                arithmetic_intensity=intensity,
+                attainable_gops=attainable,
+                memory_bound=intensity < ridge,
+            )
+        )
+    return points
+
+
+def traffic_breakdown(shape: LUTShape) -> dict:
+    """Bytes moved by one LUT operator, by source."""
+    return {
+        "index": shape.index_elements,
+        "gathered_lut": shape.n * shape.cb * shape.f * 4,
+        "output": 2 * shape.output_elements * 4,
+        "activations": shape.n * shape.h * 4,
+        "storage_footprint": lut_storage_bytes(shape),
+        "total_traffic": lut_kernel_bytes(shape),
+    }

@@ -1,0 +1,26 @@
+"""Weight initialization schemes for the neural-network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def xavier_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> Tensor:
+    """Glorot/Xavier uniform initialization for a (fan_in, fan_out) matrix."""
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return Tensor(rng.uniform(-bound, bound, size=(fan_in, fan_out)), requires_grad=True)
+
+
+def normal(shape: tuple, std: float, rng: np.random.Generator) -> Tensor:
+    """Zero-mean Gaussian initialization (BERT uses std=0.02)."""
+    return Tensor(rng.normal(0.0, std, size=shape), requires_grad=True)
+
+
+def zeros(shape: tuple) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=True)
+
+
+def ones(shape: tuple) -> Tensor:
+    return Tensor(np.ones(shape), requires_grad=True)

@@ -1,0 +1,90 @@
+"""Gradient-descent optimizers for calibration training.
+
+The paper calibrates with learning rates of 1e-5–5e-5 (Section 6.2) using a
+standard Adam-style optimizer; both SGD (with momentum) and Adam are provided.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Optimizer:
+    """Base class: tracks parameters and clears their gradients."""
+
+    def __init__(self, params: Iterable[Tensor]):
+        self.params: List[Tensor] = [p for p in params if p.requires_grad]
+        if not self.params:
+            raise ValueError("optimizer received no trainable parameters")
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 1e-2, momentum: float = 0.0):
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            v *= self.momentum
+            v -= self.lr * p.grad
+            p.data += v
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba), the paper's calibration optimizer."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self._step += 1
+        bias1 = 1.0 - self.beta1**self._step
+        bias2 = 1.0 - self.beta2**self._step
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,19 @@
+"""Host baselines: CPU/GPU roofline devices used by the evaluation."""
+
+from .roofline import (
+    RooflineDevice,
+    a2_gpu,
+    cpu_server_fp32,
+    cpu_server_int8,
+    v100_gpu,
+    wimpy_host,
+)
+
+__all__ = [
+    "RooflineDevice",
+    "cpu_server_fp32",
+    "cpu_server_int8",
+    "wimpy_host",
+    "v100_gpu",
+    "a2_gpu",
+]

@@ -1,0 +1,217 @@
+"""Command-line interface for the PIM-DL reproduction.
+
+Subcommands mirror the offline workflow of paper Fig. 5:
+
+* ``platforms`` — list the modeled DRAM-PIM platforms and their constants;
+* ``tune`` — run the Auto-Tuner (Algorithm 1) for one LUT workload shape,
+  optionally persisting the mapping to a JSON store;
+* ``simulate`` — run the event-level simulator for a shape (tuned or with
+  explicit mapping parameters) and print the latency breakdown;
+* ``flops`` — op-count / reduction analytics for a GEMM shape (Fig. 3);
+* ``compare`` — end-to-end engine comparison for a named model (Fig. 10).
+
+Run ``python -m repro <subcommand> --help`` for the options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import format_table
+from .core import LUTShape, flop_reduction, gemm_ops, lutnn_ops
+from .mapping import AutoTuner, Mapping, MappingStore, estimate_latency
+from .pim import PIMSimulator, PLATFORMS, get_platform
+from .workloads import EVAL_MODELS
+
+
+def _add_shape_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, required=True, help="index rows (batch x seq)")
+    parser.add_argument("--h", type=int, required=True, help="inner dimension H")
+    parser.add_argument("--f", type=int, required=True, help="output features F")
+    parser.add_argument("--v", type=int, default=4, help="sub-vector length V")
+    parser.add_argument("--ct", type=int, default=16, help="centroids per codebook")
+
+
+def _shape_from_args(args) -> LUTShape:
+    return LUTShape(n=args.n, h=args.h, f=args.f, v=args.v, ct=args.ct)
+
+
+def cmd_platforms(args) -> int:
+    rows = []
+    for name in sorted(PLATFORMS):
+        p = get_platform(name)
+        rows.append([
+            name,
+            p.name,
+            p.num_pes,
+            f"{p.compute.frequency_hz / 1e6:.0f} MHz",
+            f"{p.local_memory.buffer_bytes // 1024} KB",
+            f"{p.peak_add_throughput / 1e9:.0f} Gadd/s",
+            f"{p.pim_power_w:.0f} W",
+        ])
+    print(format_table(
+        ["key", "platform", "PEs", "freq", "buffer", "reduce peak", "power"], rows
+    ))
+    return 0
+
+
+def cmd_tune(args) -> int:
+    platform = get_platform(args.platform)
+    shape = _shape_from_args(args)
+    tuner = AutoTuner(platform, amortize_lut_distribution=args.amortize_lut)
+    result = tuner.tune(shape)
+    m = result.mapping
+    print(format_table(
+        ["parameter", "value"],
+        [
+            ["workload (N,CB,CT,F)", f"({shape.n}, {shape.cb}, {shape.ct}, {shape.f})"],
+            ["sub-LUT tiling", f"N_s={m.n_s_tile}, F_s={m.f_s_tile}"],
+            ["micro-kernel tiles", f"n={m.n_m_tile}, f={m.f_m_tile}, cb={m.cb_m_tile}"],
+            ["traversal order", "->".join(m.traversal)],
+            ["load scheme", m.load_scheme],
+            ["load tiles", f"cb={m.cb_load_tile}, f={m.f_load_tile}"],
+            ["estimated latency", f"{result.cost * 1e3:.3f} ms"],
+            ["sub-LUT / kernel split",
+             f"{result.latency.sub_lut_partition * 1e3:.3f} / "
+             f"{result.latency.micro_kernel * 1e3:.3f} ms"],
+        ],
+    ))
+    if args.store:
+        store = MappingStore(args.store)
+        store.put(args.platform, result)
+        store.save()
+        print(f"mapping saved to {args.store}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    platform = get_platform(args.platform)
+    shape = _shape_from_args(args)
+    mapping: Optional[Mapping] = None
+    if args.store:
+        stored = MappingStore(args.store).get(args.platform, shape)
+        if stored is not None:
+            mapping = stored.mapping
+            print(f"using stored mapping from {args.store}")
+    if mapping is None:
+        mapping = AutoTuner(platform).tune(shape).mapping
+    report = PIMSimulator(platform).run(shape, mapping)
+    estimate = estimate_latency(shape, mapping, platform)
+    error = abs(estimate.total - report.total_s) / report.total_s
+    print(format_table(
+        ["stage", "simulated_ms", "model_ms"],
+        [
+            ["distribution", f"{report.distribution_s * 1e3:.3f}",
+             f"{(estimate.sub_index + estimate.sub_lut) * 1e3:.3f}"],
+            ["micro kernel", f"{report.kernel_s * 1e3:.3f}",
+             f"{estimate.micro_kernel * 1e3:.3f}"],
+            ["gather", f"{report.gather_s * 1e3:.3f}",
+             f"{estimate.sub_output * 1e3:.3f}"],
+            ["total", f"{report.total_s * 1e3:.3f}", f"{estimate.total * 1e3:.3f}"],
+        ],
+    ))
+    print(f"PEs used: {report.num_pes}; analytical-model error: {error:.1%}")
+    return 0
+
+
+def cmd_flops(args) -> int:
+    shape = _shape_from_args(args)
+    gemm = gemm_ops(shape.n, shape.h, shape.f)
+    lut = lutnn_ops(shape)
+    print(format_table(
+        ["metric", "GEMM", "LUT-NN"],
+        [
+            ["total ops", gemm.total, lut.total],
+            ["multiplications", gemm.multiplications, lut.multiplications],
+            ["additions", gemm.additions, lut.additions],
+            ["mult fraction", f"{gemm.multiplication_fraction:.1%}",
+             f"{lut.multiplication_fraction:.1%}"],
+        ],
+    ))
+    print(f"FLOP reduction: {flop_reduction(shape):.2f}x")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from .baselines import cpu_server_fp32, cpu_server_int8, wimpy_host
+    from .engine import GEMMPIMEngine, HostEngine, PIMDLEngine
+
+    if args.model not in EVAL_MODELS:
+        print(f"unknown model {args.model!r}; choose from {sorted(EVAL_MODELS)}",
+              file=sys.stderr)
+        return 2
+    config = EVAL_MODELS[args.model]
+    platform = get_platform(args.platform)
+    host = wimpy_host()
+    engines = {
+        "cpu-fp32": HostEngine(cpu_server_fp32()),
+        "cpu-int8": HostEngine(cpu_server_int8()),
+        "pim-gemm": GEMMPIMEngine(platform, host),
+        f"pim-dl (V={args.v},CT={args.ct})": PIMDLEngine(
+            platform, host, v=args.v, ct=args.ct
+        ),
+    }
+    rows = []
+    for name, engine in engines.items():
+        report = engine.run(config)
+        rows.append([
+            name,
+            f"{report.total_s:.2f}",
+            f"{report.energy.total_j / 1e3:.2f}",
+            f"{report.pim_s / report.total_s:.0%}" if report.pim_s else "-",
+        ])
+    print(f"{config.name}: batch {config.batch_size}, seq {config.seq_len}")
+    print(format_table(["engine", "latency_s", "energy_kJ", "pim share"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PIM-DL reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("platforms", help="list modeled DRAM-PIM platforms")
+
+    tune = sub.add_parser("tune", help="auto-tune a LUT workload (Algorithm 1)")
+    tune.add_argument("--platform", default="upmem", choices=sorted(PLATFORMS))
+    _add_shape_arguments(tune)
+    tune.add_argument("--amortize-lut", action="store_true",
+                      help="treat LUTs as resident in PIM memory")
+    tune.add_argument("--store", help="JSON mapping store to update")
+
+    simulate = sub.add_parser("simulate", help="run the event-level simulator")
+    simulate.add_argument("--platform", default="upmem", choices=sorted(PLATFORMS))
+    _add_shape_arguments(simulate)
+    simulate.add_argument("--store", help="JSON mapping store to read")
+
+    flops = sub.add_parser("flops", help="GEMM vs LUT-NN op counts (Fig. 3)")
+    _add_shape_arguments(flops)
+
+    compare = sub.add_parser("compare", help="end-to-end engine comparison")
+    compare.add_argument("--model", default="bert-base",
+                         choices=sorted(EVAL_MODELS))
+    compare.add_argument("--platform", default="upmem", choices=sorted(PLATFORMS))
+    compare.add_argument("--v", type=int, default=4)
+    compare.add_argument("--ct", type=int, default=16)
+    return parser
+
+
+COMMANDS = {
+    "platforms": cmd_platforms,
+    "tune": cmd_tune,
+    "simulate": cmd_simulate,
+    "flops": cmd_flops,
+    "compare": cmd_compare,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""Operation-count and arithmetic-intensity analytics (paper §3.3, Figs. 3–4).
+
+For a GEMM of shape (N, H) x (H, F):
+
+* GEMM:     2 * N * H * F ops, half multiplications.
+* LUT-NN:   3 * N * H * CT ops for index calculation (CCS) of which
+            N * H * CT are multiplications, plus N * F * H / V adds for
+            result accumulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .codebook import LUTShape
+
+
+@dataclass(frozen=True)
+class OpCounts:
+    """Breakdown of scalar operations for one operator."""
+
+    multiplications: int
+    additions: int
+    other: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.multiplications + self.additions + self.other
+
+    @property
+    def multiplication_fraction(self) -> float:
+        return self.multiplications / self.total if self.total else 0.0
+
+
+def gemm_ops(n: int, h: int, f: int) -> OpCounts:
+    """Op count of a dense (N,H)x(H,F) GEMM: N*H*F MACs."""
+    macs = n * h * f
+    return OpCounts(multiplications=macs, additions=macs)
+
+
+def lutnn_ops(shape: LUTShape) -> OpCounts:
+    """Op count of LUT-NN inference for the same logical GEMM.
+
+    Index calculation costs ``3 * N * H * CT`` ops (one multiply plus two
+    adds per element: subtract, square, accumulate), and table-lookup
+    reduction costs ``N * F * CB`` additions (paper §3.3).
+    """
+    index_mults = shape.n * shape.h * shape.ct
+    index_adds = 2 * shape.n * shape.h * shape.ct
+    reduce_adds = shape.n * shape.f * shape.cb
+    return OpCounts(multiplications=index_mults, additions=index_adds + reduce_adds)
+
+
+def flop_reduction(shape: LUTShape) -> float:
+    """FLOP_GEMM / FLOP_LUT-NN (the line series of paper Fig. 3)."""
+    return gemm_ops(shape.n, shape.h, shape.f).total / lutnn_ops(shape).total
+
+
+def lut_storage_bytes(
+    shape: LUTShape,
+    index_bytes: int = 1,
+    lut_dtype_bytes: int = 1,
+    output_bytes: int = 4,
+) -> int:
+    """Unique memory *footprint* of the LUT operator's tensors.
+
+    Defaults model the deployed UPMEM configuration: INT8 LUTs, byte indices
+    (CT <= 256), 32-bit accumulator outputs.
+    """
+    index_traffic = shape.index_elements * index_bytes
+    lut_traffic = shape.lut_elements * lut_dtype_bytes
+    output_traffic = shape.output_elements * output_bytes
+    return index_traffic + lut_traffic + output_traffic
+
+
+def lut_kernel_bytes(
+    shape: LUTShape,
+    index_bytes: int = 1,
+    gather_bytes: int = 4,
+    output_bytes: int = 4,
+    activation_bytes: int = 4,
+) -> int:
+    """Memory *traffic* of one LUT-NN operator execution on a CPU.
+
+    Every (row, codebook) lookup streams its F selected entries from the
+    tables; since CT tables interleave in memory, each requested INT8 entry
+    costs roughly a ``gather_bytes``-wide transfer (what Intel Advisor's
+    cache-line accounting observes).  Outputs are written and re-read once
+    for accumulation; CCS reads the FP32 activations.
+    """
+    ccs_traffic = shape.n * shape.h * activation_bytes
+    index_traffic = shape.index_elements * index_bytes
+    gathered = shape.n * shape.cb * shape.f * gather_bytes
+    output_traffic = 2 * shape.output_elements * output_bytes
+    return ccs_traffic + index_traffic + gathered + output_traffic
+
+
+def lut_arithmetic_intensity(shape: LUTShape, **byte_kwargs) -> float:
+    """Ops per byte of one full LUT-NN operator (CCS + lookup + reduce).
+
+    The paper's Fig. 4 measures 0.204–0.288 ops/byte for the LUT kernels of
+    BERT/ViT linear layers on a Xeon 4210 — deep inside the memory-bound
+    region; this model reproduces that band.
+    """
+    ops = 3 * shape.n * shape.h * shape.ct + shape.n * shape.f * shape.cb
+    return ops / lut_kernel_bytes(shape, **byte_kwargs)
+
+
+def gemm_arithmetic_intensity(
+    n: int, h: int, f: int, dtype_bytes: int = 4
+) -> float:
+    """Ops per byte of a dense GEMM reading A, B and writing C once."""
+    ops = 2 * n * h * f
+    traffic = (n * h + h * f + n * f) * dtype_bytes
+    return ops / traffic
+
+
+def lut_memory_overhead(
+    shape: LUTShape, weight_dtype_bytes: int = 2, lut_dtype_bytes: int = 1
+) -> float:
+    """LUT storage relative to the weight matrix it replaces.
+
+    A (H, F) weight becomes a (CB, CT, F) = (H/V, CT, F) table, so the
+    element-count ratio is CT / V; the byte ratio additionally reflects the
+    datatypes (e.g. INT8 tables replacing FP16 weights).  This is the
+    deployment cost LUT-NN pays for its compute reduction — with the
+    paper's V=2/CT=16 setting the tables are 4x the FP16 weights' bytes,
+    at V=4/CT=16 they are 2x.
+    """
+    weight_bytes = shape.h * shape.f * weight_dtype_bytes
+    table_bytes = shape.lut_elements * lut_dtype_bytes
+    # Codebooks themselves are negligible (CB * CT * V elements) but
+    # included for completeness.
+    codebook_bytes = shape.cb * shape.ct * shape.v * weight_dtype_bytes
+    return (table_bytes + codebook_bytes) / weight_bytes

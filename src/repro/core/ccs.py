@@ -1,0 +1,62 @@
+"""Closest centroid search (CCS) — the host-side operator of LUT-NN inference.
+
+Steps 4–5 of paper Fig. 2: each (1, V) activation tile is compared with its
+column's codebook and the index of the centroid with minimal L2 distance is
+emitted.  The paper implements the distance estimation with inner products
+(a GEMM) so the operator runs efficiently on the host; this module does the
+same via a single batched einsum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .codebook import Codebooks
+
+
+def squared_distances(x: np.ndarray, codebooks: Codebooks) -> np.ndarray:
+    """Squared L2 distance between every sub-vector and every centroid.
+
+    Parameters
+    ----------
+    x: (N, H) activation matrix.
+    codebooks: (CB, CT, V) centroids.
+
+    Returns
+    -------
+    (N, CB, CT) distances.
+    """
+    sub = codebooks.split(x)  # (N, CB, V)
+    cents = codebooks.centroids  # (CB, CT, V)
+    # ||a - c||^2 = ||a||^2 - 2 a.c + ||c||^2
+    cross = np.einsum("ncv,ckv->nck", sub, cents)
+    a_sq = np.sum(sub**2, axis=-1)[:, :, None]
+    c_sq = np.sum(cents**2, axis=-1)[None, :, :]
+    return a_sq - 2.0 * cross + c_sq
+
+
+def closest_centroid_search(x: np.ndarray, codebooks: Codebooks) -> np.ndarray:
+    """Compute the (N, CB) int index matrix (argmin over centroids)."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError("CCS input must be 2-D (N, H)")
+    dists = squared_distances(x, codebooks)
+    return np.argmin(dists, axis=-1).astype(np.int32)
+
+
+def hard_replace(x: np.ndarray, codebooks: Codebooks) -> np.ndarray:
+    """The closest-centroid-replacing function H(.) of paper Eq. 1.
+
+    Returns the (N, H) matrix in which each sub-vector of ``x`` is replaced
+    by its nearest centroid.
+    """
+    indices = closest_centroid_search(x, codebooks)
+    n = x.shape[0]
+    cb_idx = np.arange(codebooks.cb)[None, :]
+    replaced = codebooks.centroids[cb_idx, indices]  # (N, CB, V)
+    return replaced.reshape(n, codebooks.h)
+
+
+def ccs_flops(n: int, h: int, ct: int) -> int:
+    """Operation count of index calculation: 3 * N * H * CT (paper §3.3)."""
+    return 3 * n * h * ct

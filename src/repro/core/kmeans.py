@@ -1,0 +1,94 @@
+"""K-means clustering with k-means++ seeding.
+
+Used for codebook initialization in LUT-NN conversion (paper Section 3.1,
+step 1): the activation sub-vectors of each column are clustered into ``CT``
+centroids.  Implemented from scratch on numpy (Lloyd's algorithm).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def kmeans_plusplus_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Choose ``k`` initial centroids via k-means++ (D² sampling)."""
+    n = points.shape[0]
+    centroids = np.empty((k, points.shape[1]), dtype=points.dtype)
+    first = rng.integers(0, n)
+    centroids[0] = points[first]
+    closest_sq = np.sum((points - centroids[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0.0:
+            # All points coincide with chosen centroids; fill uniformly.
+            centroids[i:] = points[rng.integers(0, n, size=k - i)]
+            break
+        probs = closest_sq / total
+        idx = rng.choice(n, p=probs)
+        centroids[i] = points[idx]
+        dist_sq = np.sum((points - centroids[i]) ** 2, axis=1)
+        np.minimum(closest_sq, dist_sq, out=closest_sq)
+    return centroids
+
+
+def assign(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Index of the nearest centroid (squared L2) for each point."""
+    # ||p - c||^2 = ||p||^2 - 2 p.c + ||c||^2 ; ||p||^2 constant per row.
+    cross = points @ centroids.T
+    c_norm = np.sum(centroids**2, axis=1)
+    return np.argmin(c_norm[None, :] - 2.0 * cross, axis=1)
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    max_iters: int = 50,
+    tol: float = 1e-6,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Lloyd's algorithm.
+
+    Parameters
+    ----------
+    points: (n, d) data matrix.
+    k: number of clusters; must not exceed ``n``.
+
+    Returns
+    -------
+    centroids: (k, d) cluster centers.
+    labels: (n,) assignment of each point.
+    inertia: final sum of squared distances.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be a 2-D array")
+    n = points.shape[0]
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if n < k:
+        raise ValueError(f"need at least k={k} points, got {n}")
+    rng = rng or np.random.default_rng()
+
+    centroids = kmeans_plusplus_init(points, k, rng)
+    labels = assign(points, centroids)
+    for _ in range(max_iters):
+        new_centroids = centroids.copy()
+        for j in range(k):
+            members = points[labels == j]
+            if len(members):
+                new_centroids[j] = members.mean(axis=0)
+            else:
+                # Re-seed empty clusters at the point farthest from its centroid.
+                dists = np.sum((points - centroids[labels]) ** 2, axis=1)
+                new_centroids[j] = points[np.argmax(dists)]
+        shift = float(np.max(np.abs(new_centroids - centroids)))
+        centroids = new_centroids
+        labels = assign(points, centroids)
+        if shift < tol:
+            break
+    inertia = float(np.sum((points - centroids[labels]) ** 2))
+    return centroids, labels, inertia

@@ -1,0 +1,82 @@
+"""Look-up table construction and the LUT (table lookup + reduce) operator.
+
+Paper Section 3.1 steps 2–3 build the tables: the (F, H) weight matrix is
+split into (1, V) sub-vectors along H, and inner products against every
+centroid produce a (CB, CT, F) table.  Section 3.2 steps 6–7 consume them:
+each index picks an (F,) slice and the CB slices of a row are accumulated.
+
+This module is the *functional reference*; the timed execution on DRAM-PIM
+hardware is modeled by :mod:`repro.pim`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .codebook import Codebooks, LUTShape
+
+
+def build_lut(codebooks: Codebooks, weight: np.ndarray) -> np.ndarray:
+    """Pre-compute look-up tables from codebooks and a weight matrix.
+
+    Parameters
+    ----------
+    codebooks: (CB, CT, V) centroids.
+    weight: (H, F) weight matrix (column-major activations convention,
+        i.e. ``y = x @ weight``).
+
+    Returns
+    -------
+    (CB, CT, F) table: ``lut[cb, k, f] = centroid[cb, k] . weight[cb*V:(cb+1)*V, f]``.
+    """
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.ndim != 2 or weight.shape[0] != codebooks.h:
+        raise ValueError(
+            f"weight must be (H={codebooks.h}, F), got {weight.shape}"
+        )
+    f = weight.shape[1]
+    w_sub = weight.reshape(codebooks.cb, codebooks.v, f)  # (CB, V, F)
+    return np.einsum("ckv,cvf->ckf", codebooks.centroids, w_sub)
+
+
+def lut_lookup(indices: np.ndarray, lut: np.ndarray) -> np.ndarray:
+    """Table lookup + accumulate (paper Fig. 2 steps 6–7).
+
+    Parameters
+    ----------
+    indices: (N, CB) int index matrix from closest-centroid search.
+    lut: (CB, CT, F) pre-computed tables.
+
+    Returns
+    -------
+    (N, F) output matrix: ``out[n] = sum_cb lut[cb, indices[n, cb]]``.
+    """
+    indices = np.asarray(indices)
+    if indices.ndim != 2:
+        raise ValueError("indices must be 2-D (N, CB)")
+    cb = lut.shape[0]
+    if indices.shape[1] != cb:
+        raise ValueError(f"indices CB={indices.shape[1]} != LUT CB={cb}")
+    if indices.min() < 0 or indices.max() >= lut.shape[1]:
+        raise IndexError("centroid index out of LUT range")
+    cb_idx = np.arange(cb)[None, :]
+    gathered = lut[cb_idx, indices]  # (N, CB, F)
+    return gathered.sum(axis=1)
+
+
+def lut_matmul(x: np.ndarray, codebooks: Codebooks, lut: np.ndarray) -> np.ndarray:
+    """Full approximate GEMM: CCS on ``x`` then table lookup."""
+    from .ccs import closest_centroid_search
+
+    indices = closest_centroid_search(x, codebooks)
+    return lut_lookup(indices, lut)
+
+
+def reduce_flops(shape: LUTShape) -> int:
+    """Operation count of result accumulation: N * F * CB (paper §3.3)."""
+    return shape.n * shape.f * shape.cb
+
+
+def lut_bytes(shape: LUTShape, dtype_bytes: int = 1) -> int:
+    """LUT memory footprint in bytes (INT8 by default, as deployed)."""
+    return shape.lut_elements * dtype_bytes

@@ -1,0 +1,39 @@
+"""PIM-DL inference engine and comparison engines."""
+
+from .decode import (DecodeReport, GEMVDecodeEngine, HostDecodeEngine,
+                     LUTDecodeEngine)
+from .engine import GEMMPIMEngine, HostEngine, PIMDLEngine
+from .graph import ATTENTION, ELEMENTWISE, LINEAR, OperatorSpec, layer_graph, model_graph
+from .report import EngineReport, OpLatency
+from .multiplex import (SharingPoint, best_latency, best_throughput,
+                        slice_platform, space_sharing_sweep)
+from .queueing import QueueStats, load_sweep, simulate_queue
+from .serving import GenerationServer, ServingReport
+
+__all__ = [
+    "PIMDLEngine",
+    "GEMMPIMEngine",
+    "HostEngine",
+    "OperatorSpec",
+    "layer_graph",
+    "model_graph",
+    "LINEAR",
+    "ATTENTION",
+    "ELEMENTWISE",
+    "EngineReport",
+    "OpLatency",
+    "DecodeReport",
+    "GEMVDecodeEngine",
+    "LUTDecodeEngine",
+    "HostDecodeEngine",
+    "GenerationServer",
+    "ServingReport",
+    "SharingPoint",
+    "slice_platform",
+    "space_sharing_sweep",
+    "best_throughput",
+    "best_latency",
+    "QueueStats",
+    "simulate_queue",
+    "load_sweep",
+]

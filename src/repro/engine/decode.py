@@ -1,0 +1,166 @@
+"""Autoregressive (decode-phase) serving models — the GPT/LSTM scenario.
+
+The paper motivates PIM-DL by noting that HBM-PIM/AiM already accelerate
+*single-batch* GPT/LSTM inference, which is GEMV-dominated, but cloud
+serving needs batched GEMM (Section 1, 2.2).  This module closes the loop
+from the other side: it models the token-by-token decode phase, where each
+generated token turns every linear layer into a GEMV of shape (B, H)x(H, F)
+with B small, and asks where LUT-NN still pays off.
+
+For decode, the LUT operator degenerates to per-token table gathers
+(N = batch), while the GEMV baseline streams the full weight matrix per
+token — so LUT-NN's V-fold traffic reduction applies to the *weights*, the
+decode bottleneck.  The engine reports per-token latency and tokens/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..baselines.roofline import RooflineDevice
+from ..core.codebook import LUTShape
+from ..mapping.tuner import AutoTuner
+from ..pim.gemm_kernels import linear_layer_on_pim
+from ..pim.platforms import PIMPlatform
+from ..workloads.configs import TransformerConfig
+
+
+@dataclass(frozen=True)
+class DecodeReport:
+    """Per-token decode cost of one serving configuration."""
+
+    engine: str
+    model: str
+    batch_size: int
+    context_len: int
+    linear_s: float
+    attention_s: float
+    other_s: float
+
+    @property
+    def token_latency_s(self) -> float:
+        return self.linear_s + self.attention_s + self.other_s
+
+    @property
+    def tokens_per_s(self) -> float:
+        return self.batch_size / self.token_latency_s
+
+
+def _attention_decode_time(
+    host: RooflineDevice, config: TransformerConfig, batch: int, context: int
+) -> float:
+    """Single-token attention against a KV cache of ``context`` entries."""
+    per_layer_flops = 4.0 * batch * config.num_heads * context * config.head_dim
+    per_layer_bytes = 2.0 * batch * context * config.hidden_dim * 2  # K and V reads
+    return config.num_layers * host.op_time(per_layer_flops, per_layer_bytes)
+
+
+def _elementwise_decode_time(
+    host: RooflineDevice, config: TransformerConfig, batch: int
+) -> float:
+    elems = float(batch) * config.hidden_dim
+    per_layer = 2 * host.elementwise_time(int(5 * elems)) + host.elementwise_time(
+        int(batch * config.ffn_dim)
+    )
+    return config.num_layers * per_layer
+
+
+class GEMVDecodeEngine:
+    """Decode with linear layers as per-token GEMVs on the PIM (baseline)."""
+
+    def __init__(self, platform: PIMPlatform, host: RooflineDevice):
+        self.platform = platform
+        self.host = host
+
+    def run(
+        self, config: TransformerConfig, batch_size: int = 1, context_len: int = 512
+    ) -> DecodeReport:
+        linear_s = 0.0
+        for _, h, f in config.linear_layer_shapes():
+            linear_s += linear_layer_on_pim(self.platform, batch_size, h, f).total
+        linear_s *= config.num_layers
+        return DecodeReport(
+            engine=f"pim-gemv[{self.platform.name}]",
+            model=config.name,
+            batch_size=batch_size,
+            context_len=context_len,
+            linear_s=linear_s,
+            attention_s=_attention_decode_time(self.host, config, batch_size, context_len),
+            other_s=_elementwise_decode_time(self.host, config, batch_size),
+        )
+
+
+class LUTDecodeEngine:
+    """Decode with LUT-NN linear layers on the PIM (PIM-DL applied to decode).
+
+    Per generated token the index matrix is tiny (N = batch), so the tuned
+    mapping usually keeps the whole LUT resident (tables are weights) and the
+    kernel reduces to per-token gathers — ``amortize_lut_distribution`` is
+    forced on, matching a serving deployment.
+    """
+
+    def __init__(
+        self,
+        platform: PIMPlatform,
+        host: RooflineDevice,
+        v: int = 4,
+        ct: int = 16,
+        tuner: Optional[AutoTuner] = None,
+    ):
+        self.platform = platform
+        self.host = host
+        self.v = v
+        self.ct = ct
+        self.tuner = tuner or AutoTuner(platform, amortize_lut_distribution=True)
+
+    def _ccs_time(self, batch: int, h: int) -> float:
+        cb = h // self.v
+        distance = self.host.small_k_gemm_time(batch * cb, self.v, self.ct)
+        argmin = self.host.op_time(batch * cb * self.ct, batch * cb * self.ct * 4.0)
+        return distance + argmin
+
+    def run(
+        self, config: TransformerConfig, batch_size: int = 1, context_len: int = 512
+    ) -> DecodeReport:
+        if config.hidden_dim % self.v or config.ffn_dim % self.v:
+            raise ValueError(f"model dims not divisible by V={self.v}")
+        linear_s = 0.0
+        for _, h, f in config.linear_layer_shapes():
+            shape = LUTShape(n=batch_size, h=h, f=f, v=self.v, ct=self.ct)
+            linear_s += self.tuner.tune(shape).latency.total
+            linear_s += self._ccs_time(batch_size, h)
+        linear_s *= config.num_layers
+        return DecodeReport(
+            engine=f"pim-dl-decode[{self.platform.name}, V={self.v}]",
+            model=config.name,
+            batch_size=batch_size,
+            context_len=context_len,
+            linear_s=linear_s,
+            attention_s=_attention_decode_time(self.host, config, batch_size, context_len),
+            other_s=_elementwise_decode_time(self.host, config, batch_size),
+        )
+
+
+class HostDecodeEngine:
+    """Decode entirely on a CPU/GPU roofline device."""
+
+    def __init__(self, device: RooflineDevice):
+        self.device = device
+
+    def run(
+        self, config: TransformerConfig, batch_size: int = 1, context_len: int = 512
+    ) -> DecodeReport:
+        linear_s = 0.0
+        for _, h, f in config.linear_layer_shapes():
+            linear_s += self.device.gemm_time(batch_size, h, f)
+        linear_s *= config.num_layers
+        return DecodeReport(
+            engine=f"host-decode[{self.device.name}]",
+            model=config.name,
+            batch_size=batch_size,
+            context_len=context_len,
+            linear_s=linear_s,
+            attention_s=_attention_decode_time(self.device, config, batch_size, context_len),
+            other_s=_elementwise_decode_time(self.device, config, batch_size),
+        )

@@ -1,0 +1,89 @@
+"""Transformer operator graph (paper Fig. 6-(b)).
+
+Decomposes a :class:`~repro.workloads.configs.TransformerConfig` into the
+operator sequence one encoder layer executes, tagged with the footprints the
+cost models need.  The four linear operators (QKV, O, FFN1, FFN2) are the
+LUT-conversion targets; attention stays a host compound operator; Add&Norm
+and GELU are element-wise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..workloads.configs import TransformerConfig
+
+LINEAR = "linear"
+ATTENTION = "attention"
+ELEMENTWISE = "elementwise"
+
+
+@dataclass(frozen=True)
+class OperatorSpec:
+    """One operator of the per-layer graph.
+
+    ``flops``/``bytes_moved`` describe a single execution at the workload's
+    batch/sequence shape; ``h``/``f`` are set for linear operators only.
+    """
+
+    name: str
+    kind: str
+    flops: float
+    bytes_moved: float
+    h: int = 0
+    f: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in (LINEAR, ATTENTION, ELEMENTWISE):
+            raise ValueError(f"unknown operator kind {self.kind!r}")
+        if self.kind == LINEAR and (self.h <= 0 or self.f <= 0):
+            raise ValueError("linear operators need h and f")
+
+
+def layer_graph(config: TransformerConfig, dtype_bytes: int = 4) -> List[OperatorSpec]:
+    """Operator sequence of one encoder layer (paper Fig. 6-(b))."""
+    n = config.tokens
+    h = config.hidden_dim
+    s = config.seq_len
+    b = config.batch_size
+    heads = config.num_heads
+    hd = config.head_dim
+
+    ops: List[OperatorSpec] = []
+    for name, in_dim, out_dim in config.linear_layer_shapes():
+        flops = 2.0 * n * in_dim * out_dim
+        bytes_moved = (n * in_dim + in_dim * out_dim + n * out_dim) * dtype_bytes
+        ops.append(
+            OperatorSpec(name=name, kind=LINEAR, flops=flops,
+                         bytes_moved=bytes_moved, h=in_dim, f=out_dim)
+        )
+
+    # Attention: scores QK^T + softmax + context AV (host compound op).
+    score_flops = 2.0 * b * heads * s * s * hd
+    softmax_elems = b * heads * s * s
+    attn = OperatorSpec(
+        name="Attention",
+        kind=ATTENTION,
+        flops=2.0 * score_flops + 5.0 * softmax_elems,
+        bytes_moved=(3.0 * n * h + 2.0 * softmax_elems) * dtype_bytes,
+    )
+    # Place attention after QKV (index 1 keeps QKV first).
+    ops.insert(1, attn)
+
+    # GELU after FFN1, two Add&Norm blocks.
+    gelu_elems = float(n) * config.ffn_dim
+    ops.insert(4, OperatorSpec("GELU", ELEMENTWISE, gelu_elems,
+                               2.0 * gelu_elems * dtype_bytes))
+    norm_elems = float(n) * h
+    ops.insert(3, OperatorSpec("Add&Norm-1", ELEMENTWISE, 5.0 * norm_elems,
+                               3.0 * norm_elems * dtype_bytes))
+    ops.append(OperatorSpec("Add&Norm-2", ELEMENTWISE, 5.0 * norm_elems,
+                            3.0 * norm_elems * dtype_bytes))
+    return ops
+
+
+def model_graph(config: TransformerConfig, dtype_bytes: int = 4) -> List[OperatorSpec]:
+    """Operator sequence of the full model (``num_layers`` repeats)."""
+    per_layer = layer_graph(config, dtype_bytes)
+    return per_layer * config.num_layers

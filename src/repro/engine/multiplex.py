@@ -1,0 +1,101 @@
+"""Multi-tenant PE space-sharing: throughput vs latency on one PIM system.
+
+A DRAM-PIM system serving many inference requests can either run them
+sequentially on all PEs (lowest per-request latency) or partition the PEs
+into slices and run several requests concurrently (better utilization when
+a single kernel cannot saturate the system — e.g. small batches, where
+per-PE tiles shrink below the transfer-efficiency knee, paper Fig. 12-(c)).
+
+This module evaluates W-way space sharing by re-tuning every LUT kernel for
+a platform slice with ``num_pes / W`` PEs and comparing request latency and
+aggregate throughput.  Host work is assumed to interleave (the host is not
+the bottleneck at these scales).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List
+
+from ..baselines.roofline import RooflineDevice
+from ..pim.platforms import PIMPlatform
+from ..workloads.configs import TransformerConfig
+from .engine import PIMDLEngine
+
+
+@dataclass(frozen=True)
+class SharingPoint:
+    """One space-sharing configuration."""
+
+    ways: int
+    pes_per_slice: int
+    request_latency_s: float
+    throughput_rps: float  # aggregate requests per second
+
+    @property
+    def latency_cost(self) -> float:
+        """Per-request slowdown relative to a 1-way baseline of the sweep."""
+        return self.request_latency_s
+
+
+def slice_platform(platform: PIMPlatform, ways: int) -> PIMPlatform:
+    """A platform slice with 1/ways of the PEs and bus/rank resources.
+
+    Host<->PIM bandwidth is shared proportionally: each slice sees its
+    fraction of the aggregate transfer rates.
+    """
+    if ways <= 0:
+        raise ValueError("ways must be positive")
+    if platform.num_pes % ways:
+        raise ValueError(f"{platform.num_pes} PEs do not split {ways} ways")
+
+    def share(bw):
+        return replace(bw, peak_bytes_per_s=bw.peak_bytes_per_s / ways)
+
+    return replace(
+        platform,
+        name=f"{platform.name} (1/{ways} slice)",
+        num_pes=platform.num_pes // ways,
+        ranks=max(platform.ranks // ways, 1),
+        broadcast=share(platform.broadcast),
+        scatter=share(platform.scatter),
+        gather=share(platform.gather),
+    )
+
+
+def space_sharing_sweep(
+    platform: PIMPlatform,
+    host: RooflineDevice,
+    config: TransformerConfig,
+    ways_options: List[int] = (1, 2, 4),
+    v: int = 4,
+    ct: int = 16,
+) -> List[SharingPoint]:
+    """Latency/throughput of serving ``config`` at each sharing width.
+
+    W concurrent requests each run on a 1/W slice; a request's latency is
+    its slice-local engine estimate, and aggregate throughput is
+    ``W / latency``.
+    """
+    points = []
+    for ways in ways_options:
+        sliced = slice_platform(platform, ways)
+        engine = PIMDLEngine(sliced, host, v=v, ct=ct)
+        latency = engine.run(config).total_s
+        points.append(
+            SharingPoint(
+                ways=ways,
+                pes_per_slice=sliced.num_pes,
+                request_latency_s=latency,
+                throughput_rps=ways / latency,
+            )
+        )
+    return points
+
+
+def best_throughput(points: List[SharingPoint]) -> SharingPoint:
+    return max(points, key=lambda p: p.throughput_rps)
+
+
+def best_latency(points: List[SharingPoint]) -> SharingPoint:
+    return min(points, key=lambda p: p.request_latency_s)

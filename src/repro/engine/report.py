@@ -1,0 +1,60 @@
+"""Execution reports produced by the inference engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..pim.energy import EnergyReport
+
+
+@dataclass(frozen=True)
+class OpLatency:
+    """Latency of one operator execution, tagged for breakdowns."""
+
+    name: str
+    device: str  # "host" | "pim"
+    category: str  # "lut" | "ccs" | "gemm" | "attention" | "elementwise"
+    seconds: float
+
+
+@dataclass
+class EngineReport:
+    """Roll-up of one model inference on one engine."""
+
+    engine: str
+    model: str
+    ops: List[OpLatency] = field(default_factory=list)
+    energy: EnergyReport = None
+    #: Latency hidden by host/PIM pipelining (0 in the sequential system).
+    overlap_hidden_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return sum(op.seconds for op in self.ops) - self.overlap_hidden_s
+
+    @property
+    def host_s(self) -> float:
+        return sum(op.seconds for op in self.ops if op.device == "host")
+
+    @property
+    def pim_s(self) -> float:
+        return sum(op.seconds for op in self.ops if op.device == "pim")
+
+    def category_breakdown(self) -> Dict[str, float]:
+        """Latency per category — the data behind paper Fig. 11-(a)."""
+        out: Dict[str, float] = {}
+        for op in self.ops:
+            out[op.category] = out.get(op.category, 0.0) + op.seconds
+        return out
+
+    def per_operator(self) -> Dict[str, float]:
+        """Latency per operator name — the data behind paper Fig. 11-(b)."""
+        out: Dict[str, float] = {}
+        for op in self.ops:
+            out[op.name] = out.get(op.name, 0.0) + op.seconds
+        return out
+
+    @property
+    def throughput_inferences_per_s(self) -> float:
+        return 1.0 / self.total_s if self.total_s > 0 else float("inf")

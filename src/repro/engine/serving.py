@@ -1,0 +1,131 @@
+"""End-to-end generation serving: prefill + decode on one system.
+
+Combines the two regimes the paper discusses into one request model:
+
+* **Prefill** — the prompt's tokens are processed as a batched GEMM
+  workload (PIM-DL's home turf: the :class:`~repro.engine.engine.PIMDLEngine`
+  path, or a GEMM baseline);
+* **Decode** — tokens are generated one step at a time against a growing
+  KV cache (the GEMV regime HBM-PIM/AiM were built for, here served by the
+  decode engines of :mod:`repro.engine.decode`).
+
+The report gives time-to-first-token, per-token decode latency, and
+request throughput — the quantities a serving operator actually provisions
+for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..baselines.roofline import RooflineDevice
+from ..pim.platforms import PIMPlatform
+from ..workloads.configs import TransformerConfig
+from .decode import GEMVDecodeEngine, LUTDecodeEngine
+from .engine import GEMMPIMEngine, PIMDLEngine
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Cost of one generation request (prompt -> generated tokens)."""
+
+    engine: str
+    model: str
+    prompt_len: int
+    generate_len: int
+    batch_size: int
+    prefill_s: float
+    decode_s: float
+
+    @property
+    def time_to_first_token_s(self) -> float:
+        return self.prefill_s
+
+    @property
+    def per_token_decode_s(self) -> float:
+        if self.generate_len == 0:
+            return 0.0
+        return self.decode_s / self.generate_len
+
+    @property
+    def request_latency_s(self) -> float:
+        return self.prefill_s + self.decode_s
+
+    @property
+    def generated_tokens_per_s(self) -> float:
+        if self.decode_s == 0:
+            return float("inf")
+        return self.batch_size * self.generate_len / self.decode_s
+
+
+class GenerationServer:
+    """Serve generation requests with PIM-DL prefill + LUT decode.
+
+    Parameters
+    ----------
+    lut_nn:
+        When True (default) both phases use LUT-NN kernels; when False the
+        request runs on the platform's native GEMM/GEMV paths — the
+        comparison baseline.
+    """
+
+    def __init__(
+        self,
+        platform: PIMPlatform,
+        host: RooflineDevice,
+        v: int = 4,
+        ct: int = 16,
+        lut_nn: bool = True,
+    ):
+        self.platform = platform
+        self.host = host
+        self.lut_nn = lut_nn
+        if lut_nn:
+            self._prefill = PIMDLEngine(platform, host, v=v, ct=ct)
+            self._decode = LUTDecodeEngine(platform, host, v=v, ct=ct)
+        else:
+            self._prefill = GEMMPIMEngine(platform, host)
+            self._decode = GEMVDecodeEngine(platform, host)
+
+    @property
+    def name(self) -> str:
+        mode = "lut-nn" if self.lut_nn else "native"
+        return f"serve[{self.platform.name}, {mode}]"
+
+    def run(
+        self,
+        config: TransformerConfig,
+        prompt_len: Optional[int] = None,
+        generate_len: int = 64,
+        batch_size: Optional[int] = None,
+    ) -> ServingReport:
+        """Cost one request batch: prefill ``prompt_len`` then decode.
+
+        The decode phase's attention cost uses the *average* KV-cache
+        length over the generation (prompt + generate/2).
+        """
+        if generate_len < 0:
+            raise ValueError("generate_len must be non-negative")
+        prompt_len = prompt_len or config.seq_len
+        batch_size = batch_size or config.batch_size
+        prefill_config = config.with_(seq_len=prompt_len, batch_size=batch_size)
+        prefill_s = self._prefill.run(prefill_config).total_s
+
+        decode_s = 0.0
+        if generate_len:
+            average_context = prompt_len + generate_len // 2
+            token = self._decode.run(
+                prefill_config, batch_size=batch_size, context_len=average_context
+            )
+            decode_s = token.token_latency_s * generate_len
+
+        return ServingReport(
+            engine=self.name,
+            model=config.name,
+            prompt_len=prompt_len,
+            generate_len=generate_len,
+            batch_size=batch_size,
+            prefill_s=prefill_s,
+            decode_s=decode_s,
+        )

@@ -1,0 +1,42 @@
+"""Hardware mapping: parameter space, analytical model, and auto-tuner."""
+
+from .analytical import LatencyBreakdown, estimate_latency, search_micro_kernels
+from .space import (
+    FINE_GRAIN_SLOTS,
+    INDEX_BYTES,
+    LOAD_SCHEMES,
+    LUT_BYTES,
+    OUTPUT_BYTES,
+    TRAVERSALS,
+    Mapping,
+    buffer_bytes_required,
+    enumerate_micro_kernels,
+    enumerate_sub_lut_tilings,
+    is_legal,
+    num_pes_used,
+)
+from .store import MappingStore, mapping_from_dict, mapping_to_dict
+from .tuner import AutoTuner, TuningResult
+
+__all__ = [
+    "Mapping",
+    "is_legal",
+    "num_pes_used",
+    "buffer_bytes_required",
+    "enumerate_sub_lut_tilings",
+    "enumerate_micro_kernels",
+    "LOAD_SCHEMES",
+    "TRAVERSALS",
+    "INDEX_BYTES",
+    "LUT_BYTES",
+    "OUTPUT_BYTES",
+    "FINE_GRAIN_SLOTS",
+    "estimate_latency",
+    "search_micro_kernels",
+    "LatencyBreakdown",
+    "AutoTuner",
+    "TuningResult",
+    "MappingStore",
+    "mapping_to_dict",
+    "mapping_from_dict",
+]

@@ -1,0 +1,326 @@
+"""Analytical latency model of LUT-NN execution on DRAM-PIMs (paper §5.2).
+
+The model splits execution into the two steps of the paper's dataflow:
+
+* **Step-1, sub-LUT partition** (Eqs. 3–5): host→PIM distribution of index
+  and LUT tiles plus output collection, costed per transfer pattern.
+* **Step-2, micro-kernel execution** (Eqs. 6–10): per-PE tile movement
+  between the local bank and the on-chip buffer plus the reduce compute,
+  derived from a loop-nest reuse analysis of the traversal order.
+
+The same :class:`~repro.mapping.space.Mapping` is also interpreted
+event-by-event by :mod:`repro.pim.simulator`; paper Fig. 13 reports the gap
+between the two (avg 3.44%), which `benchmarks/test_fig13_mapping_space.py`
+re-measures against our simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.codebook import LUTShape
+from ..pim.platforms import PIMPlatform
+from .space import (
+    FINE_GRAIN_SLOTS,
+    INDEX_BYTES,
+    LUT_BYTES,
+    OUTPUT_BYTES,
+    TRAVERSALS,
+    Mapping,
+    is_legal,
+    num_pes_used,
+)
+from .space import _pow2_divisors
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Per-stage latency estimate for one LUT kernel invocation (seconds)."""
+
+    sub_index: float
+    sub_lut: float
+    sub_output: float
+    kernel_transfer: float
+    kernel_reduce: float
+    launch: float
+
+    @property
+    def sub_lut_partition(self) -> float:
+        """t_sub-lut of paper Eq. 3."""
+        return self.sub_index + self.sub_lut + self.sub_output
+
+    @property
+    def micro_kernel(self) -> float:
+        """t_micro-kernel of paper Eq. 6."""
+        return self.kernel_transfer + self.kernel_reduce
+
+    @property
+    def total(self) -> float:
+        return self.sub_lut_partition + self.micro_kernel + self.launch
+
+
+def _loop_trips(shape: LUTShape, mapping: Mapping) -> Dict[str, int]:
+    return {
+        "n": mapping.n_s_tile // mapping.n_m_tile,
+        "f": mapping.f_s_tile // mapping.f_m_tile,
+        "cb": shape.cb // mapping.cb_m_tile,
+    }
+
+
+def _load_count(traversal, trips: Dict[str, int], deps) -> int:
+    """Reloads of a tensor under a single-resident-tile buffer model.
+
+    The resident tile changes exactly when the tensor's tile tag (its
+    projection onto ``deps``) changes.  In a lexicographic loop nest that
+    happens once per iteration of every loop at or above the innermost
+    *moving* relevant loop — a relevant dim with a single trip never changes
+    the tag, so loops outer to it cause no eviction either.  When no
+    relevant dim moves, the single tile is loaded once.
+    """
+    moving = [traversal.index(d) for d in deps if trips[d] > 1]
+    if not moving:
+        return 1
+    innermost_moving = max(moving)
+    count = 1
+    for depth, dim in enumerate(traversal):
+        if depth <= innermost_moving:
+            count *= trips[dim]
+    return count
+
+
+def estimate_latency(
+    shape: LUTShape,
+    mapping: Mapping,
+    platform: PIMPlatform,
+    amortize_lut_distribution: bool = False,
+) -> LatencyBreakdown:
+    """Closed-form latency of one LUT kernel under ``mapping``.
+
+    Parameters
+    ----------
+    amortize_lut_distribution:
+        When True, the host→PIM LUT transfer (model weights) is treated as
+        resident across invocations and excluded — the steady-state serving
+        configuration used by the end-to-end engine.
+    """
+    if not is_legal(shape, mapping, platform):
+        raise ValueError(f"illegal mapping {mapping} for shape {shape}")
+
+    n_pes = num_pes_used(shape, mapping)
+    groups = shape.n // mapping.n_s_tile
+    pes_per_group = shape.f // mapping.f_s_tile
+
+    # ------------------------------------------------------------------
+    # Step-1: sub-LUT partition (Eqs. 3–5).  Following Eq. 4, replicated
+    # tiles count their full per-PE traffic against the (faster) broadcast
+    # bandwidth; unique tiles go at scatter/gather bandwidth.
+    # ------------------------------------------------------------------
+    stile_index = mapping.n_s_tile * shape.cb * INDEX_BYTES
+    stile_lut = shape.cb * shape.ct * mapping.f_s_tile * LUT_BYTES
+    stile_output = mapping.n_s_tile * mapping.f_s_tile * OUTPUT_BYTES
+
+    index_pattern = platform.broadcast if pes_per_group > 1 else platform.scatter
+    lut_pattern = platform.broadcast if groups > 1 else platform.scatter
+
+    t_sub_index = index_pattern.latency(stile_index * n_pes, tile_bytes=stile_index)
+    t_sub_lut = (
+        0.0
+        if amortize_lut_distribution
+        else lut_pattern.latency(stile_lut * n_pes, tile_bytes=stile_lut)
+    )
+    t_sub_output = platform.gather.latency(stile_output * n_pes, tile_bytes=stile_output)
+
+    # ------------------------------------------------------------------
+    # Step-2: micro kernel (Eqs. 6–10), per PE.
+    # ------------------------------------------------------------------
+    trips = _loop_trips(shape, mapping)
+    local = platform.local_memory
+
+    mtile_index = mapping.n_m_tile * mapping.cb_m_tile * INDEX_BYTES
+    mtile_output = mapping.n_m_tile * mapping.f_m_tile * OUTPUT_BYTES
+
+    lcount_index = _load_count(mapping.traversal, trips, ("n", "cb"))
+    t_ld_index = local.latency(lcount_index * mtile_index, mtile_index)
+
+    out_count = _load_count(mapping.traversal, trips, ("n", "f"))
+    t_ld_output = local.latency(out_count * mtile_output, mtile_output)
+    t_st_output = local.latency(out_count * mtile_output, mtile_output)
+
+    lut_unique = shape.cb * shape.ct * mapping.f_s_tile * LUT_BYTES
+    if mapping.load_scheme == "static":
+        # Whole sub-LUT staged once at kernel start (Fig. 9, scheme 1).
+        t_ld_lut = local.latency(lut_unique, min(lut_unique, 2048))
+    elif mapping.load_scheme == "coarse":
+        # All CT candidates of (cb_load x f_load) blocks staged per visit;
+        # the LUT footprint is re-streamed whenever the N loop revisits it.
+        revisit = _load_count(mapping.traversal, trips, ("cb", "f"))
+        full_visits = trips["cb"] * trips["f"]
+        streams = max(revisit // full_visits, 1)
+        access = mapping.cb_load_tile * shape.ct * mapping.f_load_tile * LUT_BYTES
+        t_ld_lut = local.latency(streams * lut_unique, access)
+    else:  # fine
+        # On-demand gather: each (row, codebook) index pulls its selected
+        # f_s_tile entries in f_load_tile chunks (Fig. 9, scheme 3).
+        total = mapping.n_s_tile * shape.cb * mapping.f_s_tile * LUT_BYTES
+        t_ld_lut = local.latency(total, mapping.f_load_tile * LUT_BYTES)
+
+    t_transfer = t_ld_index + t_ld_lut + t_ld_output + t_st_output
+
+    # Reduce: f_s additions per (row, codebook) pair plus one table-address
+    # computation per lookup (Eq. 10, with t_single-reduce from the PE).
+    reduce_count = mapping.n_s_tile * shape.cb * mapping.f_s_tile
+    lookup_count = mapping.n_s_tile * shape.cb
+    t_reduce = platform.compute.add_time(reduce_count)
+    t_reduce += platform.compute.lookup_time(lookup_count)
+    if mapping.load_scheme == "fine":
+        # Fine-grain adds per-chunk address arithmetic on the PE.
+        chunks_per_lookup = max(mapping.f_s_tile // mapping.f_load_tile, 1)
+        t_reduce += platform.compute.lookup_time(lookup_count * (chunks_per_lookup - 1))
+
+    return LatencyBreakdown(
+        sub_index=t_sub_index,
+        sub_lut=t_sub_lut,
+        sub_output=t_sub_output,
+        kernel_transfer=t_transfer,
+        kernel_reduce=t_reduce,
+        launch=platform.kernel_launch_s,
+    )
+
+
+def search_micro_kernels(
+    shape: LUTShape,
+    n_s_tile: int,
+    f_s_tile: int,
+    platform: PIMPlatform,
+) -> Optional[Tuple[Mapping, float]]:
+    """Vectorized ``KernelSearch`` of paper Algorithm 1 (line 8).
+
+    Evaluates the full micro-kernel space — tile factors x traversal orders
+    x load schemes — for one sub-LUT tiling with numpy grids, using exactly
+    the cost formulas of :func:`estimate_latency` (a property test in the
+    suite holds the two implementations together).  Returns the cheapest
+    legal ``(mapping, t_micro_kernel)`` or ``None`` when no candidate fits
+    the on-chip buffer.
+    """
+    local = platform.local_memory
+    compute = platform.compute
+    cb, ct = shape.cb, shape.ct
+
+    n_m_opts = np.array(_pow2_divisors(n_s_tile, limit=256))
+    f_m_opts = np.array(_pow2_divisors(f_s_tile, limit=256))
+    cb_m_opts = np.array(_pow2_divisors(cb, limit=256))
+    NM, FM, CBM = np.meshgrid(n_m_opts, f_m_opts, cb_m_opts, indexing="ij")
+    trips = {
+        "n": n_s_tile // NM,
+        "f": f_s_tile // FM,
+        "cb": cb // CBM,
+    }
+
+    mtile_index = NM * CBM * INDEX_BYTES
+    mtile_output = NM * FM * OUTPUT_BYTES
+    buffer_base = mtile_index + mtile_output
+
+    lut_unique = cb * ct * f_s_tile * LUT_BYTES
+    setup = local.access_setup_s
+    bw = local.peak_bytes_per_s
+
+    # Reduce time: constant across the grid except for fine-grain chunking.
+    reduce_count = n_s_tile * cb * f_s_tile
+    lookup_count = n_s_tile * cb
+    t_reduce_base = compute.add_time(reduce_count) + compute.lookup_time(lookup_count)
+
+    def load_count(traversal, deps):
+        """Vectorized version of :func:`_load_count` over the tile grid.
+
+        Per candidate, the eviction depth is the innermost relevant loop
+        whose trip count exceeds one; the reload count is the product of
+        trips at or above it (1 when no relevant loop moves).
+        """
+        dep_depths = sorted(traversal.index(d) for d in deps)
+        prefix = [np.ones_like(NM, dtype=np.float64)]
+        for dim in traversal:
+            prefix.append(prefix[-1] * trips[dim])
+        # prefix[k+1] = product of trips at depth <= k.
+        # Walk outermost -> innermost so the innermost moving dim wins.
+        count = np.ones_like(NM, dtype=np.float64)
+        for depth in dep_depths:
+            dim = traversal[depth]
+            count = np.where(trips[dim] > 1, prefix[depth + 1], count)
+        return count
+
+    best_cost = np.inf
+    best: Optional[Tuple[Mapping, float]] = None
+
+    for traversal in TRAVERSALS:
+        lcount_index = load_count(traversal, ("n", "cb"))
+        t_index = lcount_index * (setup + mtile_index / bw)
+        out_count = load_count(traversal, ("n", "f"))
+        t_output = 2.0 * out_count * (setup + mtile_output / bw)
+        base = t_index + t_output + t_reduce_base
+
+        variants = []
+        # Static: whole sub-LUT resident in the buffer.
+        static_access = min(lut_unique, 2048)
+        t_static = setup * (lut_unique / static_access) + lut_unique / bw
+        variants.append(("static", 1, 1, np.full_like(NM, t_static, dtype=np.float64),
+                         np.full_like(NM, float(lut_unique), dtype=np.float64), 0.0))
+        # Coarse-grain: stream all CT candidates block-wise per LUT visit.
+        revisit = load_count(traversal, ("cb", "f"))
+        full_visits = trips["cb"] * trips["f"]
+        streams = np.maximum(revisit // full_visits, 1.0)
+        for cb_l in _pow2_divisors(cb, limit=16):
+            for f_l in _pow2_divisors(f_s_tile, limit=64):
+                access = cb_l * ct * f_l * LUT_BYTES
+                t_coarse = streams * (
+                    lut_unique / bw + setup * (lut_unique / access)
+                )
+                variants.append(
+                    ("coarse", cb_l, f_l, t_coarse,
+                     np.full_like(NM, float(access), dtype=np.float64), 0.0)
+                )
+        # Fine-grain: gather only the indexed entries.
+        fine_total = n_s_tile * cb * f_s_tile * LUT_BYTES
+        for f_l in _pow2_divisors(f_s_tile, limit=128):
+            access = f_l * LUT_BYTES
+            t_fine = np.full_like(
+                NM, fine_total / bw + setup * (fine_total / access), dtype=np.float64
+            )
+            chunks = max(f_s_tile // f_l, 1)
+            extra = compute.lookup_time(lookup_count * (chunks - 1))
+            variants.append(
+                ("fine", 1, f_l, t_fine,
+                 np.full_like(NM, float(FINE_GRAIN_SLOTS * access), dtype=np.float64),
+                 extra)
+            )
+
+        for scheme, cb_l, f_l, t_lut, lut_buffer, reduce_extra in variants:
+            total = base + t_lut + reduce_extra
+            legal = (buffer_base + lut_buffer) <= local.buffer_bytes
+            # Load tiles must fit inside the m-tile (see space.is_legal).
+            if scheme == "coarse":
+                legal = legal & (cb_l <= CBM) & (f_l <= FM)
+            elif scheme == "fine":
+                legal = legal & (f_l <= FM)
+            masked = np.where(legal, total, np.inf)
+            idx = np.unravel_index(np.argmin(masked), masked.shape)
+            cost = masked[idx]
+            if cost < best_cost:
+                best_cost = float(cost)
+                best = (
+                    Mapping(
+                        n_s_tile=n_s_tile,
+                        f_s_tile=f_s_tile,
+                        n_m_tile=int(NM[idx]),
+                        f_m_tile=int(FM[idx]),
+                        cb_m_tile=int(CBM[idx]),
+                        traversal=traversal,
+                        load_scheme=scheme,
+                        cb_load_tile=cb_l,
+                        f_load_tile=f_l,
+                    ),
+                    best_cost,
+                )
+    return best

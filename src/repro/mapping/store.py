@@ -1,0 +1,133 @@
+"""Persistence for tuned mappings.
+
+The paper tunes each model's LUT kernels once, offline (§5.3: "each model
+need to be tuned only once"), and ships the mapping parameters with the
+model.  This module serializes :class:`~repro.mapping.tuner.TuningResult`
+objects to JSON so a serving process can load them without re-running
+Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+from ..core.codebook import LUTShape
+from .analytical import LatencyBreakdown
+from .space import Mapping
+from .tuner import TuningResult
+
+FORMAT_VERSION = 1
+
+
+def mapping_to_dict(mapping: Mapping) -> dict:
+    return {
+        "n_s_tile": mapping.n_s_tile,
+        "f_s_tile": mapping.f_s_tile,
+        "n_m_tile": mapping.n_m_tile,
+        "f_m_tile": mapping.f_m_tile,
+        "cb_m_tile": mapping.cb_m_tile,
+        "traversal": list(mapping.traversal),
+        "load_scheme": mapping.load_scheme,
+        "cb_load_tile": mapping.cb_load_tile,
+        "f_load_tile": mapping.f_load_tile,
+    }
+
+
+def mapping_from_dict(data: dict) -> Mapping:
+    return Mapping(
+        n_s_tile=int(data["n_s_tile"]),
+        f_s_tile=int(data["f_s_tile"]),
+        n_m_tile=int(data["n_m_tile"]),
+        f_m_tile=int(data["f_m_tile"]),
+        cb_m_tile=int(data["cb_m_tile"]),
+        traversal=tuple(data["traversal"]),
+        load_scheme=data["load_scheme"],
+        cb_load_tile=int(data["cb_load_tile"]),
+        f_load_tile=int(data["f_load_tile"]),
+    )
+
+
+def _shape_key(shape: LUTShape) -> str:
+    return f"n{shape.n}_h{shape.h}_f{shape.f}_v{shape.v}_ct{shape.ct}"
+
+
+def _shape_to_dict(shape: LUTShape) -> dict:
+    return {"n": shape.n, "h": shape.h, "f": shape.f, "v": shape.v, "ct": shape.ct}
+
+
+def _shape_from_dict(data: dict) -> LUTShape:
+    return LUTShape(**{k: int(v) for k, v in data.items()})
+
+
+class MappingStore:
+    """A JSON-backed registry of tuned mappings, keyed by platform + shape."""
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self._entries: Dict[str, dict] = {}
+        if path and os.path.exists(path):
+            self.load(path)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        platform_name, shape = key
+        return self._key(platform_name, shape) in self._entries
+
+    @staticmethod
+    def _key(platform_name: str, shape: LUTShape) -> str:
+        return f"{platform_name}::{_shape_key(shape)}"
+
+    def put(self, platform_name: str, result: TuningResult) -> None:
+        """Record a tuning result."""
+        self._entries[self._key(platform_name, result.shape)] = {
+            "platform": platform_name,
+            "shape": _shape_to_dict(result.shape),
+            "mapping": mapping_to_dict(result.mapping),
+            "latency_s": result.latency.total,
+            "breakdown": {
+                "sub_index": result.latency.sub_index,
+                "sub_lut": result.latency.sub_lut,
+                "sub_output": result.latency.sub_output,
+                "kernel_transfer": result.latency.kernel_transfer,
+                "kernel_reduce": result.latency.kernel_reduce,
+                "launch": result.latency.launch,
+            },
+            "candidates_evaluated": result.candidates_evaluated,
+        }
+
+    def get(self, platform_name: str, shape: LUTShape) -> Optional[TuningResult]:
+        """Load a previously tuned mapping, or None when absent."""
+        entry = self._entries.get(self._key(platform_name, shape))
+        if entry is None:
+            return None
+        breakdown = LatencyBreakdown(**entry["breakdown"])
+        return TuningResult(
+            shape=_shape_from_dict(entry["shape"]),
+            mapping=mapping_from_dict(entry["mapping"]),
+            latency=breakdown,
+            candidates_evaluated=int(entry["candidates_evaluated"]),
+        )
+
+    def save(self, path: Optional[str] = None) -> str:
+        """Write the registry to JSON; returns the path written."""
+        path = path or self.path
+        if not path:
+            raise ValueError("no path given to save the mapping store")
+        payload = {"version": FORMAT_VERSION, "entries": self._entries}
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        self.path = path
+        return path
+
+    def load(self, path: str) -> None:
+        with open(path) as fh:
+            payload = json.load(fh)
+        version = payload.get("version")
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported mapping store version {version!r}")
+        self._entries = payload["entries"]
+        self.path = path

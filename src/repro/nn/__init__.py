@@ -1,0 +1,38 @@
+"""Neural-network substrate: modules, layers, and transformer models."""
+
+from .attention import KVCache, MultiHeadAttention
+from .layers import (
+    DEFAULT_INIT_STD,
+    Dropout,
+    Embedding,
+    GELU,
+    LayerNorm,
+    Linear,
+    ReLU,
+    Tanh,
+)
+from .models import DecoderLM, PatchClassifier, TextClassifier
+from .module import Module, ModuleList, Sequential
+from .transformer import EncoderLayer, FeedForward, TransformerEncoder
+
+__all__ = [
+    "Module",
+    "Sequential",
+    "ModuleList",
+    "Linear",
+    "LayerNorm",
+    "Embedding",
+    "GELU",
+    "ReLU",
+    "Tanh",
+    "Dropout",
+    "DEFAULT_INIT_STD",
+    "MultiHeadAttention",
+    "KVCache",
+    "FeedForward",
+    "EncoderLayer",
+    "TransformerEncoder",
+    "TextClassifier",
+    "PatchClassifier",
+    "DecoderLM",
+]

@@ -1,0 +1,113 @@
+"""Basic layers: Linear, LayerNorm, Embedding, activations, dropout.
+
+``Linear`` is the layer class the LUT-NN converter targets — every instance
+in a model's QKV/O projections and FFNs is replaced by a
+:class:`repro.core.lut_linear.LUTLinear` during conversion (paper Fig. 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, functional as F
+from ..autograd.init import normal, ones, zeros
+from .module import Module
+
+#: BERT's weight initialization standard deviation.
+DEFAULT_INIT_STD = 0.02
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` with weight shape (in_features, out_features).
+
+    In paper notation the activation is N×H, the weight is H×F (stored here
+    as ``weight`` with shape (H, F)), and the output is N×F.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator = None,
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature dims must be positive")
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = normal((in_features, out_features), DEFAULT_INIT_STD, rng)
+        self.bias = zeros((out_features,)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features})"
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension (Ba et al.)."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = ones((dim,))
+        self.beta = zeros((dim,))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        normed = (x - mu) / (var + self.eps).sqrt()
+        return normed * self.gamma + self.beta
+
+
+class Embedding(Module):
+    """Token embedding lookup table."""
+
+    def __init__(self, vocab_size: int, dim: int, rng: np.random.Generator = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.weight = normal((vocab_size, dim), DEFAULT_INIT_STD, rng)
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.min() < 0 or indices.max() >= self.vocab_size:
+            raise IndexError("token id out of vocabulary range")
+        return self.weight[indices]
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.gelu(x)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode."""
+
+    def __init__(self, rate: float = 0.1, rng: np.random.Generator = None):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self.rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.rate, self.training, self.rng)

@@ -1,0 +1,100 @@
+"""Transformer encoder blocks (post-norm, BERT/ViT style).
+
+Each block contains exactly the four LUT-convertible linear layers the paper
+enumerates in Fig. 6-(b): the fused QKV projection, the output (O)
+projection, FFN1, and FFN2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from .attention import MultiHeadAttention
+from .layers import Dropout, GELU, LayerNorm, Linear
+from .module import Module, ModuleList
+
+
+class FeedForward(Module):
+    """Two-layer position-wise FFN with GELU (hidden = mlp_ratio * dim)."""
+
+    def __init__(self, dim: int, hidden_dim: int, rng: np.random.Generator = None):
+        super().__init__()
+        self.fc1 = Linear(dim, hidden_dim, rng=rng)
+        self.act = GELU()
+        self.fc2 = Linear(hidden_dim, dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(self.act(self.fc1(x)))
+
+
+class EncoderLayer(Module):
+    """Post-norm transformer encoder layer (as in BERT and the original ViT)."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        mlp_ratio: int = 4,
+        dropout: float = 0.0,
+        causal: bool = False,
+        rng: np.random.Generator = None,
+    ):
+        super().__init__()
+        self.attention = MultiHeadAttention(dim, num_heads, causal=causal, rng=rng)
+        self.norm1 = LayerNorm(dim)
+        self.ffn = FeedForward(dim, mlp_ratio * dim, rng=rng)
+        self.norm2 = LayerNorm(dim)
+        self.drop = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, mask: np.ndarray = None) -> Tensor:
+        x = self.norm1(x + self.drop(self.attention(x, mask=mask)))
+        x = self.norm2(x + self.drop(self.ffn(x)))
+        return x
+
+    def forward_incremental(self, x: Tensor, cache) -> Tensor:
+        """Decode-phase forward for new tokens only, against a KV cache."""
+        x = self.norm1(x + self.attention.forward_incremental(x, cache))
+        x = self.norm2(x + self.ffn(x))
+        return x
+
+
+class TransformerEncoder(Module):
+    """Stack of encoder layers."""
+
+    def __init__(
+        self,
+        num_layers: int,
+        dim: int,
+        num_heads: int,
+        mlp_ratio: int = 4,
+        dropout: float = 0.0,
+        causal: bool = False,
+        rng: np.random.Generator = None,
+    ):
+        super().__init__()
+        if num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        self.layers = ModuleList(
+            EncoderLayer(dim, num_heads, mlp_ratio, dropout, causal=causal, rng=rng)
+            for _ in range(num_layers)
+        )
+
+    def forward(self, x: Tensor, mask: np.ndarray = None) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, mask=mask)
+        return x
+
+    def make_caches(self):
+        """Fresh per-layer KV caches for incremental decoding."""
+        from .attention import KVCache
+
+        return [KVCache() for _ in self.layers]
+
+    def forward_incremental(self, x: Tensor, caches) -> Tensor:
+        """Decode-phase forward of new tokens against per-layer caches."""
+        if len(caches) != len(self.layers):
+            raise ValueError("one KV cache per layer required")
+        for layer, cache in zip(self.layers, caches):
+            x = layer.forward_incremental(x, cache)
+        return x

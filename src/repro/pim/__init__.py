@@ -1,0 +1,55 @@
+"""DRAM-PIM substrate: platform models, kernels, and the event simulator."""
+
+from .energy import EnergyReport, host_only_energy, pim_system_energy
+from .gemm_kernels import (
+    DEFAULT_FP32_MAC_CYCLES,
+    GEMMPIMBreakdown,
+    gemm_on_pim,
+    gemv_sequence_on_pim,
+    linear_layer_on_pim,
+)
+from .platforms import (
+    PLATFORMS,
+    LocalMemory,
+    PECompute,
+    PIMPlatform,
+    TransferBandwidth,
+    aim,
+    get_platform,
+    hbm_pim,
+    upmem_pim_dimm,
+)
+from .simulator import (
+    ALIGN_BYTES,
+    LOOP_OVERHEAD_CYCLES,
+    PIMSimulator,
+    SimulationReport,
+)
+from .trace import KernelTrace, TraceEvent, trace_kernel
+
+__all__ = [
+    "PIMPlatform",
+    "PECompute",
+    "LocalMemory",
+    "TransferBandwidth",
+    "upmem_pim_dimm",
+    "hbm_pim",
+    "aim",
+    "get_platform",
+    "PLATFORMS",
+    "PIMSimulator",
+    "SimulationReport",
+    "ALIGN_BYTES",
+    "LOOP_OVERHEAD_CYCLES",
+    "KernelTrace",
+    "TraceEvent",
+    "trace_kernel",
+    "gemm_on_pim",
+    "gemv_sequence_on_pim",
+    "linear_layer_on_pim",
+    "GEMMPIMBreakdown",
+    "DEFAULT_FP32_MAC_CYCLES",
+    "EnergyReport",
+    "pim_system_energy",
+    "host_only_energy",
+]

@@ -1,0 +1,47 @@
+"""Energy model for DRAM-PIM systems (paper Fig. 10-(b)).
+
+The paper measures CPU energy with Intel RAPL and estimates PIM-DIMM energy
+from the dpu-diag static power (~13.92 W/DIMM @ 350 MHz), noting that without
+DVFS the static figure is close to the dynamic draw.  Accordingly the model
+here is ``energy = sum(component_power x busy_time)`` with all powers taken
+from :mod:`repro.pim.platforms` and :mod:`repro.baselines.roofline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.roofline import RooflineDevice
+from .platforms import PIMPlatform
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Joules consumed by each component during one inference."""
+
+    host_j: float
+    pim_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.host_j + self.pim_j
+
+
+def pim_system_energy(
+    platform: PIMPlatform, host_busy_s: float, pim_busy_s: float
+) -> EnergyReport:
+    """Energy of a PIM-DL / PIM-offload run on ``platform``.
+
+    PIM modules draw (near-)constant power for the full makespan — they lack
+    DVFS — while the host is charged only for its busy time.
+    """
+    makespan = host_busy_s + pim_busy_s
+    return EnergyReport(
+        host_j=platform.host_power_w * host_busy_s,
+        pim_j=platform.pim_power_w * makespan,
+    )
+
+
+def host_only_energy(device: RooflineDevice, busy_s: float) -> EnergyReport:
+    """Energy of a pure CPU/GPU inference run."""
+    return EnergyReport(host_j=device.power_w * busy_s, pim_j=0.0)

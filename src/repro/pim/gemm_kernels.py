@@ -1,0 +1,135 @@
+"""GEMM/GEMV execution models on DRAM-PIMs — the paper's PIM baselines.
+
+"Normal" DNN inference on a DRAM-PIM offloads the linear layers as dense
+GEMMs.  This is exactly what PIM-DL's headline numbers are measured against
+(22.6x–37.1x, paper Abstract):
+
+* On **UPMEM**, PEs have no hardware FPU or multiplier; an FP32 MAC costs
+  tens of cycles of software emulation, so GEMM is brutally compute-bound
+  (paper Fig. 10 reports 38–106 s *per layer*).
+* On **HBM-PIM / AiM**, the MAC units are fast but the dataflow is built
+  for flat, GEMV-like matrices (paper §6.7): a batched GEMM is issued as a
+  sequence of per-row GEMV commands with no weight reuse across rows, so
+  the full weight matrix streams from the banks for every row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .platforms import PIMPlatform
+
+#: Software-emulated FP32 MAC cost on a multiplier-less RISC PE (cycles).
+DEFAULT_FP32_MAC_CYCLES = 55.0
+
+
+@dataclass(frozen=True)
+class GEMMPIMBreakdown:
+    """Latency components of one GEMM offloaded to PIM (seconds)."""
+
+    host_transfer: float
+    compute: float
+    local_memory: float
+    gather: float
+    launch: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.host_transfer
+            + max(self.compute, self.local_memory)
+            + self.gather
+            + self.launch
+        )
+
+
+def gemm_on_pim(
+    platform: PIMPlatform, n: int, h: int, f: int, dtype_bytes: int = None
+) -> GEMMPIMBreakdown:
+    """Latency of a dense (N,H)x(H,F) GEMM offloaded across all PEs.
+
+    The output is partitioned over PEs; each PE streams its activation and
+    weight tiles from its local bank and runs MACs at the PE's (possibly
+    software-emulated) rate.  ``extras["fp32_mac_cycles"]`` marks platforms
+    without hardware FP MACs.
+    """
+    if min(n, h, f) <= 0:
+        raise ValueError("GEMM dims must be positive")
+    dtype_bytes = dtype_bytes or platform.gemm_dtype_bytes
+    num_pes = platform.num_pes
+    compute = platform.compute
+
+    macs = float(n) * h * f
+    mac_cycles = platform.extras.get(
+        "fp32_mac_cycles", compute.mult_cycles + compute.add_cycles
+    )
+    t_compute = (macs / num_pes) * mac_cycles / (compute.frequency_hz * compute.simd_lanes)
+
+    # Each PE streams an activation tile plus its weight tile once per use.
+    per_pe_bytes = (n * h / num_pes + h * f / num_pes) * dtype_bytes
+    t_local = platform.local_memory.latency(per_pe_bytes, 2048)
+
+    # Host side: scatter activations + weights, gather results (Eq. 4 form).
+    in_bytes = (n * h + h * f) * dtype_bytes
+    out_bytes = n * f * dtype_bytes
+    t_transfer = platform.scatter.latency(in_bytes, tile_bytes=in_bytes / num_pes)
+    t_gather = platform.gather.latency(out_bytes, tile_bytes=out_bytes / num_pes)
+
+    return GEMMPIMBreakdown(
+        host_transfer=t_transfer,
+        compute=t_compute,
+        local_memory=t_local,
+        gather=t_gather,
+        launch=platform.kernel_launch_s,
+    )
+
+
+def gemv_sequence_on_pim(
+    platform: PIMPlatform, n: int, h: int, f: int, dtype_bytes: int = None
+) -> GEMMPIMBreakdown:
+    """Batched GEMM issued as N per-row GEMV commands (HBM-PIM/AiM dataflow).
+
+    Every row re-streams the (H, F) weight matrix from the banks — the "no
+    weight reuse across batch" behaviour that makes larger batches
+    *unfriendly* to these products (paper Fig. 14's speedup grows with
+    batch size for exactly this reason).
+    """
+    if min(n, h, f) <= 0:
+        raise ValueError("GEMV dims must be positive")
+    dtype_bytes = dtype_bytes or platform.gemm_dtype_bytes
+    compute = platform.compute
+
+    efficiency = platform.extras.get("gemv_bandwidth_efficiency", 1.0)
+    agg_bw = platform.local_memory.peak_bytes_per_s * platform.num_pes * efficiency
+    agg_flops = (
+        platform.num_pes * compute.frequency_hz * compute.simd_lanes / compute.mult_cycles
+    )
+    weight_bytes = float(h) * f * dtype_bytes
+    row_flops = 2.0 * h * f
+    command_overhead = platform.extras.get("gemv_command_overhead_s", 1e-6)
+    row_overhead = platform.extras.get("gemv_row_overhead_s", 0.0)
+    t_row = (
+        max(weight_bytes / agg_bw, row_flops / agg_flops)
+        + command_overhead
+        + row_overhead
+    )
+    t_compute = n * t_row
+
+    in_bytes = n * h * dtype_bytes
+    out_bytes = n * f * dtype_bytes
+    return GEMMPIMBreakdown(
+        host_transfer=platform.scatter.latency(in_bytes),
+        compute=t_compute,
+        local_memory=0.0,  # folded into the per-row streaming term
+        gather=platform.gather.latency(out_bytes),
+        launch=platform.kernel_launch_s,
+    )
+
+
+def linear_layer_on_pim(
+    platform: PIMPlatform, n: int, h: int, f: int, dtype_bytes: int = None
+) -> GEMMPIMBreakdown:
+    """Dispatch to the platform's native GEMM execution style."""
+    if "gemv_command_overhead_s" in platform.extras:
+        return gemv_sequence_on_pim(platform, n, h, f, dtype_bytes)
+    return gemm_on_pim(platform, n, h, f, dtype_bytes)

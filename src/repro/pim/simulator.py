@@ -1,0 +1,396 @@
+"""Event-level simulator of LUT-NN kernels on the DRAM-PIM abstraction.
+
+Where :mod:`repro.mapping.analytical` evaluates paper Eqs. 3–10 in closed
+form, this simulator walks the micro-kernel loop nest tile by tile with an
+explicit on-chip buffer state, and serializes host<->PIM transfers over the
+shared rank buses (limitation L1 of paper §5.1).  Second-order effects the
+closed form ignores — per-DMA setup on every tile, 8-byte alignment padding,
+per-loop-iteration instruction overhead, zero-initialized first output visits
+— make its latency the "measured" reference that paper Fig. 13 compares the
+analytical model against (reporting avg 3.44% / max 13.73% error).
+
+The simulator can also execute the kernel *functionally* (producing the
+actual output matrix from real index/LUT arrays), which the test suite uses
+to check that the distributed dataflow computes exactly what the reference
+``lut_lookup`` computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.codebook import LUTShape
+from ..core.lut import lut_lookup
+from ..mapping.space import (
+    INDEX_BYTES,
+    LUT_BYTES,
+    OUTPUT_BYTES,
+    Mapping,
+    is_legal,
+    num_pes_used,
+)
+from .platforms import PIMPlatform
+
+#: Fixed instruction overhead per micro-kernel loop iteration (branching,
+#: pointer bumps) — one of the second-order effects absent from Eqs. 6–10.
+LOOP_OVERHEAD_CYCLES = 24.0
+
+#: DMA transfers are padded to this granularity (UPMEM requires 8-byte
+#: aligned MRAM accesses).
+ALIGN_BYTES = 8
+
+#: Beyond this tile count the per-tile event loop is aggregated batch-wise;
+#: the costs remain identical, only Python iteration is collapsed.
+MAX_EXPLICIT_TILES = 100_000
+
+
+def _align(size: float) -> float:
+    return ALIGN_BYTES * np.ceil(size / ALIGN_BYTES)
+
+
+@dataclass
+class SimulationReport:
+    """Timing (and optionally functional) result of one kernel run."""
+
+    shape: LUTShape
+    mapping: Mapping
+    num_pes: int
+    distribution_s: float
+    kernel_s: float
+    gather_s: float
+    launch_s: float
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    output: Optional[np.ndarray] = None
+
+    @property
+    def total_s(self) -> float:
+        return self.distribution_s + self.kernel_s + self.gather_s + self.launch_s
+
+
+class PIMSimulator:
+    """Simulate LUT kernel execution on a :class:`PIMPlatform`."""
+
+    def __init__(self, platform: PIMPlatform):
+        self.platform = platform
+
+    # ------------------------------------------------------------------
+    # Host <-> PIM distribution
+    # ------------------------------------------------------------------
+    #: Host-side command issue cost per PE per tensor burst (driver call).
+    PER_PE_COMMAND_S = 0.05e-6
+
+    def _distribution_time(self, shape: LUTShape, mapping: Mapping) -> float:
+        """Transfer of index and LUT tiles to all PEs.
+
+        The pattern bandwidths in :class:`PIMPlatform` are *system-aggregate*
+        figures (as measured in [33]), so replicated per-PE traffic is costed
+        against them directly; the simulator adds what the closed form drops:
+        8-byte alignment padding, one bus setup per rank burst rather than
+        one global setup, and per-PE command issue overhead.
+        """
+        platform = self.platform
+        n_pes = num_pes_used(shape, mapping)
+        groups = shape.n // mapping.n_s_tile
+        pes_per_group = shape.f // mapping.f_s_tile
+
+        index_bytes = _align(mapping.n_s_tile * shape.cb * INDEX_BYTES)
+        lut_bytes = _align(shape.cb * shape.ct * mapping.f_s_tile * LUT_BYTES)
+        ranks = min(platform.ranks, n_pes)
+
+        index_pattern = platform.broadcast if pes_per_group > 1 else platform.scatter
+        lut_pattern = platform.broadcast if groups > 1 else platform.scatter
+
+        time_s = n_pes * index_bytes / index_pattern.rate(index_bytes)
+        time_s += n_pes * lut_bytes / lut_pattern.rate(lut_bytes)
+        time_s += ranks * (index_pattern.setup_latency_s + lut_pattern.setup_latency_s)
+        time_s += 2 * n_pes * self.PER_PE_COMMAND_S
+        return time_s
+
+    def _gather_time(self, shape: LUTShape, mapping: Mapping) -> float:
+        platform = self.platform
+        n_pes = num_pes_used(shape, mapping)
+        out_bytes = _align(mapping.n_s_tile * mapping.f_s_tile * OUTPUT_BYTES)
+        ranks = min(platform.ranks, n_pes)
+        time_s = n_pes * out_bytes / platform.gather.rate(out_bytes)
+        time_s += ranks * platform.gather.setup_latency_s
+        time_s += n_pes * self.PER_PE_COMMAND_S
+        return time_s
+
+    # ------------------------------------------------------------------
+    # Per-PE micro kernel
+    # ------------------------------------------------------------------
+    def _micro_kernel_time(
+        self, shape: LUTShape, mapping: Mapping
+    ) -> Tuple[float, Dict[str, int]]:
+        platform = self.platform
+        local = platform.local_memory
+        compute = platform.compute
+
+        trips = {
+            "n": mapping.n_s_tile // mapping.n_m_tile,
+            "f": mapping.f_s_tile // mapping.f_m_tile,
+            "cb": shape.cb // mapping.cb_m_tile,
+        }
+        order = mapping.traversal
+        total_tiles = trips["n"] * trips["f"] * trips["cb"]
+
+        counts = {
+            "index_loads": 0,
+            "output_loads": 0,
+            "output_stores": 0,
+            "lut_loads": 0,
+            "tiles": total_tiles,
+        }
+        time_s = 0.0
+
+        mtile_index = _align(mapping.n_m_tile * mapping.cb_m_tile * INDEX_BYTES)
+        mtile_output = _align(mapping.n_m_tile * mapping.f_m_tile * OUTPUT_BYTES)
+
+        # Static LUT staging happens once, before the loop nest.
+        if mapping.load_scheme == "static":
+            lut_total = shape.cb * shape.ct * mapping.f_s_tile * LUT_BYTES
+            time_s += local.latency(_align(lut_total), min(lut_total, 2048))
+            counts["lut_loads"] += int(np.ceil(lut_total / 2048))
+
+        # Per-tile event costs, applied whenever the resident tile changes.
+        index_load_cost = local.latency(mtile_index, mtile_index)
+        output_load_cost = local.latency(mtile_output, mtile_output)
+        output_store_cost = output_load_cost
+
+        if mapping.load_scheme == "coarse":
+            chunk = _align(
+                mapping.cb_load_tile * shape.ct * mapping.f_load_tile * LUT_BYTES
+            )
+            chunks_per_tile = int(
+                np.ceil(mapping.cb_m_tile / mapping.cb_load_tile)
+                * np.ceil(mapping.f_m_tile / mapping.f_load_tile)
+            )
+            lut_tile_cost = chunks_per_tile * local.latency(chunk, chunk)
+        elif mapping.load_scheme == "fine":
+            chunk = _align(mapping.f_load_tile * LUT_BYTES)
+            chunks_per_tile = int(
+                mapping.n_m_tile
+                * mapping.cb_m_tile
+                * np.ceil(mapping.f_m_tile / mapping.f_load_tile)
+            )
+            # Parallel read slots hide part of the per-access setup.
+            lut_tile_cost = chunks_per_tile * local.latency(chunk, chunk)
+        else:
+            chunks_per_tile = 0
+            lut_tile_cost = 0.0
+
+        reduce_per_tile = compute.add_time(
+            mapping.n_m_tile * mapping.cb_m_tile * mapping.f_m_tile
+        )
+        reduce_per_tile += compute.lookup_time(mapping.n_m_tile * mapping.cb_m_tile)
+        if mapping.load_scheme == "fine":
+            extra_chunks = max(int(np.ceil(mapping.f_m_tile / mapping.f_load_tile)) - 1, 0)
+            reduce_per_tile += compute.lookup_time(
+                mapping.n_m_tile * mapping.cb_m_tile * extra_chunks
+            )
+        loop_overhead = LOOP_OVERHEAD_CYCLES / compute.frequency_hz
+
+        if total_tiles <= MAX_EXPLICIT_TILES:
+            time_s += self._walk_loop_nest(
+                order,
+                trips,
+                mapping,
+                counts,
+                index_load_cost,
+                output_load_cost,
+                output_store_cost,
+                lut_tile_cost,
+                chunks_per_tile,
+                reduce_per_tile,
+                loop_overhead,
+            )
+        else:
+            # Aggregate using the same per-event costs and exact reuse
+            # counts; only the Python loop is collapsed.
+            time_s += self._aggregate_loop_nest(
+                order,
+                trips,
+                mapping,
+                counts,
+                index_load_cost,
+                output_load_cost,
+                output_store_cost,
+                lut_tile_cost,
+                chunks_per_tile,
+                reduce_per_tile,
+                loop_overhead,
+            )
+        return time_s, counts
+
+    def _walk_loop_nest(
+        self,
+        order,
+        trips,
+        mapping,
+        counts,
+        index_load_cost,
+        output_load_cost,
+        output_store_cost,
+        lut_tile_cost,
+        chunks_per_tile,
+        reduce_per_tile,
+        loop_overhead,
+    ) -> float:
+        """Explicit tile-by-tile walk with resident-tile tags per tensor."""
+        time_s = 0.0
+        resident_index: Optional[Tuple[int, int]] = None
+        resident_output: Optional[Tuple[int, int]] = None
+        resident_lut: Optional[Tuple[int, int]] = None
+        first_output_visit: set = set()
+        reload_lut = mapping.load_scheme in ("coarse", "fine")
+
+        dims = {"n": 0, "f": 0, "cb": 0}
+        d0, d1, d2 = order
+        for i0 in range(trips[d0]):
+            dims[d0] = i0
+            for i1 in range(trips[d1]):
+                dims[d1] = i1
+                for i2 in range(trips[d2]):
+                    dims[d2] = i2
+                    time_s += loop_overhead
+
+                    index_tag = (dims["n"], dims["cb"])
+                    if index_tag != resident_index:
+                        time_s += index_load_cost
+                        counts["index_loads"] += 1
+                        resident_index = index_tag
+
+                    output_tag = (dims["n"], dims["f"])
+                    if output_tag != resident_output:
+                        if resident_output is not None:
+                            time_s += output_store_cost
+                            counts["output_stores"] += 1
+                        if output_tag in first_output_visit:
+                            time_s += output_load_cost
+                            counts["output_loads"] += 1
+                        else:
+                            first_output_visit.add(output_tag)
+                        resident_output = output_tag
+
+                    if reload_lut:
+                        lut_tag = (dims["cb"], dims["f"])
+                        if lut_tag != resident_lut:
+                            time_s += lut_tile_cost
+                            counts["lut_loads"] += chunks_per_tile
+                            resident_lut = lut_tag
+                        if mapping.load_scheme == "fine":
+                            # Fine-grain always re-gathers per tile visit.
+                            resident_lut = None
+
+                    time_s += reduce_per_tile
+        if resident_output is not None:
+            time_s += output_store_cost
+            counts["output_stores"] += 1
+        return time_s
+
+    def _aggregate_loop_nest(
+        self,
+        order,
+        trips,
+        mapping,
+        counts,
+        index_load_cost,
+        output_load_cost,
+        output_store_cost,
+        lut_tile_cost,
+        chunks_per_tile,
+        reduce_per_tile,
+        loop_overhead,
+    ) -> float:
+        """Closed-form aggregation with identical per-event costs."""
+
+        def reuse_count(deps) -> int:
+            # Mirror of mapping.analytical._load_count: the resident tile is
+            # evicted once per iteration of loops at or above the innermost
+            # *moving* relevant dim (trip > 1); 1 load if nothing moves.
+            moving = [order.index(d) for d in deps if trips[d] > 1]
+            if not moving:
+                return 1
+            innermost = max(moving)
+            count = 1
+            for depth, dim in enumerate(order):
+                if depth <= innermost:
+                    count *= trips[dim]
+            return count
+
+        total_tiles = trips["n"] * trips["f"] * trips["cb"]
+        index_loads = reuse_count(("n", "cb"))
+        output_visits = reuse_count(("n", "f"))
+        unique_outputs = trips["n"] * trips["f"]
+        output_loads = output_visits - unique_outputs  # first visits zero-init
+        output_stores = output_visits
+
+        time_s = total_tiles * (loop_overhead + reduce_per_tile)
+        time_s += index_loads * index_load_cost
+        time_s += output_loads * output_load_cost + output_stores * output_store_cost
+        counts["index_loads"] += index_loads
+        counts["output_loads"] += output_loads
+        counts["output_stores"] += output_stores
+        if mapping.load_scheme == "coarse":
+            lut_visits = reuse_count(("cb", "f"))
+            time_s += lut_visits * lut_tile_cost
+            counts["lut_loads"] += lut_visits * chunks_per_tile
+        elif mapping.load_scheme == "fine":
+            time_s += total_tiles * lut_tile_cost
+            counts["lut_loads"] += total_tiles * chunks_per_tile
+        return time_s
+
+    # ------------------------------------------------------------------
+    # Functional execution
+    # ------------------------------------------------------------------
+    def _execute(
+        self, shape: LUTShape, mapping: Mapping, indices: np.ndarray, lut: np.ndarray
+    ) -> np.ndarray:
+        """Compute the kernel output through the distributed dataflow."""
+        if indices.shape != (shape.n, shape.cb):
+            raise ValueError(f"indices must be {(shape.n, shape.cb)}")
+        if lut.shape != (shape.cb, shape.ct, shape.f):
+            raise ValueError(f"LUT must be {(shape.cb, shape.ct, shape.f)}")
+        output = np.zeros((shape.n, shape.f), dtype=np.float64)
+        groups = shape.n // mapping.n_s_tile
+        pes_per_group = shape.f // mapping.f_s_tile
+        for g in range(groups):
+            rows = slice(g * mapping.n_s_tile, (g + 1) * mapping.n_s_tile)
+            for p in range(pes_per_group):
+                cols = slice(p * mapping.f_s_tile, (p + 1) * mapping.f_s_tile)
+                output[rows, cols] = lut_lookup(indices[rows], lut[:, :, cols])
+        return output
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        shape: LUTShape,
+        mapping: Mapping,
+        indices: Optional[np.ndarray] = None,
+        lut: Optional[np.ndarray] = None,
+    ) -> SimulationReport:
+        """Simulate one kernel; pass ``indices``/``lut`` for functional output."""
+        if not is_legal(shape, mapping, self.platform):
+            raise ValueError(f"illegal mapping {mapping} for shape {shape}")
+        distribution = self._distribution_time(shape, mapping)
+        kernel, counts = self._micro_kernel_time(shape, mapping)
+        gather = self._gather_time(shape, mapping)
+        output = None
+        if indices is not None and lut is not None:
+            output = self._execute(shape, mapping, np.asarray(indices), np.asarray(lut))
+        return SimulationReport(
+            shape=shape,
+            mapping=mapping,
+            num_pes=num_pes_used(shape, mapping),
+            distribution_s=distribution,
+            kernel_s=kernel,
+            gather_s=gather,
+            launch_s=self.platform.kernel_launch_s,
+            event_counts=counts,
+            output=output,
+        )

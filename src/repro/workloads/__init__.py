@@ -1,0 +1,50 @@
+"""Workloads: model configurations, synthetic tasks, and training."""
+
+from .configs import (
+    EVAL_MODELS,
+    OPT_HIDDEN_DIMS,
+    TransformerConfig,
+    bert_base,
+    bert_large,
+    opt_style,
+    pad_seq_for_pim,
+    vit_base,
+    vit_huge,
+)
+from .glue_suite import (
+    CopyDetectionTask,
+    SentimentTask,
+    TopicTask,
+    default_suite,
+    evaluate_suite,
+)
+from .synthetic import (
+    SyntheticPatchTask,
+    SyntheticTextTask,
+    as_batches,
+    sample_batches,
+)
+from .trainer import TrainingHistory, train_classifier
+
+__all__ = [
+    "TransformerConfig",
+    "bert_base",
+    "bert_large",
+    "vit_base",
+    "vit_huge",
+    "opt_style",
+    "EVAL_MODELS",
+    "OPT_HIDDEN_DIMS",
+    "SyntheticTextTask",
+    "SyntheticPatchTask",
+    "as_batches",
+    "sample_batches",
+    "train_classifier",
+    "TrainingHistory",
+    "pad_seq_for_pim",
+    "SentimentTask",
+    "TopicTask",
+    "CopyDetectionTask",
+    "default_suite",
+    "evaluate_suite",
+]

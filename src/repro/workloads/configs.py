@@ -1,0 +1,148 @@
+"""Model and workload configurations used throughout the evaluation.
+
+Full-size shapes match the paper's Section 6.1 setup: BERT-base/large on
+sequence length 512 with batch 64, and ViT-huge on 224x224x3 images with
+patch 14 (sequence 257 padded to 264 "to evenly partition the workload among
+PIM PEs") and batch 128.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Architecture + serving shape of one transformer workload."""
+
+    name: str
+    num_layers: int
+    hidden_dim: int
+    num_heads: int
+    ffn_dim: int
+    seq_len: int
+    batch_size: int
+
+    def __post_init__(self) -> None:
+        if self.hidden_dim % self.num_heads != 0:
+            raise ValueError("hidden_dim must divide evenly into heads")
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_dim // self.num_heads
+
+    @property
+    def tokens(self) -> int:
+        """N = batch x sequence — the row count of every linear layer."""
+        return self.batch_size * self.seq_len
+
+    def linear_layer_shapes(self) -> List[Tuple[str, int, int]]:
+        """The four LUT-convertible linears per block (paper Fig. 6-(b)).
+
+        Returns (name, H, F) with the QKV projections fused (H -> 3H), as
+        the paper does for both the roofline analysis and the PIM offload.
+        """
+        h = self.hidden_dim
+        return [
+            ("QKV", h, 3 * h),
+            ("O", h, h),
+            ("FFN1", h, self.ffn_dim),
+            ("FFN2", self.ffn_dim, h),
+        ]
+
+    def with_(self, **kwargs) -> "TransformerConfig":
+        return replace(self, **kwargs)
+
+
+def bert_base(seq_len: int = 512, batch_size: int = 64) -> TransformerConfig:
+    return TransformerConfig(
+        name="BERT-base",
+        num_layers=12,
+        hidden_dim=768,
+        num_heads=12,
+        ffn_dim=3072,
+        seq_len=seq_len,
+        batch_size=batch_size,
+    )
+
+
+def bert_large(seq_len: int = 512, batch_size: int = 64) -> TransformerConfig:
+    return TransformerConfig(
+        name="BERT-large",
+        num_layers=24,
+        hidden_dim=1024,
+        num_heads=16,
+        ffn_dim=4096,
+        seq_len=seq_len,
+        batch_size=batch_size,
+    )
+
+
+def vit_base(seq_len: int = 200, batch_size: int = 128) -> TransformerConfig:
+    return TransformerConfig(
+        name="ViT-base",
+        num_layers=12,
+        hidden_dim=768,
+        num_heads=12,
+        ffn_dim=3072,
+        seq_len=seq_len,
+        batch_size=batch_size,
+    )
+
+
+def vit_huge(seq_len: int = 264, batch_size: int = 128) -> TransformerConfig:
+    """ViT-huge: 224^2 image, patch 14 -> 257 tokens, padded to 264 (§6.3)."""
+    return TransformerConfig(
+        name="ViT-huge",
+        num_layers=32,
+        hidden_dim=1280,
+        num_heads=16,
+        ffn_dim=5120,
+        seq_len=seq_len,
+        batch_size=batch_size,
+    )
+
+
+def opt_style(hidden_dim: int, seq_len: int = 512, batch_size: int = 64) -> TransformerConfig:
+    """Single-layer config with an OPT-family hidden dim (paper Fig. 12-(d))."""
+    heads = max(hidden_dim // 64, 1)
+    return TransformerConfig(
+        name=f"OPT-h{hidden_dim}",
+        num_layers=1,
+        hidden_dim=hidden_dim,
+        num_heads=heads,
+        ffn_dim=4 * hidden_dim,
+        seq_len=seq_len,
+        batch_size=batch_size,
+    )
+
+
+#: The three throughput-evaluation workloads of paper Section 6.1.
+EVAL_MODELS: Dict[str, TransformerConfig] = {
+    "bert-base": bert_base(),
+    "bert-large": bert_large(),
+    "vit-huge": vit_huge(),
+}
+
+#: Hidden-dim sweep of Figs. 12-(d), 14, 15 (from the OPT model family).
+OPT_HIDDEN_DIMS = (1024, 2048, 2560, 4096, 5120)
+
+
+def pad_seq_for_pim(config: TransformerConfig, num_pes: int = 1024) -> TransformerConfig:
+    """Pad the sequence length so tokens divide evenly among the PIM PEs.
+
+    The paper pads ViT-huge's 257-token sequence to 264 "to evenly
+    partition the workload among PIM PEs" (§6.3); this helper derives that
+    choice: the smallest sequence length >= the configured one such that
+    ``batch * seq`` is a multiple of ``num_pes`` (so every N-partition of
+    the index matrix is balanced, limitation L3 of §5.1).
+    """
+    if num_pes <= 0:
+        raise ValueError("num_pes must be positive")
+    seq = config.seq_len
+    while (config.batch_size * seq) % num_pes != 0:
+        seq += 1
+    if seq == config.seq_len:
+        return config
+    return config.with_(seq_len=seq)

@@ -1,0 +1,151 @@
+"""A GLUE-style suite of synthetic NLP tasks with distinct structure.
+
+The paper's Table 4 spans eight GLUE tasks that stress different skills
+(inference, similarity, acceptability, sentiment).  This module provides a
+small suite of synthetic analogues with *structurally different* decision
+rules, so calibration experiments can be averaged over heterogeneous tasks
+the way the paper averages over GLUE:
+
+* :class:`SentimentTask` ("SST-2-like") — binary label from the balance of
+  positive-slice vs negative-slice tokens (bag-of-words counting).
+* :class:`TopicTask` ("MNLI-like", single-segment) — k-way label from a
+  topic-peaked token distribution (re-export of
+  :class:`~repro.workloads.synthetic.SyntheticTextTask`).
+* :class:`CopyDetectionTask` ("RTE-like") — binary label: does the second
+  segment repeat tokens of the first (entailment-as-copying)?  Requires
+  cross-position comparison, i.e. attention.
+
+All tasks emit (tokens, labels) with token 0 reserved for [CLS], matching
+:class:`~repro.nn.models.TextClassifier`'s conventions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .synthetic import Batch, SyntheticTextTask
+
+TopicTask = SyntheticTextTask
+
+
+class SentimentTask:
+    """Binary classification by token-slice majority (SST-2-like).
+
+    The vocabulary (minus [CLS]) splits into a positive and a negative
+    slice; a sample's label is which slice contributes more tokens.  The
+    margin knob controls how lopsided the draws are.
+    """
+
+    num_classes = 2
+
+    def __init__(
+        self,
+        vocab_size: int = 64,
+        seq_len: int = 16,
+        margin: float = 0.7,
+        seed: int = 0,
+    ):
+        if vocab_size < 5:
+            raise ValueError("need at least two tokens per sentiment slice")
+        if not 0.5 < margin <= 1.0:
+            raise ValueError("margin must be in (0.5, 1]")
+        self.vocab_size = vocab_size
+        self.seq_len = seq_len
+        self.margin = margin
+        self.rng = np.random.default_rng(seed)
+        usable = vocab_size - 1
+        self._positive = np.arange(1, 1 + usable // 2)
+        self._negative = np.arange(1 + usable // 2, vocab_size)
+
+    def sample(self, n: int) -> Batch:
+        labels = self.rng.integers(0, 2, size=n)
+        tokens = np.empty((n, self.seq_len), dtype=np.int64)
+        tokens[:, 0] = 0
+        body = self.seq_len - 1
+        for i, label in enumerate(labels):
+            majority, minority = (
+                (self._positive, self._negative)
+                if label == 1
+                else (self._negative, self._positive)
+            )
+            from_majority = self.rng.random(body) < self.margin
+            draw = np.where(
+                from_majority,
+                self.rng.choice(majority, size=body),
+                self.rng.choice(minority, size=body),
+            )
+            tokens[i, 1:] = draw
+        return tokens, labels
+
+
+class CopyDetectionTask:
+    """Binary entailment-as-copying (RTE-like).
+
+    The sequence holds two segments.  Positive samples copy a random subset
+    of first-segment tokens into the second segment; negative samples draw
+    the second segment independently.  Solving it requires comparing
+    positions across segments — a genuinely attention-bound rule.
+    """
+
+    num_classes = 2
+
+    def __init__(
+        self,
+        vocab_size: int = 64,
+        seq_len: int = 17,
+        copy_fraction: float = 0.8,
+        seed: int = 0,
+    ):
+        if (seq_len - 1) % 2 != 0:
+            raise ValueError("seq_len - 1 must be even (two equal segments)")
+        if not 0.0 < copy_fraction <= 1.0:
+            raise ValueError("copy_fraction must be in (0, 1]")
+        self.vocab_size = vocab_size
+        self.seq_len = seq_len
+        self.segment = (seq_len - 1) // 2
+        self.copy_fraction = copy_fraction
+        self.rng = np.random.default_rng(seed)
+
+    def sample(self, n: int) -> Batch:
+        labels = self.rng.integers(0, 2, size=n)
+        tokens = np.empty((n, self.seq_len), dtype=np.int64)
+        tokens[:, 0] = 0
+        seg = self.segment
+        for i, label in enumerate(labels):
+            first = self.rng.integers(1, self.vocab_size, size=seg)
+            tokens[i, 1 : 1 + seg] = first
+            second = self.rng.integers(1, self.vocab_size, size=seg)
+            if label == 1:
+                copy_mask = self.rng.random(seg) < self.copy_fraction
+                second = np.where(copy_mask, self.rng.permutation(first), second)
+            tokens[i, 1 + seg :] = second
+        return tokens, labels
+
+
+def default_suite(seed: int = 0) -> Dict[str, object]:
+    """The standard three-task suite used by the multi-task harness."""
+    return {
+        "sentiment": SentimentTask(seed=seed),
+        "topic": TopicTask(num_classes=6, peak_mass=0.6, seed=seed + 1),
+        "copy": CopyDetectionTask(seed=seed + 2),
+    }
+
+
+def evaluate_suite(
+    build_and_eval,
+    tasks: Dict[str, object],
+) -> List[Tuple[str, float]]:
+    """Run ``build_and_eval(task_name, task)`` per task, collecting scores.
+
+    ``build_and_eval`` is any callable returning an accuracy in [0, 1] —
+    typically: train a model on the task, convert/calibrate, and evaluate.
+    """
+    results = []
+    for name, task in tasks.items():
+        score = float(build_and_eval(name, task))
+        if not 0.0 <= score <= 1.0:
+            raise ValueError(f"score for {name!r} out of range: {score}")
+        results.append((name, score))
+    return results

@@ -1,0 +1,126 @@
+"""Synthetic calibration/evaluation tasks standing in for GLUE and CIFAR.
+
+The paper's accuracy experiments (Tables 4–5) need datasets; this offline
+environment has none, so two generators provide classification tasks with
+the property that matters for LUT-NN: activations with block-wise semantic
+similarity that k-means codebooks can capture (paper §3, "the features of
+different input activation matrices have block-wise semantic similarity").
+
+* :class:`SyntheticTextTask` — topic-model token sequences ("GLUE-like"):
+  each class owns a token distribution over a slice of the vocabulary.
+* :class:`SyntheticPatchTask` — prototype image patches plus noise
+  ("CIFAR-like"): each class owns per-patch prototype vectors.
+
+What the benchmarks then reproduce is the *relative* accuracy ordering
+(original ~= eLUT-NN >> baseline LUT-NN at full-layer replacement), not the
+absolute GLUE/CIFAR numbers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+Batch = Tuple[np.ndarray, np.ndarray]
+
+
+class SyntheticTextTask:
+    """Topic-model sequence classification.
+
+    Each class ``c`` draws tokens from a smoothed distribution peaked on its
+    own vocabulary slice; a transformer classifies by aggregating token
+    identity evidence — the same inductive structure as sentence-level GLUE
+    tasks.  Token 0 is reserved as [CLS].
+    """
+
+    def __init__(
+        self,
+        vocab_size: int = 64,
+        seq_len: int = 16,
+        num_classes: int = 4,
+        peak_mass: float = 0.85,
+        seed: int = 0,
+    ):
+        if vocab_size < num_classes + 1:
+            raise ValueError("need at least one vocab slice per class")
+        self.vocab_size = vocab_size
+        self.seq_len = seq_len
+        self.num_classes = num_classes
+        self.rng = np.random.default_rng(seed)
+
+        usable = vocab_size - 1  # token 0 reserved for [CLS]
+        slice_size = usable // num_classes
+        self._distributions = np.full(
+            (num_classes, vocab_size), (1.0 - peak_mass) / usable
+        )
+        self._distributions[:, 0] = 0.0
+        for c in range(num_classes):
+            lo = 1 + c * slice_size
+            hi = lo + slice_size
+            self._distributions[c, lo:hi] += peak_mass / slice_size
+        self._distributions /= self._distributions.sum(axis=1, keepdims=True)
+
+    def sample(self, n: int) -> Batch:
+        """Draw ``n`` (tokens, label) pairs; tokens[:, 0] is [CLS]."""
+        labels = self.rng.integers(0, self.num_classes, size=n)
+        tokens = np.empty((n, self.seq_len), dtype=np.int64)
+        tokens[:, 0] = 0
+        for i, c in enumerate(labels):
+            tokens[i, 1:] = self.rng.choice(
+                self.vocab_size, size=self.seq_len - 1, p=self._distributions[c]
+            )
+        return tokens, labels
+
+
+class SyntheticPatchTask:
+    """Prototype-based patch classification ("CIFAR-like").
+
+    Class ``c`` has a fixed prototype for every patch position; samples are
+    prototypes plus Gaussian noise.  The per-position prototype structure
+    gives activations exactly the column-wise redundancy LUT-NN exploits.
+    """
+
+    def __init__(
+        self,
+        num_patches: int = 9,
+        patch_dim: int = 12,
+        num_classes: int = 4,
+        noise: float = 0.35,
+        seed: int = 0,
+    ):
+        if noise < 0:
+            raise ValueError("noise must be non-negative")
+        self.num_patches = num_patches
+        self.patch_dim = patch_dim
+        self.num_classes = num_classes
+        self.noise = noise
+        self.rng = np.random.default_rng(seed)
+        self._prototypes = self.rng.normal(
+            0.0, 1.0, size=(num_classes, num_patches, patch_dim)
+        )
+
+    def sample(self, n: int) -> Batch:
+        labels = self.rng.integers(0, self.num_classes, size=n)
+        patches = self._prototypes[labels] + self.rng.normal(
+            0.0, self.noise, size=(n, self.num_patches, self.patch_dim)
+        )
+        return patches, labels
+
+
+def as_batches(inputs: np.ndarray, labels: np.ndarray, batch_size: int) -> List[Batch]:
+    """Split (inputs, labels) into a list of equally ordered batches."""
+    if len(inputs) != len(labels):
+        raise ValueError("inputs and labels must align")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    return [
+        (inputs[i : i + batch_size], labels[i : i + batch_size])
+        for i in range(0, len(inputs), batch_size)
+    ]
+
+
+def sample_batches(task, n: int, batch_size: int) -> List[Batch]:
+    """Draw ``n`` examples from ``task`` and batch them."""
+    inputs, labels = task.sample(n)
+    return as_batches(inputs, labels, batch_size)

@@ -1,0 +1,58 @@
+"""Generic training loop used to pre-train the scaled-down workload models.
+
+The paper starts from pre-trained BERT/ViT checkpoints; here the equivalent
+is training the scaled-down :class:`~repro.nn.models.TextClassifier` /
+:class:`~repro.nn.models.PatchClassifier` from scratch on the synthetic
+tasks until they reach high accuracy, then handing them to the LUT-NN
+converter exactly as the paper hands over its checkpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from ..autograd import Adam, cross_entropy
+from ..core.calibration import evaluate_accuracy
+from ..nn.module import Module
+from .synthetic import Batch
+
+
+@dataclass
+class TrainingHistory:
+    losses: List[float] = field(default_factory=list)
+    accuracies: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+def train_classifier(
+    model: Module,
+    batches: Sequence[Batch],
+    epochs: int = 10,
+    lr: float = 1e-3,
+    eval_batches: Sequence[Batch] = None,
+) -> TrainingHistory:
+    """Train ``model`` with Adam + cross-entropy over ``batches``."""
+    if epochs <= 0:
+        raise ValueError("epochs must be positive")
+    optimizer = Adam(model.parameters(), lr=lr)
+    history = TrainingHistory()
+    model.train()
+    for _ in range(epochs):
+        epoch_losses = []
+        for inputs, labels in batches:
+            logits = model(inputs)
+            loss = cross_entropy(logits, labels)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            epoch_losses.append(loss.item())
+        history.losses.append(float(np.mean(epoch_losses)))
+        if eval_batches is not None:
+            history.accuracies.append(evaluate_accuracy(model, eval_batches))
+    return history

@@ -1,0 +1,104 @@
+"""Unit tests for FLOP/arithmetic-intensity accounting (paper §3.3, Fig. 3–4)."""
+
+import pytest
+
+from repro.core import (
+    LUTShape,
+    flop_reduction,
+    gemm_arithmetic_intensity,
+    gemm_ops,
+    lut_arithmetic_intensity,
+    lut_kernel_bytes,
+    lutnn_ops,
+)
+
+
+class TestOpCounts:
+    def test_gemm_ops_formula(self):
+        ops = gemm_ops(4, 8, 16)
+        assert ops.total == 2 * 4 * 8 * 16
+        assert ops.multiplications == ops.additions
+        assert ops.multiplication_fraction == pytest.approx(0.5)
+
+    def test_lutnn_ops_formula(self):
+        s = LUTShape(n=4, h=8, f=16, v=2, ct=3)
+        ops = lutnn_ops(s)
+        assert ops.multiplications == 4 * 8 * 3
+        assert ops.additions == 2 * 4 * 8 * 3 + 4 * 16 * 4
+        assert ops.total == 3 * 4 * 8 * 3 + 4 * 16 * 4
+
+    def test_empty_opcounts_fraction(self):
+        from repro.core.analytics import OpCounts
+
+        assert OpCounts(0, 0).multiplication_fraction == 0.0
+
+
+class TestFig3Numbers:
+    """The paper's headline analytics: 3.66x-18.29x reduction at N=H=F=1024."""
+
+    def test_reduction_range_v_sweep(self):
+        reductions = [
+            flop_reduction(LUTShape(n=1024, h=1024, f=1024, v=v, ct=16))
+            for v in (2, 4, 8, 16)
+        ]
+        assert reductions == sorted(reductions)  # monotone in V
+        assert reductions[0] == pytest.approx(3.66, abs=0.1)
+        assert reductions[-1] == pytest.approx(18.29, abs=0.6)
+
+    def test_reduction_ct_sweep_monotone(self):
+        reductions = [
+            flop_reduction(LUTShape(n=1024, h=1024, f=1024, v=4, ct=ct))
+            for ct in (64, 32, 16, 8)
+        ]
+        assert reductions == sorted(reductions)  # improves as CT shrinks
+
+    def test_multiplication_fraction_range(self):
+        """Paper: multiplications are 2.9%-14.3% of LUT-NN's operations."""
+        fractions = [
+            lutnn_ops(LUTShape(n=1024, h=1024, f=1024, v=v, ct=16)).multiplication_fraction
+            for v in (2, 4, 8, 16)
+        ]
+        assert min(fractions) > 0.025
+        assert max(fractions) < 0.15
+
+
+class TestArithmeticIntensity:
+    def test_storage_bytes_composition(self):
+        from repro.core import lut_storage_bytes
+
+        s = LUTShape(n=4, h=8, f=16, v=2, ct=3)
+        expected = s.index_elements * 1 + s.lut_elements * 1 + s.output_elements * 4
+        assert lut_storage_bytes(s) == expected
+
+    def test_traffic_bytes_composition(self):
+        s = LUTShape(n=4, h=8, f=16, v=2, ct=3)
+        expected = (
+            4 * 8 * 4  # CCS activation reads
+            + s.index_elements  # byte indices
+            + 4 * s.cb * 16 * 4 * 1  # gathered entries, 4B effective... n*cb*f*4
+            + 2 * s.output_elements * 4
+        )
+        # recompute the gather term explicitly: n * cb * f * 4
+        expected = 4 * 8 * 4 + s.index_elements + s.n * s.cb * s.f * 4 + 2 * s.output_elements * 4
+        assert lut_kernel_bytes(s) == expected
+
+    def test_fig4_intensity_band(self):
+        """BERT-like LUT kernels fall in the paper's 0.204-0.288 ops/byte band."""
+        n = 64 * 512  # batch 64, seq 512
+        shapes = [
+            LUTShape(n=n, h=768, f=2304, v=2, ct=16),  # QKV fused
+            LUTShape(n=n, h=768, f=768, v=2, ct=16),  # O
+            LUTShape(n=n, h=768, f=3072, v=2, ct=16),  # FFN1
+            LUTShape(n=n, h=3072, f=768, v=2, ct=16),  # FFN2
+        ]
+        for s in shapes:
+            ai = lut_arithmetic_intensity(s)
+            assert 0.20 < ai < 0.29
+
+    def test_lut_far_below_gemm_intensity(self):
+        s = LUTShape(n=1024, h=1024, f=1024, v=4, ct=16)
+        assert lut_arithmetic_intensity(s) < gemm_arithmetic_intensity(1024, 1024, 1024) / 10
+
+    def test_gemm_intensity_formula(self):
+        ai = gemm_arithmetic_intensity(2, 3, 4, dtype_bytes=4)
+        assert ai == pytest.approx(2 * 2 * 3 * 4 / ((2 * 3 + 3 * 4 + 2 * 4) * 4))

@@ -1,0 +1,133 @@
+"""Unit tests for per-layer (V, CT) co-optimization."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import wimpy_host
+from repro.core import (
+    CandidatePoint,
+    convert_with_plan,
+    lut_layers,
+    measure_candidates,
+    plan_layer_configs,
+    uniform_plan,
+)
+from repro.nn import TextClassifier
+from repro.pim import get_platform
+from repro.workloads import SyntheticTextTask, sample_batches, train_classifier
+
+
+@pytest.fixture(scope="module")
+def setup():
+    task = SyntheticTextTask(vocab_size=48, seq_len=12, num_classes=4,
+                             peak_mass=0.7, seed=1)
+    model = TextClassifier(vocab_size=48, max_seq_len=12, num_classes=4,
+                           dim=32, num_layers=2, num_heads=4,
+                           rng=np.random.default_rng(3))
+    train = sample_batches(task, 256, 32)
+    train_classifier(model, train, epochs=4, lr=2e-3)
+    calib = [b[0] for b in sample_batches(task, 96, 32)]
+    frontier = measure_candidates(
+        model,
+        calib,
+        platform=get_platform("upmem"),
+        host=wimpy_host(),
+        serving_rows=2048,
+        candidates=((2, 8), (4, 8), (4, 4), (8, 4)),
+        rng=np.random.default_rng(5),
+    )
+    return task, model, calib, frontier
+
+
+class TestMeasureCandidates:
+    def test_frontier_covers_all_layers(self, setup):
+        _, model, _, frontier = setup
+        from repro.core import find_target_linears
+
+        assert set(frontier) == {n for n, _ in find_target_linears(model)}
+
+    def test_points_sorted_by_latency(self, setup):
+        _, _, _, frontier = setup
+        for points in frontier.values():
+            latencies = [p.latency_s for p in points]
+            assert latencies == sorted(latencies)
+
+    def test_finer_quantization_has_lower_error(self, setup):
+        _, _, _, frontier = setup
+        for points in frontier.values():
+            by_cfg = {(p.v, p.ct): p.error for p in points}
+            # V=2/CT=8 approximates strictly better than V=8/CT=4.
+            assert by_cfg[(2, 8)] < by_cfg[(8, 4)]
+
+    def test_all_errors_and_latencies_positive(self, setup):
+        _, _, _, frontier = setup
+        for points in frontier.values():
+            for p in points:
+                assert p.error >= 0 and p.latency_s > 0
+
+
+class TestPlanning:
+    def test_plan_respects_budget(self, setup):
+        _, _, _, frontier = setup
+        loose = sum(max(p.latency_s for p in pts) for pts in frontier.values())
+        plan = plan_layer_configs(frontier, latency_budget_s=loose)
+        assert plan.predicted_latency_s <= loose
+        assert set(plan.assignment) == set(frontier)
+
+    def test_tighter_budget_accepts_more_error(self, setup):
+        _, _, _, frontier = setup
+        fastest = sum(min(p.latency_s for p in pts) for pts in frontier.values())
+        slowest = sum(max(p.latency_s for p in pts) for pts in frontier.values())
+        tight = plan_layer_configs(frontier, latency_budget_s=fastest * 1.01)
+        loose = plan_layer_configs(frontier, latency_budget_s=slowest)
+        assert tight.predicted_latency_s <= fastest * 1.01
+        assert tight.predicted_error >= loose.predicted_error - 1e-12
+
+    def test_infeasible_budget_raises(self, setup):
+        _, _, _, frontier = setup
+        fastest = sum(min(p.latency_s for p in pts) for pts in frontier.values())
+        with pytest.raises(ValueError):
+            plan_layer_configs(frontier, latency_budget_s=fastest * 0.5)
+
+    def test_rejects_nonpositive_budget(self, setup):
+        _, _, _, frontier = setup
+        with pytest.raises(ValueError):
+            plan_layer_configs(frontier, latency_budget_s=0.0)
+
+    def test_plan_beats_uniform_at_matched_latency(self, setup):
+        """Co-optimized per-layer configs dominate a uniform assignment:
+        at the uniform plan's latency, the planner finds error <= uniform's."""
+        _, _, _, frontier = setup
+        uniform = uniform_plan(frontier, v=4, ct=8)
+        plan = plan_layer_configs(frontier, latency_budget_s=uniform.predicted_latency_s)
+        assert plan.predicted_error <= uniform.predicted_error + 1e-12
+
+    def test_uniform_plan_unknown_candidate(self, setup):
+        _, _, _, frontier = setup
+        with pytest.raises(KeyError):
+            uniform_plan(frontier, v=16, ct=128)
+
+
+class TestConvertWithPlan:
+    def test_mixed_configs_applied(self, setup):
+        task, _, calib, frontier = setup
+        model = TextClassifier(vocab_size=48, max_seq_len=12, num_classes=4,
+                               dim=32, num_layers=2, num_heads=4,
+                               rng=np.random.default_rng(3))
+        names = sorted(frontier)
+        plan = {name: ((2, 8) if i % 2 else (4, 4)) for i, name in enumerate(names)}
+        replaced = convert_with_plan(model, calib, plan,
+                                     rng=np.random.default_rng(6))
+        assert len(replaced) == len(plan)
+        for name, layer in lut_layers(model):
+            assert (layer.v, layer.ct) == plan[name]
+        # Model still runs end to end.
+        assert model(calib[0]).shape == (calib[0].shape[0], 4)
+
+    def test_unknown_layer_in_plan_raises(self, setup):
+        task, _, calib, _ = setup
+        model = TextClassifier(vocab_size=48, max_seq_len=12, num_classes=4,
+                               dim=32, num_layers=2, num_heads=4,
+                               rng=np.random.default_rng(3))
+        with pytest.raises(KeyError):
+            convert_with_plan(model, calib, {"nope.layer": (2, 8)})

@@ -1,0 +1,98 @@
+"""Unit tests for the SGD/Adam optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import SGD, Adam, Tensor
+
+
+def quadratic_loss(param, target):
+    diff = param - Tensor(target)
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_minimizes_quadratic(self):
+        target = np.array([3.0, -2.0])
+        p = Tensor(np.zeros(2), requires_grad=True)
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            loss = quadratic_loss(p, target)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        target = np.array([1.0])
+
+        def run(momentum):
+            p = Tensor(np.zeros(1), requires_grad=True)
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(30):
+                loss = quadratic_loss(p, target)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+            return abs(p.data[0] - 1.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_skips_params_without_grad(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no grad accumulated; must not crash or move
+        np.testing.assert_allclose(p.data, np.zeros(2))
+
+    def test_rejects_bad_lr(self):
+        p = Tensor(np.zeros(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.0)
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor(np.zeros(1))], lr=0.1)  # not trainable
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        target = np.array([5.0, -1.0, 0.5])
+        p = Tensor(np.zeros(3), requires_grad=True)
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            loss = quadratic_loss(p, target)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-3)
+
+    def test_weight_decay_shrinks_solution(self):
+        target = np.array([5.0])
+
+        def run(wd):
+            p = Tensor(np.zeros(1), requires_grad=True)
+            opt = Adam([p], lr=0.1, weight_decay=wd)
+            for _ in range(300):
+                loss = quadratic_loss(p, target)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+            return p.data[0]
+
+        assert run(1.0) < run(0.0)
+
+    def test_zero_grad_clears(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        opt = Adam([p], lr=0.1)
+        quadratic_loss(p, np.ones(2)).backward()
+        assert p.grad is not None
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_bias_correction_first_step(self):
+        # First Adam step should move by ~lr regardless of gradient scale.
+        p = Tensor(np.zeros(1), requires_grad=True)
+        opt = Adam([p], lr=0.1)
+        (p * 1000.0).sum().backward()
+        opt.step()
+        assert p.data[0] == pytest.approx(-0.1, rel=1e-6)

@@ -1,0 +1,313 @@
+"""Unit tests for the autograd tensor engine."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, concatenate, ones, stack, tensor, where, zeros
+from repro.autograd.tensor import unbroadcast
+
+
+def numeric_grad(fn, x, eps=1e-6):
+    """Central-difference gradient of scalar fn at x."""
+    grad = np.zeros_like(x)
+    for idx in np.ndindex(*x.shape):
+        d = x.copy()
+        d[idx] += eps
+        up = fn(d)
+        d[idx] -= 2 * eps
+        down = fn(d)
+        grad[idx] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_grad(build, x0, atol=1e-6):
+    """Compare autograd and numeric gradients of a scalar-valued graph."""
+    t = Tensor(x0, requires_grad=True)
+    build(t).backward()
+    numeric = numeric_grad(lambda d: build(Tensor(d, requires_grad=True)).item(), x0)
+    np.testing.assert_allclose(t.grad, numeric, atol=atol)
+
+
+class TestConstruction:
+    def test_wraps_numpy(self):
+        t = Tensor(np.arange(6).reshape(2, 3))
+        assert t.shape == (2, 3)
+        assert t.ndim == 2
+        assert t.size == 6
+
+    def test_wraps_tensor(self):
+        inner = Tensor([1.0, 2.0])
+        assert Tensor(inner).shape == (2,)
+
+    def test_scalar_item(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+    def test_factories(self):
+        assert zeros((2, 3)).data.sum() == 0
+        assert ones((2, 3)).data.sum() == 6
+        assert tensor([1, 2], requires_grad=True).requires_grad
+
+    def test_detach_cuts_tape(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data  # shares storage
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+
+class TestArithmeticForward:
+    def test_add_sub_mul_div(self):
+        a, b = Tensor([2.0, 4.0]), Tensor([1.0, 2.0])
+        np.testing.assert_allclose((a + b).data, [3, 6])
+        np.testing.assert_allclose((a - b).data, [1, 2])
+        np.testing.assert_allclose((a * b).data, [2, 8])
+        np.testing.assert_allclose((a / b).data, [2, 2])
+
+    def test_scalar_mixing(self):
+        a = Tensor([2.0])
+        np.testing.assert_allclose((1 + a).data, [3])
+        np.testing.assert_allclose((3 - a).data, [1])
+        np.testing.assert_allclose((2 * a).data, [4])
+        np.testing.assert_allclose((4 / a).data, [2])
+
+    def test_neg_pow(self):
+        a = Tensor([2.0, 3.0])
+        np.testing.assert_allclose((-a).data, [-2, -3])
+        np.testing.assert_allclose((a**2).data, [4, 9])
+
+    def test_matmul(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        b = Tensor(np.arange(12.0).reshape(3, 4))
+        np.testing.assert_allclose((a @ b).data, a.data @ b.data)
+
+    def test_batched_matmul(self):
+        a = Tensor(np.random.default_rng(0).normal(size=(5, 2, 3)))
+        b = Tensor(np.random.default_rng(1).normal(size=(5, 3, 4)))
+        np.testing.assert_allclose((a @ b).data, a.data @ b.data)
+
+
+class TestGradients:
+    def test_add_broadcast_grad(self):
+        rng = np.random.default_rng(0)
+        x0 = rng.normal(size=(3, 4))
+        check_grad(lambda t: (t + Tensor(np.ones((4,)))).sum(), x0)
+
+    def test_mul_grad(self):
+        rng = np.random.default_rng(1)
+        check_grad(lambda t: (t * t).sum(), rng.normal(size=(2, 3)))
+
+    def test_div_grad(self):
+        rng = np.random.default_rng(2)
+        x0 = rng.normal(size=(3,)) + 3.0
+        check_grad(lambda t: (1.0 / t).sum(), x0)
+
+    def test_matmul_grad(self):
+        rng = np.random.default_rng(3)
+        w = rng.normal(size=(4, 2))
+        check_grad(lambda t: (t @ Tensor(w)).sum(), rng.normal(size=(3, 4)))
+
+    def test_pow_grad(self):
+        rng = np.random.default_rng(4)
+        check_grad(lambda t: (t**3).sum(), rng.normal(size=(3,)))
+
+    def test_exp_log_sqrt_tanh_relu(self):
+        rng = np.random.default_rng(5)
+        pos = np.abs(rng.normal(size=(4,))) + 0.5
+        check_grad(lambda t: t.exp().sum(), rng.normal(size=(4,)))
+        check_grad(lambda t: t.log().sum(), pos)
+        check_grad(lambda t: t.sqrt().sum(), pos)
+        check_grad(lambda t: t.tanh().sum(), rng.normal(size=(4,)))
+        check_grad(lambda t: t.relu().sum(), rng.normal(size=(4,)) + 0.3)
+
+    def test_mean_var_grads(self):
+        rng = np.random.default_rng(6)
+        check_grad(lambda t: t.mean(), rng.normal(size=(3, 4)))
+        check_grad(lambda t: t.var(), rng.normal(size=(3, 4)), atol=1e-5)
+
+    def test_max_grad_single(self):
+        x0 = np.array([1.0, 5.0, 3.0])
+        t = Tensor(x0, requires_grad=True)
+        t.max().backward()
+        np.testing.assert_allclose(t.grad, [0, 1, 0])
+
+    def test_max_grad_ties_split(self):
+        t = Tensor(np.array([2.0, 2.0]), requires_grad=True)
+        t.max().backward()
+        np.testing.assert_allclose(t.grad, [0.5, 0.5])
+
+    def test_getitem_grad_scatter(self):
+        t = Tensor(np.arange(6.0), requires_grad=True)
+        t[np.array([0, 0, 2])].sum().backward()
+        np.testing.assert_allclose(t.grad, [2, 0, 1, 0, 0, 0])
+
+    def test_reshape_transpose_grad(self):
+        rng = np.random.default_rng(7)
+        x0 = rng.normal(size=(2, 6))
+        check_grad(lambda t: (t.reshape(3, 4).transpose() ** 2).sum(), x0)
+
+    def test_swapaxes(self):
+        t = Tensor(np.arange(24.0).reshape(2, 3, 4), requires_grad=True)
+        s = t.swapaxes(0, 2)
+        assert s.shape == (4, 3, 2)
+        s.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones((2, 3, 4)))
+
+
+class TestGraphStructure:
+    def test_diamond_graph_sums_gradients(self):
+        """Residual-style reuse must add both gradient paths once each."""
+        t = Tensor([2.0], requires_grad=True)
+        a = t * 3.0
+        b = t * 5.0
+        (a + b).backward()
+        np.testing.assert_allclose(t.grad, [8.0])
+
+    def test_deep_residual_chain_linear_time(self):
+        """30 stacked residual adds — fails (hangs) on exponential engines."""
+        t = Tensor(np.ones(4), requires_grad=True)
+        x = t
+        for _ in range(30):
+            x = x + x * 0.5
+        x.sum().backward()
+        np.testing.assert_allclose(t.grad, np.full(4, 1.5**30))
+
+    def test_grad_accumulates_across_backwards(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2).backward()
+        (t * 3).backward()
+        np.testing.assert_allclose(t.grad, [5.0])
+
+    def test_zero_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2).backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_requires_scalar(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_backward_with_explicit_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        (t * 2).backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(t.grad, [2.0, 20.0])
+
+    def test_no_grad_leaves_untouched(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0])  # constant
+        (a * b).backward()
+        assert b.grad is None
+
+
+class TestCombinators:
+    def test_concatenate_forward_backward(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(2 * np.ones((3, 2)), requires_grad=True)
+        c = concatenate([a, b], axis=0)
+        assert c.shape == (5, 2)
+        (c * c).sum().backward()
+        np.testing.assert_allclose(a.grad, 2 * np.ones((2, 2)))
+        np.testing.assert_allclose(b.grad, 4 * np.ones((3, 2)))
+
+    def test_stack(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        s = stack([a, b], axis=0)
+        assert s.shape == (2, 3)
+        s.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+        np.testing.assert_allclose(b.grad, np.ones(3))
+
+    def test_where_routes_gradients(self):
+        cond = np.array([True, False, True])
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        where(cond, a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1, 0, 1])
+        np.testing.assert_allclose(b.grad, [0, 1, 0])
+
+
+class TestUnbroadcast:
+    def test_identity_when_same_shape(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)) is g
+
+    def test_sums_leading_axes(self):
+        g = np.ones((4, 2, 3))
+        np.testing.assert_allclose(unbroadcast(g, (2, 3)), 4 * np.ones((2, 3)))
+
+    def test_sums_size_one_axes(self):
+        g = np.ones((2, 3))
+        np.testing.assert_allclose(unbroadcast(g, (2, 1)), 3 * np.ones((2, 1)))
+
+    def test_scalar_target(self):
+        g = np.ones((2, 3))
+        np.testing.assert_allclose(unbroadcast(g, ()), 6.0)
+
+
+class TestExtendedOps:
+    def test_abs_forward_backward(self):
+        t = Tensor(np.array([-2.0, 0.5, -1.0]), requires_grad=True)
+        t.abs().sum().backward()
+        np.testing.assert_allclose(t.grad, [-1, 1, -1])
+
+    def test_clip_forward(self):
+        t = Tensor(np.array([-5.0, 0.5, 5.0]))
+        np.testing.assert_allclose(t.clip(-1, 1).data, [-1, 0.5, 1])
+
+    def test_clip_gradient_masked(self):
+        t = Tensor(np.array([-5.0, 0.5, 5.0]), requires_grad=True)
+        t.clip(-1, 1).sum().backward()
+        np.testing.assert_allclose(t.grad, [0, 1, 0])
+
+    def test_clip_validates_bounds(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0]).clip(2.0, 1.0)
+
+    def test_min_reduction(self):
+        t = Tensor(np.array([3.0, -1.0, 2.0]), requires_grad=True)
+        m = t.min()
+        assert m.item() == -1.0
+        m.backward()
+        np.testing.assert_allclose(t.grad, [0, 1, 0])
+
+    def test_maximum_elementwise(self):
+        from repro.autograd import maximum
+
+        a = Tensor(np.array([1.0, 5.0]), requires_grad=True)
+        b = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        out = maximum(a, b)
+        np.testing.assert_allclose(out.data, [2, 5])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [0, 1])
+        np.testing.assert_allclose(b.grad, [1, 0])
+
+    def test_maximum_ties_split(self):
+        from repro.autograd import maximum
+
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        b = Tensor(np.array([2.0]), requires_grad=True)
+        maximum(a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.5])
+        np.testing.assert_allclose(b.grad, [0.5])
+
+    def test_minimum_elementwise(self):
+        from repro.autograd import minimum
+
+        a = Tensor(np.array([1.0, 5.0]), requires_grad=True)
+        b = Tensor(np.array([2.0, 3.0]))
+        out = minimum(a, b)
+        np.testing.assert_allclose(out.data, [1, 3])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1, 0])

@@ -1,0 +1,222 @@
+"""Unit tests for roofline hosts, workload configs/tasks, and analysis utils."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    CPU_PEAK_GOPS,
+    format_table,
+    gemm_total_ops,
+    geomean,
+    lut_roofline_points,
+    normalize,
+    speedups,
+    sweep_centroid_count,
+    sweep_sub_vector_length,
+    traffic_breakdown,
+)
+from repro.baselines import (
+    RooflineDevice,
+    a2_gpu,
+    cpu_server_fp32,
+    cpu_server_int8,
+    v100_gpu,
+    wimpy_host,
+)
+from repro.core import LUTShape
+from repro.workloads import (
+    EVAL_MODELS,
+    SyntheticPatchTask,
+    SyntheticTextTask,
+    as_batches,
+    bert_base,
+    bert_large,
+    opt_style,
+    sample_batches,
+    vit_huge,
+)
+
+
+class TestRooflineDevice:
+    def test_op_time_max_of_roofs(self):
+        dev = RooflineDevice("t", peak_flops=1e9, mem_bandwidth=1e9,
+                             op_overhead_s=0.0, power_w=1.0)
+        assert dev.op_time(2e9, 1e6) == pytest.approx(2.0)  # compute bound
+        assert dev.op_time(1e6, 2e9) == pytest.approx(2.0)  # memory bound
+
+    def test_overhead_added(self):
+        dev = RooflineDevice("t", 1e9, 1e9, op_overhead_s=1.0, power_w=1.0)
+        assert dev.op_time(0, 0) == pytest.approx(1.0)
+
+    def test_rejects_negative(self):
+        dev = cpu_server_fp32()
+        with pytest.raises(ValueError):
+            dev.op_time(-1, 0)
+
+    def test_gemm_time_formula(self):
+        dev = RooflineDevice("t", 1e9, 1e12, 0.0, 1.0)
+        assert dev.gemm_time(10, 10, 10) == pytest.approx(2000 / 1e9)
+
+    def test_small_k_slower_than_gemm(self):
+        dev = cpu_server_fp32()
+        assert dev.small_k_gemm_time(1000, 2, 16) > dev.gemm_time(1000, 2, 16)
+
+    def test_small_k_efficiency_improves_with_k(self):
+        dev = cpu_server_fp32()
+        t2 = dev.small_k_gemm_time(10000, 2, 16)
+        t8 = dev.small_k_gemm_time(10000, 8, 16)
+        assert t8 < 4 * t2  # sub-linear growth: efficiency rises with k
+
+    def test_small_k_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            cpu_server_fp32().small_k_gemm_time(10, 0, 4)
+
+    def test_device_catalogue_ordering(self):
+        """INT8 > FP32 on CPU; V100 >> A2; calibrated ratios hold."""
+        assert cpu_server_int8().peak_flops == pytest.approx(
+            1.8 * cpu_server_fp32().peak_flops
+        )
+        assert v100_gpu().peak_flops > 5 * a2_gpu().peak_flops
+        assert wimpy_host().mem_bandwidth < cpu_server_fp32().mem_bandwidth
+
+
+class TestWorkloadConfigs:
+    def test_paper_model_shapes(self):
+        assert bert_base().hidden_dim == 768 and bert_base().num_layers == 12
+        assert bert_large().hidden_dim == 1024 and bert_large().num_layers == 24
+        assert vit_huge().hidden_dim == 1280 and vit_huge().num_layers == 32
+        assert vit_huge().seq_len == 264  # padded from 257 (paper §6.3)
+
+    def test_tokens(self):
+        assert bert_base().tokens == 64 * 512
+
+    def test_linear_layer_shapes(self):
+        shapes = bert_base().linear_layer_shapes()
+        assert shapes == [
+            ("QKV", 768, 2304), ("O", 768, 768),
+            ("FFN1", 768, 3072), ("FFN2", 3072, 768),
+        ]
+
+    def test_rejects_indivisible_heads(self):
+        from repro.workloads import TransformerConfig
+
+        with pytest.raises(ValueError):
+            TransformerConfig("x", 1, 100, 7, 400, 8, 1)
+
+    def test_opt_style(self):
+        c = opt_style(2048)
+        assert c.hidden_dim == 2048 and c.ffn_dim == 8192
+
+    def test_with_override(self):
+        c = bert_base().with_(batch_size=8)
+        assert c.batch_size == 8 and c.hidden_dim == 768
+
+    def test_eval_models_registry(self):
+        assert set(EVAL_MODELS) == {"bert-base", "bert-large", "vit-huge"}
+
+
+class TestSyntheticTasks:
+    def test_text_task_shapes_and_cls(self):
+        task = SyntheticTextTask(vocab_size=32, seq_len=10, num_classes=4, seed=0)
+        tokens, labels = task.sample(20)
+        assert tokens.shape == (20, 10)
+        assert np.all(tokens[:, 0] == 0)  # [CLS]
+        assert labels.shape == (20,)
+        assert labels.max() < 4
+
+    def test_text_task_classes_separable(self):
+        """Token histograms of different classes must differ clearly."""
+        task = SyntheticTextTask(vocab_size=32, seq_len=64, num_classes=2,
+                                 peak_mass=0.8, seed=0)
+        tokens, labels = task.sample(200)
+        hist0 = np.bincount(tokens[labels == 0].ravel(), minlength=32)
+        hist1 = np.bincount(tokens[labels == 1].ravel(), minlength=32)
+        overlap = np.minimum(hist0, hist1).sum() / max(hist0.sum(), 1)
+        assert overlap < 0.5
+
+    def test_text_task_rejects_tiny_vocab(self):
+        with pytest.raises(ValueError):
+            SyntheticTextTask(vocab_size=3, num_classes=4)
+
+    def test_patch_task_shapes(self):
+        task = SyntheticPatchTask(num_patches=6, patch_dim=8, num_classes=3, seed=0)
+        patches, labels = task.sample(10)
+        assert patches.shape == (10, 6, 8)
+        assert labels.max() < 3
+
+    def test_patch_task_noise_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticPatchTask(noise=-1.0)
+
+    def test_patch_task_prototype_structure(self):
+        task = SyntheticPatchTask(num_patches=4, patch_dim=8, num_classes=2,
+                                  noise=0.01, seed=0)
+        patches, labels = task.sample(50)
+        # Low noise -> same-class samples nearly identical.
+        for c in range(2):
+            group = patches[labels == c]
+            if len(group) > 1:
+                assert np.std(group, axis=0).max() < 0.05
+
+    def test_batching(self):
+        x = np.arange(10)
+        y = np.arange(10)
+        batches = as_batches(x, y, 4)
+        assert [len(b[0]) for b in batches] == [4, 4, 2]
+
+    def test_batching_validation(self):
+        with pytest.raises(ValueError):
+            as_batches(np.arange(3), np.arange(4), 2)
+        with pytest.raises(ValueError):
+            as_batches(np.arange(3), np.arange(3), 0)
+
+    def test_sample_batches(self):
+        task = SyntheticTextTask(seed=0)
+        batches = sample_batches(task, 50, 16)
+        assert sum(len(b[1]) for b in batches) == 50
+
+
+class TestAnalysis:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, -1.0])
+
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [[1, 2.5], ["xx", 0.001]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "---" in lines[1]
+
+    def test_normalize_and_speedups(self):
+        values = {"base": 2.0, "fast": 1.0}
+        assert normalize(values, "base") == {"base": 1.0, "fast": 0.5}
+        assert speedups(values, "base") == {"base": 1.0, "fast": 2.0}
+        with pytest.raises(KeyError):
+            normalize(values, "nope")
+        with pytest.raises(ValueError):
+            normalize({"base": 0.0}, "base")
+
+    def test_fig3_sweeps(self):
+        points = sweep_sub_vector_length()
+        assert [p.v for p in points] == [2, 4, 8, 16]
+        assert points[0].reduction_over_gemm < points[-1].reduction_over_gemm
+        ct_points = sweep_centroid_count()
+        assert [p.ct for p in ct_points] == [64, 32, 16, 8]
+        assert gemm_total_ops() == 2 * 1024**3
+
+    def test_fig4_roofline_points_memory_bound(self):
+        for config in (bert_base(), bert_large(), vit_huge()):
+            for point in lut_roofline_points(config):
+                assert point.memory_bound
+                assert point.attainable_gops < CPU_PEAK_GOPS
+                assert 0.20 < point.arithmetic_intensity < 0.29
+
+    def test_traffic_breakdown_totals(self):
+        s = LUTShape(n=8, h=8, f=8, v=2, ct=4)
+        t = traffic_breakdown(s)
+        assert t["total_traffic"] == (
+            t["index"] + t["gathered_lut"] + t["output"] + t["activations"]
+        )

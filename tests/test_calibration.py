@@ -1,0 +1,132 @@
+"""Unit tests for the eLUT-NN and baseline calibrators."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BaselineLUTNNCalibrator,
+    ELUTNNCalibrator,
+    convert_to_lut_nn,
+    evaluate_accuracy,
+    freeze_all_luts,
+    lut_layers,
+    set_lut_mode,
+)
+from repro.nn import TextClassifier
+
+
+@pytest.fixture
+def setup(scope="module"):
+    rng = np.random.default_rng(0)
+    model = TextClassifier(
+        vocab_size=30, max_seq_len=8, num_classes=3,
+        dim=16, num_layers=2, num_heads=2, rng=rng,
+    )
+    tokens = rng.integers(0, 30, size=(16, 8))
+    labels = rng.integers(0, 3, size=16)
+    convert_to_lut_nn(model, [tokens], v=2, ct=4, rng=rng)
+    return model, [(tokens, labels)]
+
+
+class TestELUTNN:
+    def test_calibrate_returns_history(self, setup):
+        model, batches = setup
+        res = ELUTNNCalibrator(lr=1e-3).calibrate(model, batches, epochs=3)
+        assert res.steps == 3
+        assert len(res.loss_history) == 3
+        assert len(res.reconstruction_history) == 3
+        assert res.final_loss == res.loss_history[-1]
+
+    def test_loss_includes_reconstruction_term(self, setup):
+        model, batches = setup
+        res = ELUTNNCalibrator(beta=1.0, lr=1e-6).calibrate(model, batches, epochs=1)
+        assert res.loss_history[0] > res.model_loss_history[0]
+        assert res.reconstruction_history[0] > 0
+
+    def test_beta_zero_equals_model_loss(self, setup):
+        model, batches = setup
+        res = ELUTNNCalibrator(beta=0.0, lr=1e-6).calibrate(model, batches, epochs=1)
+        assert res.loss_history[0] == pytest.approx(res.model_loss_history[0])
+
+    def test_reconstruction_decreases_over_training(self, setup):
+        model, batches = setup
+        res = ELUTNNCalibrator(beta=10.0, lr=5e-3).calibrate(model, batches, epochs=15)
+        assert res.reconstruction_history[-1] < res.reconstruction_history[0]
+
+    def test_centroid_only_mode_freezes_weights(self, setup):
+        model, batches = setup
+        weights_before = {
+            name: layer.weight.data.copy() for name, layer in lut_layers(model)
+        }
+        cal = ELUTNNCalibrator(lr=1e-2, calibrate_weights=False)
+        cal.calibrate(model, batches, epochs=2)
+        for name, layer in lut_layers(model):
+            np.testing.assert_array_equal(layer.weight.data, weights_before[name])
+
+    def test_max_steps_cap(self, setup):
+        model, batches = setup
+        res = ELUTNNCalibrator(lr=1e-3).calibrate(model, batches, epochs=10, max_steps=4)
+        assert res.steps == 4
+
+    def test_rejects_negative_beta(self):
+        with pytest.raises(ValueError):
+            ELUTNNCalibrator(beta=-1.0)
+
+    def test_rejects_model_without_lut_layers(self):
+        rng = np.random.default_rng(1)
+        plain = TextClassifier(10, 8, 2, dim=16, num_layers=1, num_heads=2, rng=rng)
+        with pytest.raises(ValueError):
+            ELUTNNCalibrator().calibrate(plain, [], epochs=1)
+
+
+class TestBaseline:
+    def test_calibrate_runs_and_anneals(self, setup):
+        model, batches = setup
+        cal = BaselineLUTNNCalibrator(lr=1e-3, anneal_steps=4)
+        res = cal.calibrate(model, batches, epochs=4)
+        assert res.steps == 4
+        temps = [layer.temperature for _, layer in lut_layers(model)]
+        # After 4 of 4 schedule steps the temperature has decayed well below 1.
+        assert all(t < 0.5 for t in temps)
+
+    def test_full_recipe_schedule_barely_anneals(self, setup):
+        model, batches = setup
+        cal = BaselineLUTNNCalibrator(lr=1e-3)  # default: 100x budget schedule
+        cal.calibrate(model, batches, epochs=2)
+        temps = [layer.temperature for _, layer in lut_layers(model)]
+        assert all(t > 0.9 for t in temps)
+
+    def test_gumbel_flag_propagates(self, setup):
+        model, batches = setup
+        BaselineLUTNNCalibrator(lr=1e-3, gumbel_noise=False).calibrate(
+            model, batches, epochs=1
+        )
+        assert all(not layer.gumbel_noise for _, layer in lut_layers(model))
+
+    def test_rejects_model_without_lut_layers(self):
+        rng = np.random.default_rng(2)
+        plain = TextClassifier(10, 8, 2, dim=16, num_layers=1, num_heads=2, rng=rng)
+        with pytest.raises(ValueError):
+            BaselineLUTNNCalibrator().calibrate(plain, [], epochs=1)
+
+    def test_max_steps_cap(self, setup):
+        model, batches = setup
+        res = BaselineLUTNNCalibrator(lr=1e-3).calibrate(
+            model, batches, epochs=10, max_steps=3
+        )
+        assert res.steps == 3
+
+
+class TestEvaluateAccuracy:
+    def test_range_and_mode_restored(self, setup):
+        model, batches = setup
+        set_lut_mode(model, "lut")
+        freeze_all_luts(model)
+        model.train()
+        acc = evaluate_accuracy(model, batches)
+        assert 0.0 <= acc <= 1.0
+        assert model.training  # restored
+
+    def test_empty_batches(self, setup):
+        model, _ = setup
+        assert evaluate_accuracy(model, []) == 0.0

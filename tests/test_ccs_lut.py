@@ -1,0 +1,209 @@
+"""Unit + property tests for CCS, LUT construction, lookup, quantization.
+
+Includes the key algebraic identity of LUT-NN: looking up pre-computed
+partial sums equals multiplying the centroid-replaced activations by the
+weight matrix exactly (the only approximation in LUT-NN is the
+activation -> centroid snap, never the table arithmetic).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Codebooks,
+    LUTShape,
+    build_lut,
+    ccs_flops,
+    closest_centroid_search,
+    hard_replace,
+    lut_bytes,
+    lut_lookup,
+    lut_matmul,
+    quantization_error,
+    quantize_lut,
+    reduce_flops,
+    squared_distances,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def random_codebooks(rng, cb=3, ct=4, v=2):
+    return Codebooks(rng.normal(size=(cb, ct, v)))
+
+
+class TestCCS:
+    def test_distances_match_brute_force(self, rng):
+        cbs = random_codebooks(rng)
+        x = rng.normal(size=(5, 6))
+        dists = squared_distances(x, cbs)
+        sub = x.reshape(5, 3, 2)
+        brute = ((sub[:, :, None, :] - cbs.centroids[None]) ** 2).sum(-1)
+        np.testing.assert_allclose(dists, brute, atol=1e-10)
+
+    def test_indices_are_argmin(self, rng):
+        cbs = random_codebooks(rng)
+        x = rng.normal(size=(7, 6))
+        idx = closest_centroid_search(x, cbs)
+        np.testing.assert_array_equal(idx, squared_distances(x, cbs).argmin(-1))
+        assert idx.dtype == np.int32
+
+    def test_exact_centroid_input_selects_itself(self, rng):
+        cbs = random_codebooks(rng)
+        # Build an input whose sub-vectors are centroids 1, 3, 0.
+        x = np.concatenate(
+            [cbs.centroids[0, 1], cbs.centroids[1, 3], cbs.centroids[2, 0]]
+        )[None]
+        np.testing.assert_array_equal(
+            closest_centroid_search(x, cbs)[0], [1, 3, 0]
+        )
+
+    def test_rejects_non_2d(self, rng):
+        cbs = random_codebooks(rng)
+        with pytest.raises(ValueError):
+            closest_centroid_search(rng.normal(size=(2, 3, 6)), cbs)
+
+    def test_hard_replace_snaps_to_centroids(self, rng):
+        cbs = random_codebooks(rng)
+        x = rng.normal(size=(4, 6))
+        replaced = hard_replace(x, cbs)
+        idx = closest_centroid_search(x, cbs)
+        for i in range(4):
+            for c in range(3):
+                np.testing.assert_allclose(
+                    replaced[i, 2 * c : 2 * c + 2], cbs.centroids[c, idx[i, c]]
+                )
+
+    def test_hard_replace_idempotent(self, rng):
+        cbs = random_codebooks(rng)
+        x = rng.normal(size=(4, 6))
+        once = hard_replace(x, cbs)
+        np.testing.assert_allclose(hard_replace(once, cbs), once)
+
+    def test_ccs_flops_formula(self):
+        assert ccs_flops(10, 8, 4) == 3 * 10 * 8 * 4
+
+
+class TestLUT:
+    def test_build_lut_matches_definition(self, rng):
+        cbs = random_codebooks(rng)
+        w = rng.normal(size=(6, 5))
+        lut = build_lut(cbs, w)
+        assert lut.shape == (3, 4, 5)
+        for c in range(3):
+            for k in range(4):
+                expected = cbs.centroids[c, k] @ w[2 * c : 2 * c + 2]
+                np.testing.assert_allclose(lut[c, k], expected, atol=1e-12)
+
+    def test_build_lut_rejects_mismatched_weight(self, rng):
+        cbs = random_codebooks(rng)
+        with pytest.raises(ValueError):
+            build_lut(cbs, rng.normal(size=(5, 4)))
+
+    def test_lookup_equals_replaced_matmul(self, rng):
+        """Core identity: lut_matmul(x) == hard_replace(x) @ W exactly."""
+        cbs = random_codebooks(rng, cb=4, ct=5, v=3)
+        w = rng.normal(size=(12, 7))
+        x = rng.normal(size=(9, 12))
+        lut = build_lut(cbs, w)
+        approx = lut_matmul(x, cbs, lut)
+        np.testing.assert_allclose(approx, hard_replace(x, cbs) @ w, atol=1e-10)
+
+    def test_lookup_validation(self, rng):
+        lut = rng.normal(size=(3, 4, 5))
+        with pytest.raises(ValueError):
+            lut_lookup(np.zeros((2, 2), dtype=int), lut)  # wrong CB
+        with pytest.raises(ValueError):
+            lut_lookup(np.zeros(3, dtype=int), lut)  # not 2-D
+        with pytest.raises(IndexError):
+            lut_lookup(np.full((2, 3), 4), lut)  # index out of range
+
+    def test_reduce_flops_and_bytes(self):
+        s = LUTShape(n=8, h=8, f=4, v=2, ct=2)
+        assert reduce_flops(s) == 8 * 4 * 4
+        assert lut_bytes(s) == s.lut_elements
+        assert lut_bytes(s, dtype_bytes=4) == 4 * s.lut_elements
+
+    def test_approximation_improves_with_more_centroids(self, rng):
+        x = rng.normal(size=(200, 8))
+        w = rng.normal(size=(8, 6))
+        errs = []
+        for ct in (2, 8, 32):
+            cbs = Codebooks.from_activations(x, v=2, ct=ct, rng=rng)
+            approx = lut_matmul(x, cbs, build_lut(cbs, w))
+            errs.append(np.linalg.norm(approx - x @ w))
+        assert errs[0] > errs[1] > errs[2]
+
+
+class TestQuantization:
+    def test_round_trip_error_bounded(self, rng):
+        lut = rng.normal(size=(3, 4, 5)) * 7
+        q = quantize_lut(lut)
+        per_cb_bound = np.max(np.abs(lut), axis=(1, 2)) / 127 * 0.5 + 1e-9
+        err = np.max(np.abs(lut - q.dequantize()), axis=(1, 2))
+        assert np.all(err <= per_cb_bound)
+
+    def test_values_are_int8(self, rng):
+        q = quantize_lut(rng.normal(size=(2, 2, 2)))
+        assert q.values.dtype == np.int8
+        assert np.all(np.abs(q.values.astype(int)) <= 127)
+
+    def test_zero_table(self):
+        q = quantize_lut(np.zeros((2, 3, 4)))
+        np.testing.assert_allclose(q.dequantize(), 0.0)
+        np.testing.assert_allclose(q.scales, 1.0)
+
+    def test_per_codebook_scales(self, rng):
+        lut = np.stack([np.ones((2, 2)), 100 * np.ones((2, 2))])
+        q = quantize_lut(lut)
+        assert q.scales[1] == pytest.approx(100 / 127)
+        assert q.scales[0] == pytest.approx(1 / 127)
+
+    def test_quantization_error_helper(self, rng):
+        lut = rng.normal(size=(2, 3, 4))
+        q = quantize_lut(lut)
+        assert quantization_error(lut, q) == pytest.approx(
+            np.max(np.abs(lut - q.dequantize()))
+        )
+
+    def test_rejects_wrong_shapes(self):
+        with pytest.raises(ValueError):
+            quantize_lut(np.zeros((2, 2)))
+        from repro.core import QuantizedLUT
+
+        with pytest.raises(TypeError):
+            QuantizedLUT(values=np.zeros((2, 2, 2)), scales=np.ones(2))
+        with pytest.raises(ValueError):
+            QuantizedLUT(
+                values=np.zeros((2, 2, 2), dtype=np.int8), scales=np.ones(3)
+            )
+
+    def test_nbytes(self, rng):
+        q = quantize_lut(rng.normal(size=(2, 3, 4)))
+        assert q.nbytes == 24 + 2 * 8
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(1, 16),
+    cb=st.integers(1, 4),
+    ct=st.integers(1, 6),
+    v=st.integers(1, 3),
+    f=st.integers(1, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_lut_identity_property(n, cb, ct, v, f, seed):
+    """Property: table lookup == exact matmul on centroid-replaced inputs."""
+    rng = np.random.default_rng(seed)
+    cbs = Codebooks(rng.normal(size=(cb, ct, v)))
+    w = rng.normal(size=(cb * v, f))
+    x = rng.normal(size=(n, cb * v))
+    lut = build_lut(cbs, w)
+    np.testing.assert_allclose(
+        lut_matmul(x, cbs, lut), hard_replace(x, cbs) @ w, atol=1e-9
+    )

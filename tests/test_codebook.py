@@ -1,0 +1,94 @@
+"""Unit tests for LUTShape and Codebooks."""
+
+import numpy as np
+import pytest
+
+from repro.core import Codebooks, LUTShape
+
+
+class TestLUTShape:
+    def test_derived_quantities(self):
+        s = LUTShape(n=64, h=32, f=16, v=4, ct=8)
+        assert s.cb == 8
+        assert s.lut_elements == 8 * 8 * 16
+        assert s.index_elements == 64 * 8
+        assert s.output_elements == 64 * 16
+
+    def test_rejects_indivisible_h(self):
+        with pytest.raises(ValueError):
+            LUTShape(n=4, h=10, f=4, v=3, ct=2)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            LUTShape(n=0, h=4, f=4, v=2, ct=2)
+        with pytest.raises(ValueError):
+            LUTShape(n=4, h=4, f=4, v=2, ct=-1)
+
+    def test_hashable_for_tuner_cache(self):
+        a = LUTShape(n=4, h=4, f=4, v=2, ct=2)
+        b = LUTShape(n=4, h=4, f=4, v=2, ct=2)
+        assert a == b and hash(a) == hash(b)
+
+
+class TestCodebooks:
+    def test_shape_properties(self):
+        cb = Codebooks(np.zeros((3, 4, 2)))
+        assert (cb.cb, cb.ct, cb.v, cb.h) == (3, 4, 2, 6)
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            Codebooks(np.zeros((3, 4)))
+
+    def test_from_activations_shapes(self):
+        rng = np.random.default_rng(0)
+        acts = rng.normal(size=(100, 8))
+        cb = Codebooks.from_activations(acts, v=2, ct=4, rng=rng)
+        assert cb.centroids.shape == (4, 4, 2)
+
+    def test_from_activations_captures_clusters(self):
+        # Activations whose sub-vectors live at two distinct values must
+        # yield centroids near those values.
+        rng = np.random.default_rng(1)
+        a = np.where(rng.random((200, 4)) < 0.5, -3.0, 3.0)
+        a += 0.01 * rng.normal(size=a.shape)
+        cb = Codebooks.from_activations(a, v=2, ct=4, rng=rng)
+        assert np.all(np.min(np.abs(np.abs(cb.centroids) - 3.0), axis=-1) < 0.2)
+
+    def test_from_activations_validation(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError):
+            Codebooks.from_activations(rng.normal(size=(10, 7)), v=2, ct=2)
+        with pytest.raises(ValueError):
+            Codebooks.from_activations(rng.normal(size=(3, 8)), v=2, ct=4)
+        with pytest.raises(ValueError):
+            Codebooks.from_activations(rng.normal(size=(10,)), v=2, ct=2)
+
+    def test_random_init_statistics(self):
+        rng = np.random.default_rng(3)
+        acts = rng.normal(5.0, 2.0, size=(500, 8))
+        cb = Codebooks.random_init(acts, v=2, ct=16, rng=rng)
+        assert cb.centroids.shape == (4, 16, 2)
+        # Centroids should be on the activation scale, not unit scale.
+        assert 3.0 < cb.centroids.mean() < 7.0
+
+    def test_random_init_validation(self):
+        with pytest.raises(ValueError):
+            Codebooks.random_init(np.zeros((10, 7)), v=2, ct=2)
+
+    def test_split(self):
+        cb = Codebooks(np.zeros((4, 2, 2)))
+        x = np.arange(16.0).reshape(2, 8)
+        sub = cb.split(x)
+        assert sub.shape == (2, 4, 2)
+        np.testing.assert_allclose(sub[0, 0], [0, 1])
+
+    def test_split_rejects_wrong_width(self):
+        cb = Codebooks(np.zeros((4, 2, 2)))
+        with pytest.raises(ValueError):
+            cb.split(np.zeros((2, 6)))
+
+    def test_copy_is_independent(self):
+        cb = Codebooks(np.zeros((2, 2, 2)))
+        cp = cb.copy()
+        cp.centroids[:] = 1.0
+        assert cb.centroids.sum() == 0.0

@@ -1,0 +1,141 @@
+"""Unit tests for the LUT-NN converter (recording, filtering, replacement)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ActivationRecorder,
+    LUTLinear,
+    convert_to_lut_nn,
+    encoder_linear_filter,
+    find_target_linears,
+    freeze_all_luts,
+    lut_layers,
+    record_activations,
+    set_lut_mode,
+)
+from repro.nn import Linear, TextClassifier
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def model(rng):
+    return TextClassifier(
+        vocab_size=30, max_seq_len=10, num_classes=3,
+        dim=16, num_layers=2, num_heads=2, rng=rng,
+    )
+
+
+@pytest.fixture
+def tokens(rng):
+    return rng.integers(0, 30, size=(8, 10))
+
+
+class TestTargetSelection:
+    def test_default_filter_targets_encoder_only(self, model):
+        targets = find_target_linears(model)
+        names = [n for n, _ in targets]
+        assert len(targets) == 2 * 4  # 2 layers x (qkv, out_proj, fc1, fc2)
+        assert all(".encoder." in f".{n}." for n in names)
+        assert "pooler" not in " ".join(names)
+        assert "classifier" not in " ".join(names)
+
+    def test_custom_filter(self, model):
+        targets = find_target_linears(model, lambda n, l: n.endswith("fc1"))
+        assert len(targets) == 2
+        assert all(n.endswith("fc1") for n, _ in targets)
+
+    def test_encoder_filter_function(self):
+        assert encoder_linear_filter("encoder.layers.0.ffn.fc1", None)
+        assert not encoder_linear_filter("pooler", None)
+
+
+class TestActivationRecorder:
+    def test_records_flattened_inputs(self, model, tokens):
+        targets = find_target_linears(model)
+        recorder = record_activations(model, [tokens], targets)
+        acts = recorder.activations(targets[0][0])
+        assert acts.shape == (8 * 10, 16)
+
+    def test_restores_forward_methods(self, model, tokens):
+        targets = find_target_linears(model)
+        record_activations(model, [tokens], targets)
+        # The instance-level wrapper must be gone: forward resolves to the
+        # class method again and no further recording happens.
+        assert all("forward" not in l.__dict__ for _, l in targets)
+        assert all(l.forward.__func__ is Linear.forward for _, l in targets)
+
+    def test_max_rows_caps_recording(self, model, tokens):
+        targets = find_target_linears(model)
+        recorder = record_activations(model, [tokens, tokens], targets, max_rows=30)
+        assert recorder.activations(targets[0][0]).shape[0] == 30
+
+    def test_no_records_raises(self):
+        recorder = ActivationRecorder([("x", Linear(2, 2))])
+        with pytest.raises(RuntimeError):
+            recorder.activations("x")
+
+    def test_model_mode_restored(self, model, tokens):
+        model.train()
+        record_activations(model, [tokens], find_target_linears(model))
+        assert model.training
+
+
+class TestConversion:
+    def test_replaces_all_targets_in_place(self, model, tokens, rng):
+        replaced = convert_to_lut_nn(model, [tokens], v=2, ct=4, rng=rng)
+        assert len(replaced) == 8
+        assert all(isinstance(l, LUTLinear) for _, l in replaced)
+        assert len(lut_layers(model)) == 8
+        assert len(find_target_linears(model)) == 0  # no plain Linears left
+
+    def test_converted_model_runs(self, model, tokens, rng):
+        convert_to_lut_nn(model, [tokens], v=2, ct=4, rng=rng)
+        logits = model(tokens)
+        assert logits.shape == (8, 3)
+
+    def test_layers_start_in_calibrate_mode(self, model, tokens, rng):
+        convert_to_lut_nn(model, [tokens], v=2, ct=4, rng=rng)
+        assert all(l.mode == "calibrate" for _, l in lut_layers(model))
+
+    def test_random_init_forwarded(self, model, tokens, rng):
+        convert_to_lut_nn(model, [tokens], v=2, ct=4, rng=rng, centroid_init="random")
+        assert len(lut_layers(model)) == 8
+
+    def test_no_targets_raises(self, model, tokens):
+        with pytest.raises(ValueError):
+            convert_to_lut_nn(model, [tokens], v=2, ct=4, layer_filter=lambda n, l: False)
+
+    def test_layer_names_recorded(self, model, tokens, rng):
+        replaced = convert_to_lut_nn(model, [tokens], v=2, ct=4, rng=rng)
+        for name, layer in replaced:
+            assert layer.layer_name == name
+
+
+class TestModeHelpers:
+    def test_set_lut_mode_all(self, model, tokens, rng):
+        convert_to_lut_nn(model, [tokens], v=2, ct=4, rng=rng)
+        set_lut_mode(model, "lut")
+        assert all(l.mode == "lut" for _, l in lut_layers(model))
+
+    def test_freeze_all_luts(self, model, tokens, rng):
+        convert_to_lut_nn(model, [tokens], v=2, ct=4, rng=rng)
+        freeze_all_luts(model)
+        assert all(l.lut is not None for _, l in lut_layers(model))
+
+    def test_freeze_all_quantized(self, model, tokens, rng):
+        convert_to_lut_nn(model, [tokens], v=2, ct=4, rng=rng)
+        freeze_all_luts(model, quantize_int8=True)
+        assert all(l.quantized_lut is not None for _, l in lut_layers(model))
+
+    def test_conversion_preserves_exact_path(self, model, tokens, rng):
+        """In 'exact' mode the converted model must equal the original."""
+        before = model(tokens).data.copy()
+        convert_to_lut_nn(model, [tokens], v=2, ct=4, rng=rng)
+        set_lut_mode(model, "exact")
+        model.eval()
+        np.testing.assert_allclose(model(tokens).data, before, atol=1e-10)

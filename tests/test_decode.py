@@ -1,0 +1,146 @@
+"""Unit tests for the decode-phase engines and the GPT-style DecoderLM."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Adam, Tensor, cross_entropy
+from repro.baselines import a2_gpu, v100_gpu, wimpy_host
+from repro.engine import GEMVDecodeEngine, HostDecodeEngine, LUTDecodeEngine
+from repro.nn import DecoderLM, MultiHeadAttention
+from repro.pim import get_platform
+from repro.workloads import opt_style
+
+
+class TestCausalAttention:
+    def test_causal_masks_future_positions(self):
+        rng = np.random.default_rng(0)
+        attn = MultiHeadAttention(8, 2, causal=True, rng=rng)
+        x = rng.normal(size=(1, 5, 8))
+        out1 = attn(Tensor(x)).data
+        x2 = x.copy()
+        x2[0, 4] = 100.0  # change the last token only
+        out2 = attn(Tensor(x2)).data
+        # Earlier positions must be unaffected by a future token change.
+        np.testing.assert_allclose(out1[0, :4], out2[0, :4], atol=1e-9)
+        # The changed position itself does change.
+        assert not np.allclose(out1[0, 4], out2[0, 4])
+
+    def test_non_causal_leaks_future(self):
+        rng = np.random.default_rng(1)
+        attn = MultiHeadAttention(8, 2, causal=False, rng=rng)
+        x = rng.normal(size=(1, 5, 8))
+        out1 = attn(Tensor(x)).data
+        x2 = x.copy()
+        x2[0, 4] = 100.0
+        out2 = attn(Tensor(x2)).data
+        assert not np.allclose(out1[0, 0], out2[0, 0])
+
+
+class TestDecoderLM:
+    @pytest.fixture
+    def model(self):
+        return DecoderLM(vocab_size=24, max_seq_len=12, dim=32,
+                         num_layers=2, num_heads=4, rng=np.random.default_rng(2))
+
+    def test_logits_shape(self, model):
+        tokens = np.random.default_rng(3).integers(0, 24, size=(4, 8))
+        assert model(tokens).shape == (4, 8, 24)
+
+    def test_rejects_long_sequence(self, model):
+        with pytest.raises(ValueError):
+            model(np.zeros((1, 13), dtype=int))
+
+    def test_generate_extends_prompt(self, model):
+        out = model.generate(np.array([[1, 2, 3]]), new_tokens=4)
+        assert out.shape == (1, 7)
+        np.testing.assert_array_equal(out[0, :3], [1, 2, 3])
+        assert np.all((0 <= out) & (out < 24))
+
+    def test_generate_zero_tokens(self, model):
+        out = model.generate(np.array([[5]]), new_tokens=0)
+        np.testing.assert_array_equal(out, [[5]])
+
+    def test_generate_rejects_negative(self, model):
+        with pytest.raises(ValueError):
+            model.generate(np.array([[1]]), new_tokens=-1)
+
+    def test_generate_sampling_mode(self, model):
+        out = model.generate(np.array([[1, 2]]), new_tokens=3, greedy=False,
+                             rng=np.random.default_rng(7))
+        assert out.shape == (1, 5)
+
+    def test_learns_a_repetition_pattern(self):
+        """A trainable decoder: learn 'next token = current token'."""
+        rng = np.random.default_rng(4)
+        model = DecoderLM(vocab_size=8, max_seq_len=8, dim=32,
+                          num_layers=2, num_heads=4, rng=rng)
+        optimizer = Adam(model.parameters(), lr=3e-3)
+        for _ in range(60):
+            tokens = np.repeat(rng.integers(0, 8, size=(16, 1)), 8, axis=1)
+            logits = model(tokens[:, :-1])
+            flat = logits.reshape(16 * 7, 8)
+            loss = cross_entropy(flat, tokens[:, 1:].reshape(-1))
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        # Greedy generation should now repeat the prompt token.
+        out = model.generate(np.array([[3, 3, 3]]), new_tokens=3)
+        assert np.all(out[0, 3:] == 3)
+
+    def test_decoder_layers_are_lut_convertible(self, model):
+        from repro.core import convert_to_lut_nn, lut_layers
+
+        tokens = np.random.default_rng(5).integers(0, 24, size=(16, 8))
+        convert_to_lut_nn(model, [tokens], v=4, ct=4,
+                          rng=np.random.default_rng(6))
+        assert len(lut_layers(model)) == 2 * 4
+        assert model(tokens).shape == (16, 8, 24)
+
+
+class TestDecodeEngines:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return opt_style(1024, seq_len=128, batch_size=1)
+
+    def test_report_composition(self, config):
+        platform = get_platform("aim")
+        report = GEMVDecodeEngine(platform, a2_gpu()).run(config, batch_size=1)
+        assert report.token_latency_s == pytest.approx(
+            report.linear_s + report.attention_s + report.other_s
+        )
+        assert report.tokens_per_s == pytest.approx(1.0 / report.token_latency_s)
+
+    def test_lut_decode_beats_gemv_decode(self, config):
+        """LUT-NN's V-fold weight-traffic cut applies to decode too."""
+        platform = get_platform("aim")
+        host = a2_gpu()
+        gemv = GEMVDecodeEngine(platform, host).run(config, batch_size=1)
+        lut = LUTDecodeEngine(platform, host, v=4, ct=16).run(config, batch_size=1)
+        assert lut.linear_s < gemv.linear_s
+
+    def test_longer_context_costs_more_attention(self, config):
+        platform = get_platform("aim")
+        host = a2_gpu()
+        short = LUTDecodeEngine(platform, host).run(config, context_len=128)
+        long = LUTDecodeEngine(platform, host).run(config, context_len=1024)
+        assert long.attention_s > short.attention_s
+        assert long.linear_s == pytest.approx(short.linear_s)
+
+    def test_batching_amortizes_weight_streaming(self, config):
+        platform = get_platform("aim")
+        host = a2_gpu()
+        engine = LUTDecodeEngine(platform, host)
+        b1 = engine.run(config, batch_size=1)
+        b8 = engine.run(config, batch_size=8)
+        assert b8.tokens_per_s > b1.tokens_per_s
+
+    def test_host_decode_engine(self, config):
+        report = HostDecodeEngine(v100_gpu()).run(config, batch_size=1)
+        assert report.token_latency_s > 0
+        assert "V100" in report.engine
+
+    def test_lut_decode_rejects_indivisible_dims(self):
+        platform = get_platform("aim")
+        engine = LUTDecodeEngine(platform, a2_gpu(), v=7)
+        with pytest.raises(ValueError):
+            engine.run(opt_style(1024, seq_len=64, batch_size=1))

@@ -1,0 +1,199 @@
+"""Unit tests for model export, error diagnostics, and generation serving."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ErrorProbe, worst_layers
+from repro.baselines import a2_gpu, wimpy_host
+from repro.core import (
+    ELUTNNCalibrator,
+    archive_summary,
+    convert_to_lut_nn,
+    evaluate_accuracy,
+    freeze_all_luts,
+    load_lut_model,
+    lut_layers,
+    save_lut_model,
+    set_lut_mode,
+)
+from repro.engine import GenerationServer
+from repro.nn import TextClassifier
+from repro.pim import get_platform
+from repro.workloads import SyntheticTextTask, opt_style, sample_batches, train_classifier
+
+
+@pytest.fixture(scope="module")
+def converted_setup():
+    rng = np.random.default_rng(0)
+    task = SyntheticTextTask(vocab_size=48, seq_len=12, num_classes=4,
+                             peak_mass=0.7, seed=1)
+    train = sample_batches(task, 384, 32)
+    test = sample_batches(task, 192, 64)
+
+    def factory():
+        return TextClassifier(vocab_size=48, max_seq_len=12, num_classes=4,
+                              dim=32, num_layers=2, num_heads=4,
+                              rng=np.random.default_rng(3))
+
+    model = factory()
+    train_classifier(model, train, epochs=6, lr=2e-3)
+    calib = sample_batches(task, 96, 32)
+    convert_to_lut_nn(model, [b[0] for b in calib], v=2, ct=8,
+                      rng=np.random.default_rng(5))
+    ELUTNNCalibrator(beta=10.0, lr=1e-3).calibrate(model, calib, epochs=3)
+    set_lut_mode(model, "lut")
+    freeze_all_luts(model, quantize_int8=True)
+    return task, factory, model, calib, test
+
+
+class TestModelExport:
+    def test_round_trip_preserves_outputs(self, converted_setup, tmp_path):
+        task, factory, model, calib, test = converted_setup
+        path = str(tmp_path / "model.npz")
+        save_lut_model(model, path)
+
+        fresh = factory()
+        convert_to_lut_nn(fresh, [b[0] for b in calib], v=2, ct=8,
+                          rng=np.random.default_rng(99))  # different codebooks
+        load_lut_model(fresh, path)
+
+        tokens = calib[0][0]
+        np.testing.assert_allclose(
+            fresh(tokens).data, model(tokens).data, atol=1e-10
+        )
+
+    def test_round_trip_preserves_accuracy(self, converted_setup, tmp_path):
+        task, factory, model, calib, test = converted_setup
+        path = str(tmp_path / "model.npz")
+        save_lut_model(model, path)
+        fresh = factory()
+        convert_to_lut_nn(fresh, [b[0] for b in calib], v=2, ct=8,
+                          rng=np.random.default_rng(7))
+        load_lut_model(fresh, path)
+        assert evaluate_accuracy(fresh, test) == pytest.approx(
+            evaluate_accuracy(model, test)
+        )
+
+    def test_archive_summary_sizes(self, converted_setup, tmp_path):
+        _, _, model, _, _ = converted_setup
+        path = str(tmp_path / "model.npz")
+        save_lut_model(model, path)
+        sizes = archive_summary(path)
+        assert sizes["luts"] > 0 and sizes["codebooks"] > 0
+        assert sizes["total"] == sum(
+            sizes[k] for k in ("params", "codebooks", "luts", "scales")
+        )
+
+    def test_save_requires_lut_layers(self, tmp_path):
+        plain = TextClassifier(10, 8, 2, dim=16, num_layers=1, num_heads=2,
+                               rng=np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            save_lut_model(plain, str(tmp_path / "x.npz"))
+
+    def test_load_rejects_mismatched_hyperparams(self, converted_setup, tmp_path):
+        task, factory, model, calib, _ = converted_setup
+        path = str(tmp_path / "model.npz")
+        save_lut_model(model, path)
+        other = factory()
+        convert_to_lut_nn(other, [b[0] for b in calib], v=4, ct=4,
+                          rng=np.random.default_rng(8))
+        with pytest.raises(ValueError):
+            load_lut_model(other, path)
+
+
+class TestErrorProbe:
+    def test_reports_all_layers(self, converted_setup):
+        task, _, model, calib, _ = converted_setup
+        reports = ErrorProbe(model).run([b[0] for b in calib[:2]])
+        assert len(reports) == len(lut_layers(model))
+        for r in reports:
+            assert 0.0 <= r.activation_error
+            assert 0.0 <= r.output_error
+            assert 0.0 < r.codebook_utilization <= 1.0
+            assert r.rows_measured > 0
+
+    def test_probe_restores_forwards(self, converted_setup):
+        task, _, model, calib, _ = converted_setup
+        ErrorProbe(model).run([calib[0][0]])
+        for _, layer in lut_layers(model):
+            assert "forward" not in layer.__dict__
+
+    def test_worst_layers_sorted(self, converted_setup):
+        task, _, model, calib, _ = converted_setup
+        reports = ErrorProbe(model).run([calib[0][0]])
+        worst = worst_layers(reports, k=3)
+        assert len(worst) == 3
+        assert worst[0].output_error >= worst[-1].output_error
+
+    def test_requires_lut_layers(self):
+        plain = TextClassifier(10, 8, 2, dim=16, num_layers=1, num_heads=2,
+                               rng=np.random.default_rng(2))
+        with pytest.raises(ValueError):
+            ErrorProbe(plain).run([np.zeros((2, 8), dtype=int)])
+
+    def test_more_centroids_lower_error(self):
+        """Sanity: a finer codebook must reduce the measured error."""
+        rng = np.random.default_rng(4)
+        task = SyntheticTextTask(vocab_size=32, seq_len=10, num_classes=3, seed=6)
+        calib = sample_batches(task, 64, 32)
+
+        def probe(ct):
+            model = TextClassifier(vocab_size=32, max_seq_len=10, num_classes=3,
+                                   dim=32, num_layers=1, num_heads=2,
+                                   rng=np.random.default_rng(5))
+            convert_to_lut_nn(model, [b[0] for b in calib], v=2, ct=ct,
+                              rng=np.random.default_rng(5))
+            reports = ErrorProbe(model).run([calib[0][0]])
+            return np.mean([r.output_error for r in reports])
+
+        assert probe(16) < probe(2)
+
+
+class TestGenerationServer:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return opt_style(1024, seq_len=128, batch_size=4)
+
+    def test_report_composition(self, config):
+        server = GenerationServer(get_platform("aim"), a2_gpu())
+        report = server.run(config, prompt_len=128, generate_len=32)
+        assert report.request_latency_s == pytest.approx(
+            report.prefill_s + report.decode_s
+        )
+        assert report.per_token_decode_s == pytest.approx(report.decode_s / 32)
+        assert report.time_to_first_token_s == report.prefill_s
+
+    def test_zero_generation(self, config):
+        server = GenerationServer(get_platform("aim"), a2_gpu())
+        report = server.run(config, generate_len=0)
+        assert report.decode_s == 0.0
+        assert report.per_token_decode_s == 0.0
+
+    def test_rejects_negative_generation(self, config):
+        server = GenerationServer(get_platform("aim"), a2_gpu())
+        with pytest.raises(ValueError):
+            server.run(config, generate_len=-1)
+
+    def test_lut_nn_serving_beats_native(self, config):
+        """The combined request: LUT-NN wins both phases on PIM."""
+        platform = get_platform("aim")
+        host = a2_gpu()
+        lut = GenerationServer(platform, host, lut_nn=True).run(
+            config, prompt_len=128, generate_len=64
+        )
+        native = GenerationServer(platform, host, lut_nn=False).run(
+            config, prompt_len=128, generate_len=64
+        )
+        assert lut.prefill_s < native.prefill_s
+        assert lut.request_latency_s < native.request_latency_s
+
+    def test_longer_prompts_cost_more_prefill(self, config):
+        server = GenerationServer(get_platform("aim"), a2_gpu())
+        short = server.run(config, prompt_len=64, generate_len=8)
+        long = server.run(config, prompt_len=256, generate_len=8)
+        assert long.prefill_s > short.prefill_s
+
+    def test_upmem_serving_runs(self, config):
+        server = GenerationServer(get_platform("upmem"), wimpy_host())
+        report = server.run(config, prompt_len=128, generate_len=8)
+        assert report.request_latency_s > 0

@@ -1,0 +1,61 @@
+"""Unit tests for extension features: overlap, memory overhead, reports."""
+
+import pytest
+
+from repro.baselines import wimpy_host
+from repro.core import LUTShape, lut_memory_overhead
+from repro.engine import PIMDLEngine
+from repro.pim import get_platform
+from repro.workloads import bert_base
+
+
+class TestMemoryOverhead:
+    def test_element_ratio_is_ct_over_v(self):
+        # Realistic layer width: the codebook term is then negligible.
+        shape = LUTShape(n=8, h=768, f=3072, v=4, ct=16)
+        # INT8 tables vs FP16 weights: (CT/V) * (1/2) plus tiny codebooks.
+        assert lut_memory_overhead(shape) == pytest.approx(2.0, rel=0.05)
+
+    def test_same_dtype_ratio(self):
+        shape = LUTShape(n=8, h=768, f=3072, v=4, ct=16)
+        ratio = lut_memory_overhead(shape, weight_dtype_bytes=1, lut_dtype_bytes=1)
+        assert ratio == pytest.approx(4.0, rel=0.05)
+
+    def test_monotone_in_ct(self):
+        small = LUTShape(n=8, h=64, f=32, v=4, ct=8)
+        large = LUTShape(n=8, h=64, f=32, v=4, ct=32)
+        assert lut_memory_overhead(large) > lut_memory_overhead(small)
+
+    def test_monotone_in_v(self):
+        coarse = LUTShape(n=8, h=64, f=32, v=8, ct=16)
+        fine = LUTShape(n=8, h=64, f=32, v=2, ct=16)
+        assert lut_memory_overhead(fine) > lut_memory_overhead(coarse)
+
+
+class TestPipelineOverlap:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return PIMDLEngine(get_platform("upmem"), wimpy_host(), v=4, ct=16)
+
+    @pytest.fixture(scope="class")
+    def config(self):
+        return bert_base(seq_len=128, batch_size=8)
+
+    def test_overlap_hides_minimum_side(self, engine, config):
+        sequential = engine.run(config)
+        pipelined = engine.run(config, pipeline_overlap=True)
+        assert pipelined.overlap_hidden_s == pytest.approx(
+            min(sequential.host_s, sequential.pim_s)
+        )
+        assert pipelined.total_s == pytest.approx(
+            max(sequential.host_s, sequential.pim_s)
+        )
+
+    def test_sequential_default_has_no_overlap(self, engine, config):
+        assert engine.run(config).overlap_hidden_s == 0.0
+
+    def test_energy_unchanged_by_overlap_model(self, engine, config):
+        # Component busy times are the same; only exposed latency changes.
+        sequential = engine.run(config)
+        pipelined = engine.run(config, pipeline_overlap=True)
+        assert pipelined.energy.host_j == pytest.approx(sequential.energy.host_j)

@@ -1,0 +1,99 @@
+"""Unit tests for PIM GEMM baseline kernels and the energy model."""
+
+import pytest
+
+from repro.pim import (
+    EnergyReport,
+    gemm_on_pim,
+    gemv_sequence_on_pim,
+    get_platform,
+    host_only_energy,
+    linear_layer_on_pim,
+    pim_system_energy,
+)
+from repro.baselines import cpu_server_fp32
+
+
+class TestGEMMOnPIM:
+    def test_breakdown_composition(self):
+        b = gemm_on_pim(get_platform("upmem"), 1024, 768, 768)
+        assert b.total == pytest.approx(
+            b.host_transfer + max(b.compute, b.local_memory) + b.gather + b.launch
+        )
+        assert b.total > 0
+
+    def test_upmem_compute_bound(self):
+        """Software FP32 MACs dominate on UPMEM (paper Fig. 10 line)."""
+        b = gemm_on_pim(get_platform("upmem"), 32768, 768, 2304)
+        assert b.compute > 10 * b.host_transfer
+        assert b.compute > 10 * b.gather
+
+    def test_upmem_per_layer_latency_matches_paper_scale(self):
+        """Paper Fig. 10: 38.5s / 68s / 106s per layer for the 3 models."""
+        plat = get_platform("upmem")
+        n = 64 * 512
+        per_layer = sum(
+            gemm_on_pim(plat, n, h, f).total
+            for h, f in [(768, 2304), (768, 768), (768, 3072), (3072, 768)]
+        )
+        assert 25 < per_layer < 55  # BERT-base band around the paper's 38.5
+
+    def test_scales_linearly_in_flops(self):
+        plat = get_platform("upmem")
+        t1 = gemm_on_pim(plat, 1024, 512, 512).compute
+        t2 = gemm_on_pim(plat, 2048, 512, 512).compute
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            gemm_on_pim(get_platform("upmem"), 0, 4, 4)
+
+
+class TestGEMVSequence:
+    def test_linear_in_batch_rows(self):
+        plat = get_platform("hbm-pim")
+        t1 = gemv_sequence_on_pim(plat, 128, 1024, 1024).compute
+        t2 = gemv_sequence_on_pim(plat, 256, 1024, 1024).compute
+        assert t2 == pytest.approx(2 * t1, rel=1e-6)
+
+    def test_row_overhead_dominates_small_matrices(self):
+        plat = get_platform("hbm-pim")
+        b = gemv_sequence_on_pim(plat, 128, 256, 256)
+        per_row = b.compute / 128
+        assert per_row > plat.extras["gemv_row_overhead_s"]
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            gemv_sequence_on_pim(get_platform("aim"), 4, -1, 4)
+
+
+class TestDispatch:
+    def test_upmem_uses_gemm_path(self):
+        plat = get_platform("upmem")
+        assert linear_layer_on_pim(plat, 64, 32, 32).total == pytest.approx(
+            gemm_on_pim(plat, 64, 32, 32).total
+        )
+
+    def test_hbm_uses_gemv_path(self):
+        plat = get_platform("hbm-pim")
+        assert linear_layer_on_pim(plat, 64, 32, 32).total == pytest.approx(
+            gemv_sequence_on_pim(plat, 64, 32, 32).total
+        )
+
+
+class TestEnergy:
+    def test_pim_system_energy(self):
+        plat = get_platform("upmem")
+        report = pim_system_energy(plat, host_busy_s=2.0, pim_busy_s=3.0)
+        assert report.host_j == pytest.approx(plat.host_power_w * 2.0)
+        assert report.pim_j == pytest.approx(plat.pim_power_w * 5.0)
+        assert report.total_j == report.host_j + report.pim_j
+
+    def test_host_only_energy(self):
+        dev = cpu_server_fp32()
+        report = host_only_energy(dev, 4.0)
+        assert report.pim_j == 0.0
+        assert report.total_j == pytest.approx(dev.power_w * 4.0)
+
+    def test_energy_report_type(self):
+        assert isinstance(host_only_energy(cpu_server_fp32(), 1.0), EnergyReport)

@@ -1,0 +1,114 @@
+"""Unit tests for the GLUE-style task suite and PIM sequence padding."""
+
+import numpy as np
+import pytest
+
+from repro.nn import TextClassifier
+from repro.workloads import (
+    CopyDetectionTask,
+    SentimentTask,
+    TopicTask,
+    bert_base,
+    default_suite,
+    evaluate_suite,
+    pad_seq_for_pim,
+    sample_batches,
+    train_classifier,
+    vit_huge,
+)
+from repro.core import evaluate_accuracy
+
+
+class TestSentimentTask:
+    def test_shapes_and_cls(self):
+        task = SentimentTask(vocab_size=32, seq_len=12, seed=0)
+        tokens, labels = task.sample(30)
+        assert tokens.shape == (30, 12)
+        assert np.all(tokens[:, 0] == 0)
+        assert set(np.unique(labels)) <= {0, 1}
+
+    def test_label_matches_slice_majority(self):
+        task = SentimentTask(vocab_size=32, seq_len=32, margin=0.95, seed=1)
+        tokens, labels = task.sample(100)
+        split = 1 + (32 - 1) // 2
+        positive_counts = ((tokens[:, 1:] >= 1) & (tokens[:, 1:] < split)).sum(axis=1)
+        negative_counts = (tokens[:, 1:] >= split).sum(axis=1)
+        predicted = (positive_counts > negative_counts).astype(int)
+        assert (predicted == labels).mean() > 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SentimentTask(vocab_size=3)
+        with pytest.raises(ValueError):
+            SentimentTask(margin=0.4)
+
+    def test_learnable_by_small_transformer(self):
+        task = SentimentTask(vocab_size=32, seq_len=16, margin=0.8, seed=2)
+        model = TextClassifier(vocab_size=32, max_seq_len=16, num_classes=2,
+                               dim=32, num_layers=2, num_heads=4,
+                               rng=np.random.default_rng(0))
+        train_classifier(model, sample_batches(task, 512, 32), epochs=6, lr=2e-3)
+        assert evaluate_accuracy(model, sample_batches(task, 256, 64)) > 0.85
+
+
+class TestCopyDetectionTask:
+    def test_shapes(self):
+        task = CopyDetectionTask(vocab_size=32, seq_len=17, seed=0)
+        tokens, labels = task.sample(20)
+        assert tokens.shape == (20, 17)
+        assert set(np.unique(labels)) <= {0, 1}
+
+    def test_positive_samples_share_tokens(self):
+        task = CopyDetectionTask(vocab_size=64, seq_len=17, copy_fraction=1.0, seed=1)
+        tokens, labels = task.sample(100)
+        seg = task.segment
+        overlaps = []
+        for row, label in zip(tokens, labels):
+            first = set(row[1 : 1 + seg].tolist())
+            second = set(row[1 + seg :].tolist())
+            overlaps.append((label, len(first & second) / seg))
+        pos = np.mean([o for l, o in overlaps if l == 1])
+        neg = np.mean([o for l, o in overlaps if l == 0])
+        assert pos > neg + 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CopyDetectionTask(seq_len=16)  # segments don't split evenly
+        with pytest.raises(ValueError):
+            CopyDetectionTask(copy_fraction=0.0)
+
+
+class TestSuite:
+    def test_default_suite_composition(self):
+        suite = default_suite()
+        assert set(suite) == {"sentiment", "topic", "copy"}
+        assert isinstance(suite["topic"], TopicTask)
+
+    def test_evaluate_suite_collects_scores(self):
+        suite = default_suite()
+        results = evaluate_suite(lambda name, task: 0.5, suite)
+        assert results == [(name, 0.5) for name in suite]
+
+    def test_evaluate_suite_rejects_bad_scores(self):
+        with pytest.raises(ValueError):
+            evaluate_suite(lambda name, task: 1.5, default_suite())
+
+
+class TestPadding:
+    def test_reproduces_the_papers_vit_padding(self):
+        config = pad_seq_for_pim(vit_huge(seq_len=257), num_pes=1024)
+        assert config.seq_len == 264  # paper §6.3
+
+    def test_already_divisible_unchanged(self):
+        config = bert_base()  # 64 * 512 = 32768 = 32 * 1024
+        assert pad_seq_for_pim(config) is config
+
+    def test_result_always_balanced(self):
+        for seq in (100, 129, 257, 511):
+            config = pad_seq_for_pim(bert_base(seq_len=seq, batch_size=24))
+            assert (config.tokens % 1024) == 0
+            assert config.seq_len >= seq
+
+    def test_rejects_bad_pe_count(self):
+        with pytest.raises(ValueError):
+            pad_seq_for_pim(bert_base(), num_pes=0)

@@ -1,0 +1,150 @@
+"""Integration tests: the full PIM-DL pipeline end to end.
+
+These exercise the complete flow of paper Fig. 5 on scaled-down models:
+train -> convert -> calibrate (eLUT-NN) -> quantize & freeze -> deploy, and
+the hardware path: tune a real converted layer's workload and execute it
+functionally on the PIM simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Codebooks,
+    ELUTNNCalibrator,
+    LUTShape,
+    closest_centroid_search,
+    convert_to_lut_nn,
+    evaluate_accuracy,
+    freeze_all_luts,
+    lut_layers,
+    lut_lookup,
+    set_lut_mode,
+)
+from repro.mapping import AutoTuner
+from repro.nn import PatchClassifier, TextClassifier
+from repro.pim import PIMSimulator, get_platform
+from repro.workloads import (
+    SyntheticPatchTask,
+    SyntheticTextTask,
+    sample_batches,
+    train_classifier,
+)
+
+
+@pytest.fixture(scope="module")
+def text_pipeline():
+    """Train a small classifier and keep its pieces for several tests."""
+    rng = np.random.default_rng(0)
+    task = SyntheticTextTask(vocab_size=48, seq_len=12, num_classes=4,
+                             peak_mass=0.7, seed=1)
+    train = sample_batches(task, 384, 32)
+    test = sample_batches(task, 192, 64)
+    model = TextClassifier(vocab_size=48, max_seq_len=12, num_classes=4,
+                           dim=32, num_layers=2, num_heads=4, rng=rng)
+    train_classifier(model, train, epochs=6, lr=2e-3)
+    return task, model, train, test
+
+
+class TestTextPipeline:
+    def test_full_conversion_and_calibration_recovers_accuracy(self, text_pipeline):
+        task, model, train, test = text_pipeline
+        original = evaluate_accuracy(model, test)
+        assert original > 0.9, "substrate model failed to learn the task"
+
+        calib = sample_batches(task, 96, 32)
+        convert_to_lut_nn(model, [b[0] for b in calib], v=2, ct=8,
+                          rng=np.random.default_rng(2))
+        ELUTNNCalibrator(beta=10.0, lr=1e-3).calibrate(model, calib, epochs=4)
+        set_lut_mode(model, "lut")
+        freeze_all_luts(model, quantize_int8=True)
+        deployed = evaluate_accuracy(model, test)
+        assert deployed > original - 0.1
+
+    def test_all_encoder_linears_replaced(self, text_pipeline):
+        _, model, _, _ = text_pipeline
+        assert len(lut_layers(model)) == 2 * 4
+
+    def test_int8_luts_deployed(self, text_pipeline):
+        _, model, _, _ = text_pipeline
+        for _, layer in lut_layers(model):
+            assert layer.quantized_lut is not None
+            assert layer.quantized_lut.values.dtype == np.int8
+
+
+class TestVisionPipeline:
+    def test_patch_classifier_pipeline(self):
+        rng = np.random.default_rng(3)
+        task = SyntheticPatchTask(num_patches=6, patch_dim=8, num_classes=3,
+                                  noise=0.3, seed=2)
+        train = sample_batches(task, 384, 32)
+        test = sample_batches(task, 192, 64)
+        model = PatchClassifier(num_patches=6, patch_dim=8, num_classes=3,
+                                dim=32, num_layers=2, num_heads=4, rng=rng)
+        train_classifier(model, train, epochs=12, lr=3e-3)
+        original = evaluate_accuracy(model, test)
+        assert original > 0.9
+
+        calib = sample_batches(task, 96, 32)
+        convert_to_lut_nn(model, [b[0] for b in calib], v=2, ct=8,
+                          rng=np.random.default_rng(4))
+        ELUTNNCalibrator(beta=10.0, lr=1e-3).calibrate(model, calib, epochs=4)
+        set_lut_mode(model, "lut")
+        freeze_all_luts(model, quantize_int8=True)
+        assert evaluate_accuracy(model, test) > original - 0.1
+
+
+class TestHardwarePathIntegration:
+    def test_converted_layer_runs_on_simulator(self, text_pipeline):
+        """A real calibrated layer's LUT kernel executes on the simulated
+        DRAM-PIM and matches the layer's own functional output."""
+        task, model, _, _ = text_pipeline
+        name, layer = lut_layers(model)[0]
+        shape = layer.lut_shape(n=64)
+        platform = get_platform("upmem")
+        tuned = AutoTuner(platform).tune(shape)
+
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(64, layer.in_features))
+        codebooks = layer.current_codebooks()
+        indices = closest_centroid_search(x, codebooks)
+        report = PIMSimulator(platform).run(
+            shape, tuned.mapping, indices=indices, lut=layer.lut
+        )
+        expected = lut_lookup(indices, layer.lut)
+        np.testing.assert_allclose(report.output, expected, atol=1e-10)
+        assert report.total_s > 0
+
+    def test_tuned_mapping_beats_naive_on_simulator(self, text_pipeline):
+        """The auto-tuner's choice must be at least as fast as a naive
+        single-PE mapping when both are simulated."""
+        from repro.mapping import Mapping, is_legal
+
+        _, model, _, _ = text_pipeline
+        _, layer = lut_layers(model)[0]
+        shape = layer.lut_shape(n=256)
+        platform = get_platform("upmem")
+        sim = PIMSimulator(platform)
+        tuned = AutoTuner(platform).tune(shape)
+        t_tuned = sim.run(shape, tuned.mapping).total_s
+
+        naive = Mapping(
+            n_s_tile=shape.n, f_s_tile=shape.f,
+            n_m_tile=min(8, shape.n), f_m_tile=min(8, shape.f), cb_m_tile=1,
+            load_scheme="fine", f_load_tile=min(8, shape.f),
+        )
+        if is_legal(shape, naive, platform):
+            t_naive = sim.run(shape, naive).total_s
+            assert t_tuned <= t_naive * 1.05
+
+
+class TestEndToEndConsistency:
+    def test_quantized_model_close_to_float_model(self, text_pipeline):
+        task, model, _, test = text_pipeline
+        set_lut_mode(model, "lut")
+        freeze_all_luts(model, quantize_int8=False)
+        float_acc = evaluate_accuracy(model, test)
+        freeze_all_luts(model, quantize_int8=True)
+        int8_acc = evaluate_accuracy(model, test)
+        # Paper reports <= 0.1% drop; allow a small-model tolerance.
+        assert abs(float_acc - int8_acc) < 0.05

@@ -1,0 +1,120 @@
+"""Unit + property tests for the k-means substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import assign, kmeans, kmeans_plusplus_init
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def well_separated_clusters(rng, k=3, per=40, d=2, spread=0.05):
+    centers = rng.normal(size=(k, d)) * 10
+    points = np.concatenate(
+        [c + spread * rng.normal(size=(per, d)) for c in centers], axis=0
+    )
+    return centers, points
+
+
+class TestAssign:
+    def test_matches_brute_force(self, rng):
+        points = rng.normal(size=(50, 3))
+        centroids = rng.normal(size=(4, 3))
+        dists = ((points[:, None, :] - centroids[None]) ** 2).sum(-1)
+        np.testing.assert_array_equal(assign(points, centroids), dists.argmin(1))
+
+    def test_single_centroid(self, rng):
+        points = rng.normal(size=(10, 2))
+        assert np.all(assign(points, points[:1]) == 0)
+
+
+class TestKMeansPlusPlus:
+    def test_returns_k_centroids_from_data(self, rng):
+        points = rng.normal(size=(30, 4))
+        cents = kmeans_plusplus_init(points, 5, rng)
+        assert cents.shape == (5, 4)
+        # every centroid is an actual data point
+        for c in cents:
+            assert np.any(np.all(np.isclose(points, c), axis=1))
+
+    def test_identical_points_handled(self, rng):
+        points = np.ones((10, 2))
+        cents = kmeans_plusplus_init(points, 3, rng)
+        assert cents.shape == (3, 2)
+        np.testing.assert_allclose(cents, 1.0)
+
+
+class TestKMeans:
+    def test_recovers_separated_clusters(self, rng):
+        centers, points = well_separated_clusters(rng)
+        found, labels, inertia = kmeans(points, 3, rng=rng)
+        # each true center is close to some found centroid
+        for c in centers:
+            assert np.min(np.linalg.norm(found - c, axis=1)) < 0.5
+        assert inertia < points.shape[0] * 0.1
+
+    def test_labels_are_nearest(self, rng):
+        points = rng.normal(size=(60, 3))
+        centroids, labels, _ = kmeans(points, 4, rng=rng)
+        np.testing.assert_array_equal(labels, assign(points, centroids))
+
+    def test_inertia_decreases_with_more_clusters(self, rng):
+        points = rng.normal(size=(100, 2))
+        _, _, i2 = kmeans(points, 2, rng=np.random.default_rng(1))
+        _, _, i8 = kmeans(points, 8, rng=np.random.default_rng(1))
+        assert i8 < i2
+
+    def test_k_equals_n(self, rng):
+        points = rng.normal(size=(5, 2))
+        cents, labels, inertia = kmeans(points, 5, rng=rng)
+        assert inertia == pytest.approx(0.0, abs=1e-12)
+        assert sorted(labels) == [0, 1, 2, 3, 4]
+
+    def test_rejects_bad_inputs(self, rng):
+        points = rng.normal(size=(5, 2))
+        with pytest.raises(ValueError):
+            kmeans(points, 0)
+        with pytest.raises(ValueError):
+            kmeans(points, 6)
+        with pytest.raises(ValueError):
+            kmeans(points.ravel(), 2)
+
+    def test_empty_cluster_reseeded(self):
+        # Two far groups and k=3 forces at least one initially empty or
+        # degenerate cluster to be re-seeded; all clusters must end non-empty
+        # inertia-wise valid.
+        rng = np.random.default_rng(2)
+        points = np.concatenate([np.zeros((20, 2)), 10 + np.zeros((20, 2))])
+        points += 0.01 * rng.normal(size=points.shape)
+        cents, labels, inertia = kmeans(points, 3, rng=rng)
+        assert np.isfinite(inertia)
+        assert cents.shape == (3, 2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(8, 40),
+    d=st.integers(1, 4),
+    k=st.integers(1, 6),
+    seed=st.integers(0, 1000),
+)
+def test_kmeans_invariants(n, d, k, seed):
+    """Property: labels are argmin assignments and inertia is consistent."""
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n, d))
+    if n < k:
+        with pytest.raises(ValueError):
+            kmeans(points, k, rng=rng)
+        return
+    centroids, labels, inertia = kmeans(points, k, max_iters=10, rng=rng)
+    assert centroids.shape == (k, d)
+    assert labels.shape == (n,)
+    assert 0 <= labels.min() and labels.max() < k
+    np.testing.assert_array_equal(labels, assign(points, centroids))
+    recomputed = float(np.sum((points - centroids[labels]) ** 2))
+    assert inertia == pytest.approx(recomputed)

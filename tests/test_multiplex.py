@@ -1,0 +1,70 @@
+"""Unit tests for multi-tenant PE space sharing."""
+
+import pytest
+
+from repro.baselines import wimpy_host
+from repro.engine import (
+    best_latency,
+    best_throughput,
+    slice_platform,
+    space_sharing_sweep,
+)
+from repro.pim import get_platform
+from repro.workloads import bert_base
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return space_sharing_sweep(
+        get_platform("upmem"), wimpy_host(), bert_base(batch_size=8),
+        ways_options=[1, 2, 4],
+    )
+
+
+class TestSlicePlatform:
+    def test_resources_divided(self):
+        platform = get_platform("upmem")
+        half = slice_platform(platform, 2)
+        assert half.num_pes == platform.num_pes // 2
+        assert half.ranks == platform.ranks // 2
+        assert half.broadcast.peak_bytes_per_s == pytest.approx(
+            platform.broadcast.peak_bytes_per_s / 2
+        )
+        assert "slice" in half.name
+
+    def test_one_way_is_identity_sized(self):
+        platform = get_platform("upmem")
+        assert slice_platform(platform, 1).num_pes == platform.num_pes
+
+    def test_validation(self):
+        platform = get_platform("upmem")
+        with pytest.raises(ValueError):
+            slice_platform(platform, 0)
+        with pytest.raises(ValueError):
+            slice_platform(platform, 3)  # 1024 % 3 != 0
+
+
+class TestSpaceSharingSweep:
+    def test_latency_grows_sublinearly_with_sharing(self, sweep):
+        """Halving the PEs less than doubles latency at small batch — the
+        utilization headroom that makes space sharing pay."""
+        by_ways = {p.ways: p for p in sweep}
+        assert by_ways[2].request_latency_s < 2 * by_ways[1].request_latency_s
+        assert by_ways[4].request_latency_s < 4 * by_ways[1].request_latency_s
+
+    def test_throughput_improves_with_sharing_at_small_batch(self, sweep):
+        by_ways = {p.ways: p for p in sweep}
+        assert by_ways[2].throughput_rps > by_ways[1].throughput_rps
+        assert by_ways[4].throughput_rps > by_ways[2].throughput_rps
+
+    def test_latency_ordering(self, sweep):
+        latencies = [p.request_latency_s for p in sweep]
+        assert latencies == sorted(latencies)
+
+    def test_selectors(self, sweep):
+        assert best_latency(sweep).ways == 1
+        assert best_throughput(sweep).ways == max(p.ways for p in sweep)
+
+    def test_points_carry_slice_sizes(self, sweep):
+        for p in sweep:
+            assert p.pes_per_slice * p.ways == 1024

@@ -1,0 +1,124 @@
+"""Unit tests for attention, encoder layers, and the classifier models."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Adam, Tensor, cross_entropy
+from repro.nn import (
+    EncoderLayer,
+    FeedForward,
+    MultiHeadAttention,
+    PatchClassifier,
+    TextClassifier,
+    TransformerEncoder,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self, rng):
+        attn = MultiHeadAttention(16, 4, rng=rng)
+        out = attn(Tensor(rng.normal(size=(2, 5, 16))))
+        assert out.shape == (2, 5, 16)
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(16, 3)
+
+    def test_mask_blocks_padded_keys(self, rng):
+        attn = MultiHeadAttention(8, 2, rng=rng)
+        x = rng.normal(size=(1, 4, 8))
+        mask = np.array([[1, 1, 0, 0]])
+        # Changing padded positions must not affect valid-token outputs.
+        out1 = attn(Tensor(x), mask=mask).data
+        x2 = x.copy()
+        x2[0, 2:] = 100.0
+        out2 = attn(Tensor(x2), mask=mask).data
+        np.testing.assert_allclose(out1[0, :2], out2[0, :2], atol=1e-9)
+
+    def test_gradients_reach_projections(self, rng):
+        attn = MultiHeadAttention(8, 2, rng=rng)
+        x = Tensor(rng.normal(size=(2, 3, 8)), requires_grad=True)
+        attn(x).sum().backward()
+        assert attn.qkv.weight.grad is not None
+        assert attn.out_proj.weight.grad is not None
+        assert x.grad is not None
+
+    def test_fused_qkv_width(self, rng):
+        attn = MultiHeadAttention(8, 2, rng=rng)
+        assert attn.qkv.out_features == 24
+
+
+class TestEncoder:
+    def test_feedforward_shapes(self, rng):
+        ffn = FeedForward(8, 32, rng=rng)
+        assert ffn(Tensor(rng.normal(size=(2, 3, 8)))).shape == (2, 3, 8)
+
+    def test_encoder_layer_preserves_shape(self, rng):
+        layer = EncoderLayer(8, 2, rng=rng)
+        assert layer(Tensor(rng.normal(size=(2, 5, 8)))).shape == (2, 5, 8)
+
+    def test_encoder_stacks_layers(self, rng):
+        enc = TransformerEncoder(3, 8, 2, rng=rng)
+        assert len(enc.layers) == 3
+        assert enc(Tensor(rng.normal(size=(1, 4, 8)))).shape == (1, 4, 8)
+
+    def test_encoder_rejects_zero_layers(self):
+        with pytest.raises(ValueError):
+            TransformerEncoder(0, 8, 2)
+
+    def test_each_layer_has_four_linears(self, rng):
+        from repro.nn import Linear
+
+        layer = EncoderLayer(8, 2, rng=rng)
+        linears = [m for _, m in layer.named_modules() if isinstance(m, Linear)]
+        # qkv, out_proj, fc1, fc2 — the paper's four conversion targets.
+        assert len(linears) == 4
+
+
+class TestTextClassifier:
+    def test_forward_shape(self, rng):
+        m = TextClassifier(20, 8, 3, dim=16, num_layers=1, num_heads=2, rng=rng)
+        logits = m(rng.integers(0, 20, size=(4, 8)))
+        assert logits.shape == (4, 3)
+
+    def test_rejects_long_sequence(self, rng):
+        m = TextClassifier(20, 8, 3, dim=16, num_layers=1, num_heads=2, rng=rng)
+        with pytest.raises(ValueError):
+            m(rng.integers(0, 20, size=(2, 9)))
+
+    def test_loss_decreases_when_training(self, rng):
+        m = TextClassifier(20, 8, 3, dim=16, num_layers=1, num_heads=2, rng=rng)
+        tokens = rng.integers(0, 20, size=(16, 8))
+        labels = rng.integers(0, 3, size=16)
+        opt = Adam(m.parameters(), lr=1e-3)
+        losses = []
+        for _ in range(10):
+            loss = cross_entropy(m(tokens), labels)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]
+
+
+class TestPatchClassifier:
+    def test_forward_shape(self, rng):
+        m = PatchClassifier(9, 12, 4, dim=16, num_layers=1, num_heads=2, rng=rng)
+        assert m(rng.normal(size=(3, 9, 12))).shape == (3, 4)
+
+    def test_cls_token_receives_gradient(self, rng):
+        m = PatchClassifier(4, 6, 2, dim=16, num_layers=1, num_heads=2, rng=rng)
+        out = m(rng.normal(size=(2, 4, 6)))
+        cross_entropy(out, np.array([0, 1])).backward()
+        assert m.cls_token.grad is not None
+        assert np.any(m.cls_token.grad != 0)
+
+    def test_accepts_tensor_input(self, rng):
+        m = PatchClassifier(4, 6, 2, dim=16, num_layers=1, num_heads=2, rng=rng)
+        out = m(Tensor(rng.normal(size=(2, 4, 6))))
+        assert out.shape == (2, 2)

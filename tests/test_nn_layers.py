@@ -1,0 +1,127 @@
+"""Unit tests for basic layers: Linear, LayerNorm, Embedding, activations."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Dropout, Embedding, GELU, LayerNorm, Linear, ReLU, Tanh
+
+
+class TestLinear:
+    def test_output_matches_matmul(self):
+        rng = np.random.default_rng(0)
+        lin = Linear(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4))
+        expected = x @ lin.weight.data + lin.bias.data
+        np.testing.assert_allclose(lin(Tensor(x)).data, expected)
+
+    def test_no_bias(self):
+        rng = np.random.default_rng(1)
+        lin = Linear(4, 3, bias=False, rng=rng)
+        assert lin.bias is None
+        x = rng.normal(size=(2, 4))
+        np.testing.assert_allclose(lin(Tensor(x)).data, x @ lin.weight.data)
+
+    def test_3d_input(self):
+        rng = np.random.default_rng(2)
+        lin = Linear(4, 3, rng=rng)
+        out = lin(Tensor(rng.normal(size=(2, 5, 4))))
+        assert out.shape == (2, 5, 3)
+
+    def test_gradients_flow(self):
+        rng = np.random.default_rng(3)
+        lin = Linear(4, 3, rng=rng)
+        x = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        lin(x).sum().backward()
+        assert lin.weight.grad is not None
+        assert lin.bias.grad is not None
+        assert x.grad is not None
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+        with pytest.raises(ValueError):
+            Linear(3, -1)
+
+    def test_repr(self):
+        assert "Linear" in repr(Linear(2, 3))
+
+
+class TestLayerNorm:
+    def test_normalizes_last_dim(self):
+        rng = np.random.default_rng(4)
+        ln = LayerNorm(16)
+        out = ln(Tensor(rng.normal(3.0, 5.0, size=(10, 16)))).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(10), atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(10), atol=1e-3)
+
+    def test_gamma_beta_applied(self):
+        ln = LayerNorm(4)
+        ln.gamma.data[:] = 2.0
+        ln.beta.data[:] = 1.0
+        out = ln(Tensor(np.random.default_rng(5).normal(size=(6, 4)))).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.ones(6), atol=1e-9)
+
+    def test_constant_input_stable(self):
+        ln = LayerNorm(4)
+        out = ln(Tensor(np.full((2, 4), 7.0))).data
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, np.zeros((2, 4)), atol=1e-6)
+
+    def test_gradients_flow(self):
+        ln = LayerNorm(4)
+        x = Tensor(np.random.default_rng(6).normal(size=(3, 4)), requires_grad=True)
+        ln(x).sum().backward()
+        assert ln.gamma.grad is not None and ln.beta.grad is not None
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(10, 8, rng=np.random.default_rng(7))
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 8)
+
+    def test_lookup_values(self):
+        emb = Embedding(10, 4, rng=np.random.default_rng(8))
+        out = emb(np.array([3]))
+        np.testing.assert_allclose(out.data[0], emb.weight.data[3])
+
+    def test_out_of_range_raises(self):
+        emb = Embedding(10, 4)
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_gradient_scatters_to_rows(self):
+        emb = Embedding(10, 4, rng=np.random.default_rng(9))
+        emb(np.array([2, 2, 5])).sum().backward()
+        grad = emb.weight.grad
+        np.testing.assert_allclose(grad[2], 2 * np.ones(4))
+        np.testing.assert_allclose(grad[5], np.ones(4))
+        np.testing.assert_allclose(grad[0], np.zeros(4))
+
+
+class TestActivationsAndDropout:
+    def test_gelu_relu_tanh_shapes(self):
+        x = Tensor(np.random.default_rng(10).normal(size=(3, 4)))
+        for act in (GELU(), ReLU(), Tanh()):
+            assert act(x).shape == (3, 4)
+
+    def test_dropout_eval_identity(self):
+        d = Dropout(0.5, rng=np.random.default_rng(0))
+        d.eval()
+        x = Tensor(np.ones((4, 4)))
+        assert d(x) is x
+
+    def test_dropout_train_masks(self):
+        d = Dropout(0.5, rng=np.random.default_rng(0))
+        out = d(Tensor(np.ones((100, 100))))
+        zeros = (out.data == 0).mean()
+        assert 0.4 < zeros < 0.6
+
+    def test_dropout_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)

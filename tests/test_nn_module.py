@@ -1,0 +1,155 @@
+"""Unit tests for the Module system (registration, traversal, replacement)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Linear, Module, ModuleList, Sequential
+
+
+class Leaf(Module):
+    def __init__(self):
+        super().__init__()
+        self.w = Tensor(np.ones(2), requires_grad=True)
+
+    def forward(self, x):
+        return x * self.w
+
+
+class Nested(Module):
+    def __init__(self):
+        super().__init__()
+        self.a = Leaf()
+        self.b = Leaf()
+        self.bias = Tensor(np.zeros(2), requires_grad=True)
+
+    def forward(self, x):
+        return self.a(x) + self.b(x) + self.bias
+
+
+class TestRegistration:
+    def test_parameters_collected_recursively(self):
+        m = Nested()
+        assert len(m.parameters()) == 3
+
+    def test_named_parameters_qualified(self):
+        names = {name for name, _ in Nested().named_parameters()}
+        assert names == {"a.w", "b.w", "bias"}
+
+    def test_named_modules(self):
+        names = {name for name, _ in Nested().named_modules()}
+        assert names == {"", "a", "b"}
+
+    def test_shared_parameter_deduplicated(self):
+        m = Nested()
+        m.b.w = m.a.w  # tie weights
+        assert len(m.parameters()) == 2
+
+    def test_non_grad_tensor_not_registered(self):
+        m = Leaf()
+        m.buffer = Tensor(np.zeros(2))  # no requires_grad
+        assert all(p is not m.buffer for p in m.parameters())
+
+
+class TestReplaceModule:
+    def test_replace_leaf(self):
+        m = Nested()
+        new = Leaf()
+        m.replace_module("a", new)
+        assert m.a is new
+
+    def test_replace_nested_path(self):
+        outer = Module()
+        outer.inner = Nested()
+        new = Leaf()
+        outer.replace_module("inner.b", new)
+        assert outer.inner.b is new
+
+    def test_replace_missing_raises(self):
+        with pytest.raises(KeyError):
+            Nested().replace_module("nope", Leaf())
+
+    def test_replace_missing_nested_raises(self):
+        outer = Module()
+        outer.inner = Nested()
+        with pytest.raises(KeyError):
+            outer.replace_module("inner.nope", Leaf())
+
+
+class TestModes:
+    def test_train_eval_recursive(self):
+        m = Nested()
+        m.eval()
+        assert not m.training and not m.a.training
+        m.train()
+        assert m.training and m.b.training
+
+    def test_zero_grad_clears_all(self):
+        m = Nested()
+        out = m(Tensor(np.ones(2)))
+        out.sum().backward()
+        assert m.a.w.grad is not None
+        m.zero_grad()
+        assert all(p.grad is None for p in m.parameters())
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        m1, m2 = Nested(), Nested()
+        m1.a.w.data[:] = 7.0
+        m2.load_state_dict(m1.state_dict())
+        np.testing.assert_allclose(m2.a.w.data, 7.0)
+
+    def test_state_dict_is_copy(self):
+        m = Nested()
+        state = m.state_dict()
+        state["a.w"][:] = 99.0
+        assert m.a.w.data[0] == 1.0
+
+    def test_missing_key_raises(self):
+        m = Nested()
+        state = m.state_dict()
+        del state["bias"]
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        m = Nested()
+        state = m.state_dict()
+        state["bias"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            m.load_state_dict(state)
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        rng = np.random.default_rng(0)
+        seq = Sequential(Linear(4, 8, rng=rng), Linear(8, 2, rng=rng))
+        out = seq(Tensor(rng.normal(size=(3, 4))))
+        assert out.shape == (3, 2)
+
+    def test_sequential_len_getitem_iter(self):
+        seq = Sequential(Leaf(), Leaf(), Leaf())
+        assert len(seq) == 3
+        assert isinstance(seq[1], Leaf)
+        assert sum(1 for _ in seq) == 3
+
+    def test_sequential_parameters(self):
+        seq = Sequential(Leaf(), Leaf())
+        assert len(seq.parameters()) == 2
+
+    def test_module_list_append_and_iterate(self):
+        ml = ModuleList()
+        ml.append(Leaf())
+        ml.append(Leaf())
+        assert len(ml) == 2
+        assert isinstance(ml[0], Leaf)
+        assert len(list(ml)) == 2
+
+    def test_module_list_init_from_iterable(self):
+        ml = ModuleList(Leaf() for _ in range(4))
+        assert len(ml) == 4
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)

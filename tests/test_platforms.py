@@ -1,0 +1,110 @@
+"""Unit tests for DRAM-PIM platform models and primitives."""
+
+import numpy as np
+import pytest
+
+from repro.pim import (
+    PLATFORMS,
+    LocalMemory,
+    PECompute,
+    TransferBandwidth,
+    aim,
+    get_platform,
+    hbm_pim,
+    upmem_pim_dimm,
+)
+
+
+class TestTransferBandwidth:
+    def test_latency_alpha_beta(self):
+        bw = TransferBandwidth(peak_bytes_per_s=1e9, setup_latency_s=1e-6)
+        assert bw.latency(1e9) == pytest.approx(1.0 + 1e-6)
+        assert bw.latency(0) == 0.0
+
+    def test_small_transfers_setup_dominated(self):
+        bw = TransferBandwidth(peak_bytes_per_s=1e9, setup_latency_s=1e-3)
+        assert bw.effective_bandwidth(1000) < 0.01 * bw.peak_bytes_per_s
+
+    def test_tile_knee_collapses_small_tiles(self):
+        bw = TransferBandwidth(1e9, 0.0, tile_knee_bytes=8192)
+        assert bw.rate(8192) == pytest.approx(0.5e9)
+        assert bw.rate(1e9) == pytest.approx(1e9, rel=1e-4)
+        assert bw.rate(None) == 1e9
+
+    def test_knee_disabled_by_default(self):
+        bw = TransferBandwidth(1e9, 0.0)
+        assert bw.rate(1) == 1e9
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            TransferBandwidth(1e9, 0.0).latency(-1)
+
+
+class TestLocalMemory:
+    def test_streaming_latency(self):
+        mem = LocalMemory(peak_bytes_per_s=1e9, access_setup_s=0.0, buffer_bytes=1024)
+        assert mem.latency(1e9, 2048) == pytest.approx(1.0)
+
+    def test_small_access_pays_setup_per_chunk(self):
+        mem = LocalMemory(peak_bytes_per_s=1e9, access_setup_s=1e-6, buffer_bytes=1024)
+        t_small = mem.latency(1e6, 8)
+        t_large = mem.latency(1e6, 2048)
+        assert t_small > 50 * t_large
+
+    def test_zero_bytes(self):
+        mem = LocalMemory(1e9, 1e-6, 1024)
+        assert mem.latency(0, 8) == 0.0
+
+    def test_access_clamped_to_total(self):
+        mem = LocalMemory(1e9, 1e-6, 1024)
+        # One access when the chunk exceeds the total.
+        assert mem.latency(100, 1000) == pytest.approx(1e-6 + 100 / 1e9)
+
+
+class TestPECompute:
+    def test_add_mult_lookup_times(self):
+        pe = PECompute(frequency_hz=1e9, add_cycles=2, mult_cycles=10,
+                       lookup_overhead_cycles=4, simd_lanes=2)
+        assert pe.add_time(1e9) == pytest.approx(1.0)
+        assert pe.mult_time(1e9) == pytest.approx(5.0)
+        assert pe.lookup_time(1e9) == pytest.approx(4.0)
+
+
+class TestPlatforms:
+    def test_registry_and_getter(self):
+        assert set(PLATFORMS) == {"upmem", "hbm-pim", "aim"}
+        assert get_platform("UPMEM").name == "UPMEM PIM-DIMM"
+        with pytest.raises(KeyError):
+            get_platform("tpu")
+
+    def test_upmem_table3_configuration(self):
+        p = upmem_pim_dimm()
+        assert p.num_pes == 1024
+        assert p.compute.frequency_hz == 350e6
+        assert p.local_memory.buffer_bytes == 64 * 1024
+        assert p.pim_power_w == pytest.approx(8 * 13.92)
+        assert "fp32_mac_cycles" in p.extras
+
+    def test_hbm_pim_aggregate_compute_near_4_8_tflops(self):
+        """Effective lanes are sized to the paper's 4.8 TFLOPS total."""
+        p = hbm_pim()
+        assert p.peak_add_throughput == pytest.approx(4.8e12, rel=0.5)
+
+    def test_aim_faster_than_hbm_pim(self):
+        """Paper §6.7: AiM has ~3.3x HBM-PIM's aggregate compute."""
+        assert aim().peak_add_throughput > 2 * hbm_pim().peak_add_throughput
+
+    def test_pes_per_rank(self):
+        p = upmem_pim_dimm()
+        assert p.pes_per_rank * p.ranks == p.num_pes
+
+    def test_simulated_platforms_keep_luts_resident(self):
+        assert hbm_pim().extras.get("lut_resident")
+        assert aim().extras.get("lut_resident")
+        assert not upmem_pim_dimm().extras.get("lut_resident", 0)
+
+    def test_broadcast_faster_than_scatter_on_upmem(self):
+        """[33]: broadcasting yields the highest host->PIM bandwidth."""
+        p = upmem_pim_dimm()
+        assert p.broadcast.peak_bytes_per_s > p.scatter.peak_bytes_per_s
+        assert p.scatter.peak_bytes_per_s > p.gather.peak_bytes_per_s

@@ -1,0 +1,190 @@
+"""Property-based tests (hypothesis) on cross-cutting invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor, softmax
+from repro.core import (
+    Codebooks,
+    LUTShape,
+    closest_centroid_search,
+    flop_reduction,
+    gemm_ops,
+    hard_replace,
+    lutnn_ops,
+    quantize_lut,
+    squared_distances,
+)
+from repro.mapping import Mapping, buffer_bytes_required, estimate_latency, is_legal, num_pes_used
+from repro.pim import get_platform
+
+
+# ----------------------------------------------------------------------
+# Autograd invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.integers(1, 6),
+    cols=st.integers(1, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_softmax_is_distribution(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(scale=5.0, size=(rows, cols)))
+    out = softmax(x).data
+    assert np.all(out >= 0)
+    np.testing.assert_allclose(out.sum(axis=-1), np.ones(rows), atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    shape=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+    seed=st.integers(0, 10_000),
+)
+def test_sum_gradient_is_ones(shape, seed):
+    rng = np.random.default_rng(seed)
+    t = Tensor(rng.normal(size=shape), requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones(shape))
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), k=st.integers(1, 5))
+def test_linear_combination_gradient(seed, k):
+    """d/dx (c . x) = c for any constant c (checks matmul + sum routing)."""
+    rng = np.random.default_rng(seed)
+    c = rng.normal(size=(k,))
+    x = Tensor(rng.normal(size=(k,)), requires_grad=True)
+    (x * Tensor(c)).sum().backward()
+    np.testing.assert_allclose(x.grad, c, atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# LUT-NN invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(1, 12),
+    cb=st.integers(1, 4),
+    ct=st.integers(2, 6),
+    v=st.integers(1, 3),
+    seed=st.integers(0, 10_000),
+)
+def test_hard_replace_never_increases_distance(n, cb, ct, v, seed):
+    """Snapping to the closest centroid minimizes per-column L2 distance."""
+    rng = np.random.default_rng(seed)
+    cbs = Codebooks(rng.normal(size=(cb, ct, v)))
+    x = rng.normal(size=(n, cb * v))
+    replaced = hard_replace(x, cbs)
+    dists = squared_distances(x, cbs)
+    best = dists.min(axis=-1)
+    achieved = ((x - replaced).reshape(n, cb, v) ** 2).sum(-1)
+    np.testing.assert_allclose(achieved, best, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(1, 10),
+    cb=st.integers(1, 3),
+    ct=st.integers(1, 5),
+    v=st.integers(1, 3),
+    seed=st.integers(0, 10_000),
+)
+def test_ccs_indices_in_range(n, cb, ct, v, seed):
+    rng = np.random.default_rng(seed)
+    cbs = Codebooks(rng.normal(size=(cb, ct, v)))
+    idx = closest_centroid_search(rng.normal(size=(n, cb * v)), cbs)
+    assert idx.shape == (n, cb)
+    assert idx.min() >= 0 and idx.max() < ct
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    cb=st.integers(1, 4),
+    ct=st.integers(1, 5),
+    f=st.integers(1, 6),
+    scale=st.floats(0.01, 100.0),
+    seed=st.integers(0, 10_000),
+)
+def test_quantization_error_bounded_by_half_step(cb, ct, f, scale, seed):
+    rng = np.random.default_rng(seed)
+    lut = rng.normal(size=(cb, ct, f)) * scale
+    q = quantize_lut(lut)
+    steps = q.scales[:, None, None]
+    assert np.all(np.abs(lut - q.dequantize()) <= steps * 0.5 + 1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(1, 64),
+    h=st.sampled_from([16, 32, 64]),
+    f=st.integers(1, 64),
+    v=st.sampled_from([2, 4, 8]),
+    ct=st.sampled_from([4, 8, 16]),
+)
+def test_flop_counts_positive_and_consistent(n, h, f, v, ct):
+    shape = LUTShape(n=n, h=h, f=f, v=v, ct=ct)
+    lut = lutnn_ops(shape)
+    gemm = gemm_ops(n, h, f)
+    assert lut.total > 0 and gemm.total > 0
+    assert flop_reduction(shape) == pytest.approx(gemm.total / lut.total)
+    # Multiplications only come from index calculation.
+    assert lut.multiplications == n * h * ct
+
+
+# ----------------------------------------------------------------------
+# Mapping invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    n_groups=st.sampled_from([1, 2, 4, 8]),
+    pes_per_group=st.sampled_from([1, 2, 4, 8]),
+    n_m=st.sampled_from([1, 2, 4]),
+    f_m=st.sampled_from([1, 2, 4]),
+    cb_m=st.sampled_from([1, 2, 4]),
+    traversal_idx=st.integers(0, 5),
+    scheme=st.sampled_from(["static", "coarse", "fine"]),
+)
+def test_legal_mappings_have_positive_finite_latency(
+    n_groups, pes_per_group, n_m, f_m, cb_m, traversal_idx, scheme
+):
+    from repro.mapping import TRAVERSALS
+
+    shape = LUTShape(n=64, h=16, f=32, v=4, ct=8)
+    platform = get_platform("upmem")
+    mapping = Mapping(
+        n_s_tile=shape.n // n_groups,
+        f_s_tile=shape.f // pes_per_group,
+        n_m_tile=n_m,
+        f_m_tile=f_m,
+        cb_m_tile=cb_m,
+        traversal=TRAVERSALS[traversal_idx],
+        load_scheme=scheme,
+        cb_load_tile=1,
+        f_load_tile=1,
+    )
+    assume(is_legal(shape, mapping, platform))
+    lb = estimate_latency(shape, mapping, platform)
+    assert np.isfinite(lb.total) and lb.total > 0
+    assert lb.kernel_reduce > 0
+    assert num_pes_used(shape, mapping) <= platform.num_pes
+    assert buffer_bytes_required(shape, mapping) <= platform.local_memory.buffer_bytes
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_scale=st.sampled_from([1, 2, 4]),
+    seed=st.integers(0, 100),
+)
+def test_latency_monotone_in_workload_rows(n_scale, seed):
+    """More rows under the same partition shape never get cheaper."""
+    platform = get_platform("upmem")
+    base = LUTShape(n=64, h=16, f=32, v=4, ct=8)
+    scaled = LUTShape(n=64 * n_scale, h=16, f=32, v=4, ct=8)
+    m_base = Mapping(16, 8, 4, 4, 2, load_scheme="coarse", cb_load_tile=2, f_load_tile=4)
+    m_scaled = m_base.with_(n_s_tile=16 * n_scale)
+    t_base = estimate_latency(base, m_base, platform).total
+    t_scaled = estimate_latency(scaled, m_scaled, platform).total
+    assert t_scaled >= t_base - 1e-12

@@ -1,0 +1,54 @@
+"""Unit tests for the serving queueing simulation."""
+
+import pytest
+
+from repro.engine import load_sweep, simulate_queue
+
+
+class TestSimulateQueue:
+    def test_low_load_latency_near_service_time(self):
+        stats = simulate_queue(service_time_s=1.0, arrival_rate_rps=0.05,
+                               num_requests=500, seed=1)
+        assert stats.p50_latency_s == pytest.approx(1.0, rel=0.05)
+        assert stats.queueing_inflation < 1.2
+
+    def test_high_load_inflates_tail(self):
+        low = simulate_queue(1.0, 0.3, num_requests=3000, seed=2)
+        high = simulate_queue(1.0, 0.9, num_requests=3000, seed=2)
+        assert high.p99_latency_s > 3 * low.p99_latency_s
+        assert high.mean_latency_s > low.mean_latency_s
+
+    def test_uniform_arrivals_never_queue_below_capacity(self):
+        stats = simulate_queue(1.0, 0.8, arrivals="uniform", num_requests=500)
+        assert stats.mean_latency_s == pytest.approx(1.0, rel=1e-6)
+
+    def test_percentiles_ordered(self):
+        stats = simulate_queue(0.5, 1.2, num_requests=2000, seed=3)
+        assert stats.p50_latency_s <= stats.p95_latency_s <= stats.p99_latency_s
+
+    def test_unstable_load_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_queue(1.0, 1.0)
+        with pytest.raises(ValueError):
+            simulate_queue(1.0, 2.0)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            simulate_queue(0.0, 0.5)
+        with pytest.raises(ValueError):
+            simulate_queue(1.0, -1.0)
+        with pytest.raises(ValueError):
+            simulate_queue(1.0, 0.5, arrivals="bursty")
+
+
+class TestLoadSweep:
+    def test_latency_monotone_in_utilization(self):
+        sweep = load_sweep(0.25, utilizations=(0.3, 0.6, 0.9),
+                           num_requests=3000, seed=4)
+        means = [s.mean_latency_s for s in sweep]
+        assert means == sorted(means)
+        assert [round(s.utilization, 2) for s in sweep] == [0.3, 0.6, 0.9]
+
+    def test_rejects_out_of_range_utilization(self):
+        with pytest.raises(ValueError):
+            load_sweep(1.0, utilizations=(1.2,))

@@ -1,0 +1,155 @@
+"""Unit tests for mapping persistence, kernel tracing, and the CLI."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import LUTShape
+from repro.mapping import (
+    AutoTuner,
+    Mapping,
+    MappingStore,
+    mapping_from_dict,
+    mapping_to_dict,
+)
+from repro.pim import PIMSimulator, get_platform, trace_kernel
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return get_platform("upmem")
+
+
+@pytest.fixture(scope="module")
+def tuned(platform):
+    shape = LUTShape(n=512, h=64, f=128, v=4, ct=8)
+    return shape, AutoTuner(platform).tune(shape)
+
+
+class TestMappingSerialization:
+    def test_round_trip(self):
+        m = Mapping(64, 32, 8, 8, 4, traversal=("f", "n", "cb"),
+                    load_scheme="coarse", cb_load_tile=2, f_load_tile=4)
+        assert mapping_from_dict(mapping_to_dict(m)) == m
+
+    def test_dict_is_json_compatible(self):
+        m = Mapping(64, 32, 8, 8, 4)
+        assert json.loads(json.dumps(mapping_to_dict(m))) == mapping_to_dict(m)
+
+
+class TestMappingStore:
+    def test_put_get_round_trip(self, tuned):
+        shape, result = tuned
+        store = MappingStore()
+        store.put("upmem", result)
+        loaded = store.get("upmem", shape)
+        assert loaded.mapping == result.mapping
+        assert loaded.latency.total == pytest.approx(result.latency.total)
+        assert ("upmem", shape) in store
+        assert len(store) == 1
+
+    def test_get_missing_returns_none(self, tuned):
+        shape, _ = tuned
+        assert MappingStore().get("upmem", shape) is None
+
+    def test_save_load_file(self, tuned, tmp_path):
+        shape, result = tuned
+        path = str(tmp_path / "mappings.json")
+        store = MappingStore()
+        store.put("upmem", result)
+        store.save(path)
+        assert os.path.exists(path)
+
+        reloaded = MappingStore(path)
+        assert reloaded.get("upmem", shape).mapping == result.mapping
+
+    def test_save_without_path_raises(self):
+        with pytest.raises(ValueError):
+            MappingStore().save()
+
+    def test_version_check(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as fh:
+            json.dump({"version": 99, "entries": {}}, fh)
+        with pytest.raises(ValueError):
+            MappingStore(path)
+
+    def test_distinct_platforms_do_not_collide(self, tuned):
+        shape, result = tuned
+        store = MappingStore()
+        store.put("upmem", result)
+        assert store.get("aim", shape) is None
+
+
+class TestKernelTrace:
+    def test_trace_total_matches_simulator_kernel_time(self, platform, tuned):
+        shape, result = tuned
+        trace = trace_kernel(shape, result.mapping, platform)
+        sim = PIMSimulator(platform).run(shape, result.mapping)
+        assert trace.total_s == pytest.approx(sim.kernel_s, rel=1e-9)
+
+    def test_events_are_ordered_and_disjoint(self, platform, tuned):
+        shape, result = tuned
+        trace = trace_kernel(shape, result.mapping, platform)
+        for before, after in zip(trace.events, trace.events[1:]):
+            assert after.time_s >= before.end_s - 1e-15
+
+    def test_time_by_kind_sums_to_busy_time(self, platform, tuned):
+        shape, result = tuned
+        trace = trace_kernel(shape, result.mapping, platform)
+        busy = sum(trace.time_by_kind().values())
+        assert busy <= trace.total_s + 1e-12
+        assert "reduce" in trace.time_by_kind()
+
+    def test_render_produces_rows(self, platform, tuned):
+        shape, result = tuned
+        text = trace_kernel(shape, result.mapping, platform).render(width=40)
+        assert "reduce" in text
+        assert "|" in text
+
+    def test_rejects_illegal_mapping(self, platform):
+        shape = LUTShape(n=512, h=64, f=128, v=4, ct=8)
+        with pytest.raises(ValueError):
+            trace_kernel(shape, Mapping(100, 32, 4, 8, 4), platform)
+
+    def test_rejects_oversized_traces(self, platform):
+        shape = LUTShape(n=65536, h=2048, f=4096, v=4, ct=16)
+        huge = Mapping(n_s_tile=65536, f_s_tile=8, n_m_tile=1, f_m_tile=1,
+                       cb_m_tile=1, load_scheme="fine", f_load_tile=1)
+        with pytest.raises(ValueError):
+            trace_kernel(shape, huge, platform)
+
+
+class TestCLI:
+    def test_platforms_command(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "UPMEM" in out and "AiM" in out
+
+    def test_flops_command(self, capsys):
+        assert main(["flops", "--n", "1024", "--h", "1024", "--f", "1024",
+                     "--v", "2", "--ct", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "3.66x" in out
+
+    def test_tune_and_simulate_with_store(self, capsys, tmp_path):
+        store = str(tmp_path / "maps.json")
+        args = ["--n", "512", "--h", "64", "--f", "128", "--v", "4", "--ct", "8"]
+        assert main(["tune", "--platform", "upmem", *args, "--store", store]) == 0
+        assert os.path.exists(store)
+        assert main(["simulate", "--platform", "upmem", *args, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "using stored mapping" in out
+        assert "analytical-model error" in out
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "--model", "bert-base"]) == 0
+        out = capsys.readouterr().out
+        assert "pim-dl" in out and "cpu-fp32" in out
+
+    def test_compare_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "--model", "gpt-17"])

@@ -1,0 +1,88 @@
+"""Unit tests for the PIM-DL Auto-Tuner (paper Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LUTShape
+from repro.mapping import (
+    AutoTuner,
+    enumerate_micro_kernels,
+    estimate_latency,
+    is_legal,
+)
+from repro.pim import get_platform
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return get_platform("upmem")
+
+
+@pytest.fixture(scope="module")
+def shape():
+    return LUTShape(n=1024, h=64, f=256, v=4, ct=16)
+
+
+class TestAutoTuner:
+    def test_returns_legal_mapping(self, platform, shape):
+        result = AutoTuner(platform).tune(shape)
+        assert is_legal(shape, result.mapping, platform)
+        assert result.cost > 0
+        assert result.candidates_evaluated > 0
+
+    def test_matches_exhaustive_reference(self, platform):
+        small = LUTShape(n=128, h=16, f=32, v=4, ct=4)
+        tuner = AutoTuner(platform)
+        fast = tuner.tune(small)
+        slow = tuner.tune_exhaustive(small)
+        assert fast.cost == pytest.approx(slow.cost, rel=1e-12)
+
+    def test_result_is_cached(self, platform, shape):
+        tuner = AutoTuner(platform)
+        first = tuner.tune(shape)
+        second = tuner.tune(shape)
+        assert first is second
+
+    def test_beats_random_legal_mappings(self, platform, shape):
+        result = AutoTuner(platform).tune(shape)
+        rng = np.random.default_rng(0)
+        sampled = 0
+        for n_s, f_s in [(128, 32), (256, 64), (1024, 256)]:
+            for m in enumerate_micro_kernels(shape, n_s, f_s, platform, max_points=50):
+                if rng.random() < 0.3:
+                    lb = estimate_latency(shape, m, platform)
+                    assert result.cost <= lb.total + 1e-12
+                    sampled += 1
+        assert sampled > 10
+
+    def test_amortized_tuner_cheaper(self, platform, shape):
+        full = AutoTuner(platform).tune(shape)
+        amortized = AutoTuner(platform, amortize_lut_distribution=True).tune(shape)
+        assert amortized.cost < full.cost
+
+    def test_bert_large_ffn1_tunes_quickly(self, platform):
+        """The paper's Fig. 13 workload tunes in about a second (§5.3)."""
+        import time
+
+        shape = LUTShape(n=32768, h=1024, f=4096, v=4, ct=16)
+        start = time.time()
+        result = AutoTuner(platform).tune(shape)
+        elapsed = time.time() - start
+        assert elapsed < 10.0
+        assert is_legal(shape, result.mapping, platform)
+
+    def test_different_platforms_yield_different_mappings(self, shape):
+        up = AutoTuner(get_platform("upmem")).tune(shape)
+        hbm = AutoTuner(get_platform("hbm-pim")).tune(shape)
+        # Cost scales must differ wildly (HBM-PIM is orders faster).
+        assert hbm.cost < up.cost
+
+    def test_impossible_shape_raises(self):
+        from dataclasses import replace
+
+        platform = get_platform("upmem")
+        broken = replace(
+            platform, local_memory=replace(platform.local_memory, buffer_bytes=1)
+        )
+        with pytest.raises(RuntimeError):
+            AutoTuner(broken).tune(LUTShape(n=64, h=16, f=32, v=4, ct=4))
