@@ -31,14 +31,10 @@ def test_fig11a_latency_breakdown(benchmark, report, pimdl_reports):
     def run():
         out = {}
         for name, rep in pimdl_reports.items():
-            cats = rep.category_breakdown()
-            total = rep.total_s
-            out[name] = {
-                "lut": cats.get("lut", 0) / total,
-                "ccs": cats.get("ccs", 0) / total,
-                "other": 1.0
-                - (cats.get("lut", 0) + cats.get("ccs", 0)) / total,
-            }
+            shares = rep.category_shares()
+            lut = shares.get("lut", 0.0)
+            ccs = shares.get("ccs", 0.0)
+            out[name] = {"lut": lut, "ccs": ccs, "other": 1.0 - lut - ccs}
         return out
 
     shares = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -16,6 +16,7 @@ Package map
 ``repro.baselines``  CPU/GPU roofline hosts
 ``repro.workloads``  model configs and synthetic tasks
 ``repro.analysis``   FLOP/roofline analytics and reporting
+``repro.obs``        telemetry: metrics registry, span tracing, trace export
 
 Quickstart
 ----------
@@ -25,7 +26,18 @@ See ``examples/quickstart.py`` for the full conversion → calibration →
 deployment walkthrough and ``benchmarks/`` for the paper's experiments.
 """
 
-from . import analysis, autograd, baselines, core, engine, mapping, nn, pim, workloads
+from . import (
+    analysis,
+    autograd,
+    baselines,
+    core,
+    engine,
+    mapping,
+    nn,
+    obs,
+    pim,
+    workloads,
+)
 from .core import (
     BaselineLUTNNCalibrator,
     Codebooks,
@@ -53,6 +65,7 @@ __all__ = [
     "baselines",
     "workloads",
     "analysis",
+    "obs",
     "LUTShape",
     "Codebooks",
     "LUTLinear",

@@ -8,7 +8,16 @@ Subcommands mirror the offline workflow of paper Fig. 5:
 * ``simulate`` — run the event-level simulator for a shape (tuned or with
   explicit mapping parameters) and print the latency breakdown;
 * ``flops`` — op-count / reduction analytics for a GEMM shape (Fig. 3);
-* ``compare`` — end-to-end engine comparison for a named model (Fig. 10).
+* ``compare`` — end-to-end engine comparison for a named model (Fig. 10);
+* ``trace-export`` — tune + simulate one shape and write the telemetry as
+  a Chrome-trace file (viewable in Perfetto / ``chrome://tracing``).
+
+Observability flags: ``platforms``/``flops``/``compare`` take ``--json``
+for machine-readable output; ``tune``/``simulate``/``compare`` take
+``--emit-trace PATH`` (Chrome-trace export of the run's spans, engine
+timelines, and micro-kernel events) and ``--metrics-json PATH`` (snapshot
+of the default :class:`~repro.obs.MetricsRegistry`); ``tune --progress N``
+prints search progress every N candidates.
 
 Run ``python -m repro <subcommand> --help`` for the options.
 """
@@ -16,13 +25,15 @@ Run ``python -m repro <subcommand> --help`` for the options.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
+from . import obs
 from .analysis import format_table
 from .core import LUTShape, flop_reduction, gemm_ops, lutnn_ops
 from .mapping import AutoTuner, Mapping, MappingStore, estimate_latency
-from .pim import PIMSimulator, PLATFORMS, get_platform
+from .pim import PIMSimulator, PLATFORMS, get_platform, trace_kernel
 from .workloads import EVAL_MODELS
 
 
@@ -34,11 +45,78 @@ def _add_shape_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--ct", type=int, default=16, help="centroids per codebook")
 
 
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--emit-trace", metavar="PATH",
+        help="write a Chrome-trace-format JSON of this run's telemetry",
+    )
+    parser.add_argument(
+        "--metrics-json", metavar="PATH",
+        help="write a JSON snapshot of the metrics registry",
+    )
+
+
 def _shape_from_args(args) -> LUTShape:
     return LUTShape(n=args.n, h=args.h, f=args.f, v=args.v, ct=args.ct)
 
 
+def _print_json(payload) -> None:
+    print(json.dumps(obs.to_jsonable(payload), indent=2, sort_keys=True))
+
+
+def _finish_telemetry(args, reports=(), kernel_traces=()) -> int:
+    """Honor ``--emit-trace`` / ``--metrics-json`` at the end of a command.
+
+    Returns a process exit code: the command's work already succeeded at
+    this point, so an unwritable path must not surface as a traceback.
+    """
+    try:
+        if getattr(args, "metrics_json", None):
+            with open(args.metrics_json, "w") as fh:
+                fh.write(obs.get_registry().to_json(indent=2) + "\n")
+            print(f"metrics written to {args.metrics_json}", file=sys.stderr)
+        if getattr(args, "emit_trace", None):
+            document = obs.write_chrome_trace(
+                args.emit_trace,
+                spans=obs.get_tracer().finished_spans(),
+                reports=reports,
+                kernel_traces=kernel_traces,
+                metrics=obs.get_registry().snapshot(),
+            )
+            print(
+                f"chrome trace written to {args.emit_trace} "
+                f"({len(document['traceEvents'])} events)",
+                file=sys.stderr,
+            )
+    except OSError as exc:
+        print(f"error: cannot write telemetry output: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _maybe_trace_kernel(shape: LUTShape, mapping: Mapping, platform):
+    """Trace the micro-kernel when it is within the explicit-walk bound."""
+    try:
+        return trace_kernel(shape, mapping, platform)
+    except ValueError as exc:
+        print(f"micro-kernel trace skipped: {exc}", file=sys.stderr)
+        return None
+
+
 def cmd_platforms(args) -> int:
+    if args.json:
+        _print_json({
+            name: {
+                "name": (p := get_platform(name)).name,
+                "num_pes": p.num_pes,
+                "frequency_hz": p.compute.frequency_hz,
+                "buffer_bytes": p.local_memory.buffer_bytes,
+                "peak_add_throughput": p.peak_add_throughput,
+                "pim_power_w": p.pim_power_w,
+            }
+            for name in sorted(PLATFORMS)
+        })
+        return 0
     rows = []
     for name in sorted(PLATFORMS):
         p = get_platform(name)
@@ -57,10 +135,32 @@ def cmd_platforms(args) -> int:
     return 0
 
 
+def _progress_printer(every: int):
+    def callback(progress) -> None:
+        if progress.evaluated % every:
+            return
+        best = (
+            f"best {progress.best_cost * 1e3:.3f} ms"
+            if progress.best_cost is not None
+            else "no legal mapping yet"
+        )
+        print(
+            f"[tune] {progress.evaluated} candidates, "
+            f"{progress.pruned} pruned, {best}",
+            file=sys.stderr,
+        )
+    return callback
+
+
 def cmd_tune(args) -> int:
     platform = get_platform(args.platform)
     shape = _shape_from_args(args)
-    tuner = AutoTuner(platform, amortize_lut_distribution=args.amortize_lut)
+    callback = _progress_printer(args.progress) if args.progress else None
+    tuner = AutoTuner(
+        platform,
+        amortize_lut_distribution=args.amortize_lut,
+        progress_callback=callback,
+    )
     result = tuner.tune(shape)
     m = result.mapping
     print(format_table(
@@ -72,6 +172,7 @@ def cmd_tune(args) -> int:
             ["traversal order", "->".join(m.traversal)],
             ["load scheme", m.load_scheme],
             ["load tiles", f"cb={m.cb_load_tile}, f={m.f_load_tile}"],
+            ["candidates evaluated", result.candidates_evaluated],
             ["estimated latency", f"{result.cost * 1e3:.3f} ms"],
             ["sub-LUT / kernel split",
              f"{result.latency.sub_lut_partition * 1e3:.3f} / "
@@ -83,7 +184,7 @@ def cmd_tune(args) -> int:
         store.put(args.platform, result)
         store.save()
         print(f"mapping saved to {args.store}")
-    return 0
+    return _finish_telemetry(args)
 
 
 def cmd_simulate(args) -> int:
@@ -113,13 +214,33 @@ def cmd_simulate(args) -> int:
         ],
     ))
     print(f"PEs used: {report.num_pes}; analytical-model error: {error:.1%}")
-    return 0
+    kernel_traces = []
+    if args.emit_trace:
+        trace = _maybe_trace_kernel(shape, mapping, platform)
+        if trace is not None:
+            kernel_traces.append(trace)
+    return _finish_telemetry(args, kernel_traces=kernel_traces)
 
 
 def cmd_flops(args) -> int:
     shape = _shape_from_args(args)
     gemm = gemm_ops(shape.n, shape.h, shape.f)
     lut = lutnn_ops(shape)
+    if args.json:
+        def op_counts(counts) -> dict:
+            payload = obs.to_jsonable(counts)
+            payload["total"] = counts.total
+            payload["multiplication_fraction"] = counts.multiplication_fraction
+            return payload
+
+        _print_json({
+            "shape": {"n": shape.n, "h": shape.h, "f": shape.f,
+                      "v": shape.v, "ct": shape.ct},
+            "gemm": op_counts(gemm),
+            "lut_nn": op_counts(lut),
+            "flop_reduction": flop_reduction(shape),
+        })
+        return 0
     print(format_table(
         ["metric", "GEMM", "LUT-NN"],
         [
@@ -136,7 +257,7 @@ def cmd_flops(args) -> int:
 
 def cmd_compare(args) -> int:
     from .baselines import cpu_server_fp32, cpu_server_int8, wimpy_host
-    from .engine import GEMMPIMEngine, HostEngine, PIMDLEngine
+    from .engine import GEMMPIMEngine, HostEngine, LINEAR, PIMDLEngine, model_graph
 
     if args.model not in EVAL_MODELS:
         print(f"unknown model {args.model!r}; choose from {sorted(EVAL_MODELS)}",
@@ -145,25 +266,78 @@ def cmd_compare(args) -> int:
     config = EVAL_MODELS[args.model]
     platform = get_platform(args.platform)
     host = wimpy_host()
+    pimdl = PIMDLEngine(platform, host, v=args.v, ct=args.ct)
     engines = {
         "cpu-fp32": HostEngine(cpu_server_fp32()),
         "cpu-int8": HostEngine(cpu_server_int8()),
         "pim-gemm": GEMMPIMEngine(platform, host),
-        f"pim-dl (V={args.v},CT={args.ct})": PIMDLEngine(
-            platform, host, v=args.v, ct=args.ct
-        ),
+        f"pim-dl (V={args.v},CT={args.ct})": pimdl,
     }
     rows = []
+    reports = {}
     for name, engine in engines.items():
         report = engine.run(config)
+        reports[name] = report
         rows.append([
             name,
             f"{report.total_s:.2f}",
             f"{report.energy.total_j / 1e3:.2f}",
             f"{report.pim_s / report.total_s:.0%}" if report.pim_s else "-",
         ])
-    print(f"{config.name}: batch {config.batch_size}, seq {config.seq_len}")
-    print(format_table(["engine", "latency_s", "energy_kJ", "pim share"], rows))
+    if args.json:
+        _print_json({
+            "model": config.name,
+            "batch_size": config.batch_size,
+            "seq_len": config.seq_len,
+            "platform": args.platform,
+            "engines": {name: rep.to_jsonable() for name, rep in reports.items()},
+        })
+    else:
+        print(f"{config.name}: batch {config.batch_size}, seq {config.seq_len}")
+        print(format_table(["engine", "latency_s", "energy_kJ", "pim share"], rows))
+
+    kernel_traces = []
+    if args.emit_trace:
+        # Include one simulated micro-kernel timeline: the PIM-DL engine's
+        # first linear layer, under its tuned (memoised) mapping.
+        first_linear = next(
+            (op for op in model_graph(config) if op.kind == LINEAR), None
+        )
+        if first_linear is not None:
+            shape = pimdl.lut_shape(config.tokens, first_linear.h, first_linear.f)
+            tuned = pimdl.tuner.tune(shape)
+            trace = _maybe_trace_kernel(shape, tuned.mapping, platform)
+            if trace is not None:
+                kernel_traces.append(trace)
+    return _finish_telemetry(args, reports=list(reports.values()),
+                             kernel_traces=kernel_traces)
+
+
+def cmd_trace_export(args) -> int:
+    """Tune + simulate one shape and export the full telemetry picture."""
+    platform = get_platform(args.platform)
+    shape = _shape_from_args(args)
+    mapping: Optional[Mapping] = None
+    if args.store:
+        stored = MappingStore(args.store).get(args.platform, shape)
+        if stored is not None:
+            mapping = stored.mapping
+    if mapping is None:
+        mapping = AutoTuner(platform).tune(shape).mapping
+    PIMSimulator(platform).run(shape, mapping)
+    kernel_traces = []
+    trace = _maybe_trace_kernel(shape, mapping, platform)
+    if trace is not None:
+        kernel_traces.append(trace)
+    document = obs.write_chrome_trace(
+        args.out,
+        spans=obs.get_tracer().finished_spans(),
+        kernel_traces=kernel_traces,
+        metrics=obs.get_registry().snapshot(),
+    )
+    print(f"chrome trace written to {args.out} "
+          f"({len(document['traceEvents'])} events)")
+    print("open it in Perfetto (https://ui.perfetto.dev) or chrome://tracing")
     return 0
 
 
@@ -173,7 +347,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("platforms", help="list modeled DRAM-PIM platforms")
+    platforms = sub.add_parser("platforms", help="list modeled DRAM-PIM platforms")
+    platforms.add_argument("--json", action="store_true",
+                           help="machine-readable output")
 
     tune = sub.add_parser("tune", help="auto-tune a LUT workload (Algorithm 1)")
     tune.add_argument("--platform", default="upmem", choices=sorted(PLATFORMS))
@@ -181,14 +357,19 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--amortize-lut", action="store_true",
                       help="treat LUTs as resident in PIM memory")
     tune.add_argument("--store", help="JSON mapping store to update")
+    tune.add_argument("--progress", type=int, metavar="N", default=0,
+                      help="print search progress every N candidates")
+    _add_telemetry_arguments(tune)
 
     simulate = sub.add_parser("simulate", help="run the event-level simulator")
     simulate.add_argument("--platform", default="upmem", choices=sorted(PLATFORMS))
     _add_shape_arguments(simulate)
     simulate.add_argument("--store", help="JSON mapping store to read")
+    _add_telemetry_arguments(simulate)
 
     flops = sub.add_parser("flops", help="GEMM vs LUT-NN op counts (Fig. 3)")
     _add_shape_arguments(flops)
+    flops.add_argument("--json", action="store_true", help="machine-readable output")
 
     compare = sub.add_parser("compare", help="end-to-end engine comparison")
     compare.add_argument("--model", default="bert-base",
@@ -196,6 +377,20 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--platform", default="upmem", choices=sorted(PLATFORMS))
     compare.add_argument("--v", type=int, default=4)
     compare.add_argument("--ct", type=int, default=16)
+    compare.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+    _add_telemetry_arguments(compare)
+
+    trace_export = sub.add_parser(
+        "trace-export",
+        help="tune + simulate one shape and write a Chrome-trace file",
+    )
+    trace_export.add_argument("--platform", default="upmem",
+                              choices=sorted(PLATFORMS))
+    _add_shape_arguments(trace_export)
+    trace_export.add_argument("--store", help="JSON mapping store to read")
+    trace_export.add_argument("--out", required=True, metavar="PATH",
+                              help="output Chrome-trace JSON file")
     return parser
 
 
@@ -205,6 +400,7 @@ COMMANDS = {
     "simulate": cmd_simulate,
     "flops": cmd_flops,
     "compare": cmd_compare,
+    "trace-export": cmd_trace_export,
 }
 
 

@@ -18,11 +18,33 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..autograd import Adam, Tensor, accuracy, cross_entropy
 from ..nn.module import Module
 from .conversion import lut_layers, set_lut_mode
 
 Batch = Tuple[object, np.ndarray]
+
+
+def _record_step(
+    result: "CalibrationResult", loss: float, model_loss: float, recon: float
+) -> None:
+    """Append one training step to the result and the telemetry series.
+
+    The per-step loss curves land in the default registry as bounded
+    ``Series`` metrics (``calibration.loss`` etc.), so a run's trajectory
+    is inspectable from a ``--metrics-json`` dump without threading the
+    :class:`CalibrationResult` through the call stack.
+    """
+    result.loss_history.append(loss)
+    result.model_loss_history.append(model_loss)
+    result.reconstruction_history.append(recon)
+    registry = obs.get_registry()
+    registry.counter("calibration.steps").inc()
+    registry.series("calibration.loss").append(loss)
+    registry.series("calibration.model_loss").append(model_loss)
+    registry.series("calibration.reconstruction").append(recon)
+    registry.gauge("calibration.last_loss").set(loss)
 
 
 @dataclass
@@ -45,13 +67,18 @@ def evaluate_accuracy(model: Module, batches: Sequence[Batch]) -> float:
     model.eval()
     correct = 0
     total = 0
-    for inputs, targets in batches:
-        logits = model(inputs)
-        correct += int(round(accuracy(logits, targets) * len(targets)))
-        total += len(targets)
+    with obs.get_tracer().span("calibration.evaluate_accuracy"):
+        for inputs, targets in batches:
+            logits = model(inputs)
+            correct += int(round(accuracy(logits, targets) * len(targets)))
+            total += len(targets)
     if was_training:
         model.train()
-    return correct / max(total, 1)
+    acc = correct / max(total, 1)
+    registry = obs.get_registry()
+    registry.gauge("calibration.accuracy").set(acc)
+    registry.series("calibration.accuracy_history").append(acc)
+    return acc
 
 
 class ELUTNNCalibrator:
@@ -103,29 +130,35 @@ class ELUTNNCalibrator:
         optimizer = Adam(self._trainable_parameters(model), lr=self.lr)
         result = CalibrationResult(steps=0)
 
-        for _ in range(epochs):
-            for inputs, targets in batches:
-                if max_steps is not None and result.steps >= max_steps:
-                    return result
-                logits = model(inputs)
-                model_loss = self.loss_fn(logits, targets)
-                recon = None
-                for _, layer in layers:
-                    term = layer.last_reconstruction_loss
-                    if term is None:
-                        continue
-                    recon = term if recon is None else recon + term
-                loss = model_loss if recon is None else model_loss + self.beta * recon
-                optimizer.zero_grad()
-                loss.backward()
-                optimizer.step()
+        with obs.get_tracer().span(
+            "calibration.calibrate", algorithm="elut-nn", beta=self.beta, lr=self.lr
+        ) as span:
+            for _ in range(epochs):
+                for inputs, targets in batches:
+                    if max_steps is not None and result.steps >= max_steps:
+                        span.set_attribute("steps", result.steps)
+                        return result
+                    logits = model(inputs)
+                    model_loss = self.loss_fn(logits, targets)
+                    recon = None
+                    for _, layer in layers:
+                        term = layer.last_reconstruction_loss
+                        if term is None:
+                            continue
+                        recon = term if recon is None else recon + term
+                    loss = model_loss if recon is None else model_loss + self.beta * recon
+                    optimizer.zero_grad()
+                    loss.backward()
+                    optimizer.step()
 
-                result.steps += 1
-                result.loss_history.append(loss.item())
-                result.model_loss_history.append(model_loss.item())
-                result.reconstruction_history.append(
-                    recon.item() if recon is not None else 0.0
-                )
+                    result.steps += 1
+                    _record_step(
+                        result,
+                        loss.item(),
+                        model_loss.item(),
+                        recon.item() if recon is not None else 0.0,
+                    )
+            span.set_attribute("steps", result.steps)
         return result
 
 
@@ -190,28 +223,31 @@ class BaselineLUTNNCalibrator:
         total_steps = max(total_steps, 1)
 
         step = 0
-        for _ in range(epochs):
-            for inputs, targets in batches:
-                if max_steps is not None and step >= max_steps:
-                    return result
-                # Exponential temperature annealing toward hard assignment.
-                progress = step / total_steps
-                temp = self.initial_temperature * (
-                    (self.final_temperature / self.initial_temperature) ** progress
-                )
-                for _, layer in layers:
-                    layer.temperature = temp
-                    layer.gumbel_noise = self.gumbel_noise
+        with obs.get_tracer().span(
+            "calibration.calibrate", algorithm="baseline-lut-nn", lr=self.lr
+        ) as span:
+            for _ in range(epochs):
+                for inputs, targets in batches:
+                    if max_steps is not None and step >= max_steps:
+                        span.set_attribute("steps", step)
+                        return result
+                    # Exponential temperature annealing toward hard assignment.
+                    progress = step / total_steps
+                    temp = self.initial_temperature * (
+                        (self.final_temperature / self.initial_temperature) ** progress
+                    )
+                    for _, layer in layers:
+                        layer.temperature = temp
+                        layer.gumbel_noise = self.gumbel_noise
 
-                logits = model(inputs)
-                loss = self.loss_fn(logits, targets)
-                optimizer.zero_grad()
-                loss.backward()
-                optimizer.step()
+                    logits = model(inputs)
+                    loss = self.loss_fn(logits, targets)
+                    optimizer.zero_grad()
+                    loss.backward()
+                    optimizer.step()
 
-                step += 1
-                result.steps = step
-                result.loss_history.append(loss.item())
-                result.model_loss_history.append(loss.item())
-                result.reconstruction_history.append(0.0)
+                    step += 1
+                    result.steps = step
+                    _record_step(result, loss.item(), loss.item(), 0.0)
+            span.set_attribute("steps", step)
         return result

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .. import obs
 from ..baselines.roofline import RooflineDevice
 from ..core.codebook import LUTShape
 from ..mapping.tuner import AutoTuner
@@ -24,6 +25,20 @@ from ..pim.platforms import PIMPlatform
 from ..workloads.configs import TransformerConfig
 from .graph import LINEAR, model_graph
 from .report import EngineReport, OpLatency
+
+
+def _observe_op(report: EngineReport, op: OpLatency) -> None:
+    """Append ``op`` and record its modeled latency in the registry."""
+    obs.get_registry().histogram("engine.op_model_seconds").observe(op.seconds)
+    report.ops.append(op)
+
+
+def _finish_run(report: EngineReport, span) -> None:
+    registry = obs.get_registry()
+    registry.counter("engine.runs").inc()
+    registry.counter("engine.ops").inc(len(report.ops))
+    span.set_attribute("model_total_s", report.total_s)
+    span.set_attribute("ops", len(report.ops))
 
 
 class HostEngine:
@@ -38,12 +53,20 @@ class HostEngine:
         return f"host[{self.device.name}]"
 
     def run(self, config: TransformerConfig) -> EngineReport:
+        tracer = obs.get_tracer()
         report = EngineReport(engine=self.name, model=config.name)
-        for op in model_graph(config, self.dtype_bytes):
-            seconds = self.device.op_time(op.flops, op.bytes_moved)
-            category = "gemm" if op.kind == LINEAR else op.kind
-            report.ops.append(OpLatency(op.name, "host", category, seconds))
-        report.energy = host_only_energy(self.device, report.total_s)
+        with tracer.span("engine.run", engine=self.name, model=config.name) as root:
+            for op in model_graph(config, self.dtype_bytes):
+                category = "gemm" if op.kind == LINEAR else op.kind
+                with tracer.span(
+                    f"op:{op.name}", engine=self.name, device="host",
+                    category=category,
+                ) as sp:
+                    seconds = self.device.op_time(op.flops, op.bytes_moved)
+                    sp.set_attribute("model_seconds", seconds)
+                _observe_op(report, OpLatency(op.name, "host", category, seconds))
+            report.energy = host_only_energy(self.device, report.total_s)
+            _finish_run(report, root)
         return report
 
 
@@ -59,16 +82,33 @@ class GEMMPIMEngine:
         return f"pim-gemm[{self.platform.name}]"
 
     def run(self, config: TransformerConfig) -> EngineReport:
+        tracer = obs.get_tracer()
         report = EngineReport(engine=self.name, model=config.name)
-        n = config.tokens
-        for op in model_graph(config):
-            if op.kind == LINEAR:
-                breakdown = linear_layer_on_pim(self.platform, n, op.h, op.f)
-                report.ops.append(OpLatency(op.name, "pim", "gemm", breakdown.total))
-            else:
-                seconds = self.host.op_time(op.flops, op.bytes_moved)
-                report.ops.append(OpLatency(op.name, "host", op.kind, seconds))
-        report.energy = pim_system_energy(self.platform, report.host_s, report.pim_s)
+        with tracer.span("engine.run", engine=self.name, model=config.name) as root:
+            n = config.tokens
+            for op in model_graph(config):
+                if op.kind == LINEAR:
+                    with tracer.span(
+                        f"op:{op.name}", engine=self.name, device="pim",
+                        category="gemm",
+                    ) as sp:
+                        breakdown = linear_layer_on_pim(self.platform, n, op.h, op.f)
+                        sp.set_attribute("model_seconds", breakdown.total)
+                    _observe_op(
+                        report, OpLatency(op.name, "pim", "gemm", breakdown.total)
+                    )
+                else:
+                    with tracer.span(
+                        f"op:{op.name}", engine=self.name, device="host",
+                        category=op.kind,
+                    ) as sp:
+                        seconds = self.host.op_time(op.flops, op.bytes_moved)
+                        sp.set_attribute("model_seconds", seconds)
+                    _observe_op(report, OpLatency(op.name, "host", op.kind, seconds))
+            report.energy = pim_system_energy(
+                self.platform, report.host_s, report.pim_s
+            )
+            _finish_run(report, root)
         return report
 
 
@@ -144,21 +184,44 @@ class PIMDLEngine:
         ``max(host_time, pim_time)`` is exposed instead of their sum.  The
         sequential default matches the paper's measured system.
         """
+        tracer = obs.get_tracer()
         report = EngineReport(engine=self.name, model=config.name)
-        n = config.tokens
-        for op in model_graph(config):
-            if op.kind == LINEAR:
-                report.ops.append(
-                    OpLatency(f"{op.name}/CCS", "host", "ccs", self._ccs_time(n, op.h))
-                )
-                tuned = self.tuner.tune(self.lut_shape(n, op.h, op.f))
-                report.ops.append(
-                    OpLatency(f"{op.name}/LUT", "pim", "lut", tuned.latency.total)
-                )
-            else:
-                seconds = self.host.op_time(op.flops, op.bytes_moved)
-                report.ops.append(OpLatency(op.name, "host", op.kind, seconds))
-        if pipeline_overlap:
-            report.overlap_hidden_s = min(report.host_s, report.pim_s)
-        report.energy = pim_system_energy(self.platform, report.host_s, report.pim_s)
+        with tracer.span("engine.run", engine=self.name, model=config.name) as root:
+            n = config.tokens
+            for op in model_graph(config):
+                if op.kind == LINEAR:
+                    with tracer.span(
+                        f"op:{op.name}/CCS", engine=self.name, device="host",
+                        category="ccs",
+                    ) as sp:
+                        ccs_seconds = self._ccs_time(n, op.h)
+                        sp.set_attribute("model_seconds", ccs_seconds)
+                    _observe_op(
+                        report, OpLatency(f"{op.name}/CCS", "host", "ccs", ccs_seconds)
+                    )
+                    # The LUT op's costing span nests the tuner's own spans.
+                    with tracer.span(
+                        f"op:{op.name}/LUT", engine=self.name, device="pim",
+                        category="lut",
+                    ) as sp:
+                        tuned = self.tuner.tune(self.lut_shape(n, op.h, op.f))
+                        sp.set_attribute("model_seconds", tuned.latency.total)
+                    _observe_op(
+                        report,
+                        OpLatency(f"{op.name}/LUT", "pim", "lut", tuned.latency.total),
+                    )
+                else:
+                    with tracer.span(
+                        f"op:{op.name}", engine=self.name, device="host",
+                        category=op.kind,
+                    ) as sp:
+                        seconds = self.host.op_time(op.flops, op.bytes_moved)
+                        sp.set_attribute("model_seconds", seconds)
+                    _observe_op(report, OpLatency(op.name, "host", op.kind, seconds))
+            if pipeline_overlap:
+                report.overlap_hidden_s = min(report.host_s, report.pim_s)
+            report.energy = pim_system_energy(
+                self.platform, report.host_s, report.pim_s
+            )
+            _finish_run(report, root)
         return report

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..pim.energy import EnergyReport
 
@@ -41,12 +41,44 @@ class EngineReport:
     def pim_s(self) -> float:
         return sum(op.seconds for op in self.ops if op.device == "pim")
 
-    def category_breakdown(self) -> Dict[str, float]:
-        """Latency per category — the data behind paper Fig. 11-(a)."""
+    def per_category_seconds(self, device: Optional[str] = None) -> Dict[str, float]:
+        """Seconds per op category, optionally restricted to one device.
+
+        The canonical Fig. 11-style aggregation (gemm vs. attention vs.
+        elementwise vs. lut vs. ccs; pass ``device="host"``/``"pim"`` for
+        the host/PIM split of one category).
+        """
         out: Dict[str, float] = {}
         for op in self.ops:
+            if device is not None and op.device != device:
+                continue
             out[op.category] = out.get(op.category, 0.0) + op.seconds
         return out
+
+    def per_device_seconds(self) -> Dict[str, float]:
+        """Seconds per device ("host" / "pim")."""
+        out: Dict[str, float] = {}
+        for op in self.ops:
+            out[op.device] = out.get(op.device, 0.0) + op.seconds
+        return out
+
+    def category_shares(self) -> Dict[str, float]:
+        """Each category's fraction of ``total_s`` (sums can exceed 1 when
+        overlap hides latency, since shares are of the *exposed* total)."""
+        total = self.total_s
+        if total <= 0:
+            return {category: 0.0 for category in self.per_category_seconds()}
+        return {
+            category: seconds / total
+            for category, seconds in self.per_category_seconds().items()
+        }
+
+    def category_breakdown(self) -> Dict[str, float]:
+        """Latency per category — the data behind paper Fig. 11-(a).
+
+        Alias of :meth:`per_category_seconds` kept for existing callers.
+        """
+        return self.per_category_seconds()
 
     def per_operator(self) -> Dict[str, float]:
         """Latency per operator name — the data behind paper Fig. 11-(b)."""
@@ -58,3 +90,27 @@ class EngineReport:
     @property
     def throughput_inferences_per_s(self) -> float:
         return 1.0 / self.total_s if self.total_s > 0 else float("inf")
+
+    def to_jsonable(self) -> dict:
+        """Machine-readable roll-up (the CLI's ``--json`` compare output)."""
+        return {
+            "engine": self.engine,
+            "model": self.model,
+            "total_s": self.total_s,
+            "host_s": self.host_s,
+            "pim_s": self.pim_s,
+            "overlap_hidden_s": self.overlap_hidden_s,
+            "per_category_seconds": self.per_category_seconds(),
+            "per_device_seconds": self.per_device_seconds(),
+            "per_operator_seconds": self.per_operator(),
+            "energy_j": self.energy.total_j if self.energy is not None else None,
+            "ops": [
+                {
+                    "name": op.name,
+                    "device": op.device,
+                    "category": op.category,
+                    "seconds": op.seconds,
+                }
+                for op in self.ops
+            ],
+        }

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from .. import obs
 from ..baselines.roofline import RooflineDevice
 from ..pim.platforms import PIMPlatform
 from ..workloads.configs import TransformerConfig
@@ -110,15 +111,41 @@ class GenerationServer:
         prompt_len = prompt_len or config.seq_len
         batch_size = batch_size or config.batch_size
         prefill_config = config.with_(seq_len=prompt_len, batch_size=batch_size)
-        prefill_s = self._prefill.run(prefill_config).total_s
 
-        decode_s = 0.0
-        if generate_len:
-            average_context = prompt_len + generate_len // 2
-            token = self._decode.run(
-                prefill_config, batch_size=batch_size, context_len=average_context
-            )
-            decode_s = token.token_latency_s * generate_len
+        tracer = obs.get_tracer()
+        registry = obs.get_registry()
+        with tracer.span(
+            "serving.request",
+            engine=self.name,
+            model=config.name,
+            prompt_len=prompt_len,
+            generate_len=generate_len,
+            batch_size=batch_size,
+        ) as request_span:
+            with tracer.span("serving.prefill", engine=self.name) as sp:
+                prefill_s = self._prefill.run(prefill_config).total_s
+                sp.set_attribute("model_seconds", prefill_s)
+
+            decode_s = 0.0
+            if generate_len:
+                average_context = prompt_len + generate_len // 2
+                with tracer.span(
+                    "serving.decode", engine=self.name, context_len=average_context
+                ) as sp:
+                    token = self._decode.run(
+                        prefill_config,
+                        batch_size=batch_size,
+                        context_len=average_context,
+                    )
+                    decode_s = token.token_latency_s * generate_len
+                    sp.set_attribute("model_seconds", decode_s)
+            request_span.set_attribute("model_seconds", prefill_s + decode_s)
+
+        registry.counter("serving.requests").inc()
+        registry.counter("serving.generated_tokens").inc(batch_size * generate_len)
+        registry.histogram("serving.request_model_seconds").observe(
+            prefill_s + decode_s
+        )
 
         return ServingReport(
             engine=self.name,

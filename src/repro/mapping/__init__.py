@@ -16,7 +16,7 @@ from .space import (
     num_pes_used,
 )
 from .store import MappingStore, mapping_from_dict, mapping_to_dict
-from .tuner import AutoTuner, TuningResult
+from .tuner import AutoTuner, TuneProgress, TuningResult
 
 __all__ = [
     "Mapping",
@@ -35,6 +35,7 @@ __all__ = [
     "search_micro_kernels",
     "LatencyBreakdown",
     "AutoTuner",
+    "TuneProgress",
     "TuningResult",
     "MappingStore",
     "mapping_to_dict",

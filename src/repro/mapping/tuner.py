@@ -8,13 +8,20 @@ analytical model, and returns the globally cheapest mapping.
 Tuning is offline and fast (the paper reports ~1 s per model on a CPU): the
 cost of a candidate is a closed-form evaluation, and per-layer results are
 memoised by workload shape.
+
+Telemetry: every search records into ``repro.obs`` — counters
+``tuner.candidates_evaluated`` / ``tuner.tilings_pruned`` (sub-LUT tilings
+with no legal micro-kernel), gauge ``tuner.best_cost_s``, and per-candidate
+spans under a ``tuner.tune`` root span.  An optional ``progress_callback``
+surfaces the same stream synchronously (the CLI uses it for ``--progress``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
+from .. import obs
 from ..core.codebook import LUTShape
 from ..pim.platforms import PIMPlatform
 from .analytical import LatencyBreakdown, estimate_latency, search_micro_kernels
@@ -35,6 +42,18 @@ class TuningResult:
         return self.latency.total
 
 
+@dataclass(frozen=True)
+class TuneProgress:
+    """One progress tick of a running search (see ``progress_callback``)."""
+
+    evaluated: int
+    pruned: int
+    best_cost: Optional[float]
+
+
+ProgressCallback = Callable[[TuneProgress], None]
+
+
 class AutoTuner:
     """Exhaustive mapping search over the PIM-DL design space.
 
@@ -48,6 +67,10 @@ class AutoTuner:
     max_micro_kernels:
         Optional cap on micro-kernel candidates per sub-LUT tiling, for
         fast approximate tuning.
+    progress_callback:
+        Invoked with a :class:`TuneProgress` after every candidate
+        evaluation (per sub-LUT tiling in :meth:`tune`, per mapping in
+        :meth:`tune_exhaustive`).  The search is silent without it.
     """
 
     def __init__(
@@ -55,41 +78,80 @@ class AutoTuner:
         platform: PIMPlatform,
         amortize_lut_distribution: bool = False,
         max_micro_kernels: Optional[int] = None,
+        progress_callback: Optional[ProgressCallback] = None,
     ):
         self.platform = platform
         self.amortize_lut_distribution = amortize_lut_distribution
         self.max_micro_kernels = max_micro_kernels
+        self.progress_callback = progress_callback
         self._cache: Dict[Tuple, TuningResult] = {}
+
+    def _progress(self, evaluated: int, pruned: int, best) -> None:
+        if self.progress_callback is not None:
+            self.progress_callback(
+                TuneProgress(
+                    evaluated=evaluated,
+                    pruned=pruned,
+                    best_cost=best.latency.total if best is not None else None,
+                )
+            )
 
     def tune(self, shape: LUTShape) -> TuningResult:
         """Run Algorithm 1 for ``shape`` and return the optimal mapping."""
+        registry = obs.get_registry()
+        registry.counter("tuner.tune_calls").inc()
         key = (shape, self.amortize_lut_distribution)
         if key in self._cache:
+            registry.counter("tuner.cache_hits").inc()
             return self._cache[key]
+
+        candidates = registry.counter("tuner.candidates_evaluated")
+        pruned_counter = registry.counter("tuner.tilings_pruned")
+        best_gauge = registry.gauge("tuner.best_cost_s")
+        tracer = obs.get_tracer()
 
         best: Optional[TuningResult] = None
         evaluated = 0
-        for n_s, f_s in enumerate_sub_lut_tilings(shape, self.platform):
-            found = search_micro_kernels(shape, n_s, f_s, self.platform)
-            evaluated += 1
-            if found is None:
-                continue
-            mapping, _ = found
-            # Re-score the winner with the full model (adds the sub-LUT
-            # partition terms of Eq. 3, which are constant per tiling pair).
-            breakdown = estimate_latency(
-                shape,
-                mapping,
-                self.platform,
-                amortize_lut_distribution=self.amortize_lut_distribution,
-            )
-            if best is None or breakdown.total < best.latency.total:
-                best = TuningResult(
-                    shape=shape,
-                    mapping=mapping,
-                    latency=breakdown,
-                    candidates_evaluated=evaluated,
-                )
+        pruned = 0
+        with tracer.span(
+            "tuner.tune",
+            platform=self.platform.name,
+            shape=f"N={shape.n} CB={shape.cb} CT={shape.ct} F={shape.f}",
+        ) as root:
+            for n_s, f_s in enumerate_sub_lut_tilings(shape, self.platform):
+                with tracer.span("tuner.tiling", n_s=n_s, f_s=f_s) as tile_span:
+                    found = search_micro_kernels(shape, n_s, f_s, self.platform)
+                    evaluated += 1
+                    candidates.inc()
+                    if found is None:
+                        pruned += 1
+                        pruned_counter.inc()
+                        tile_span.set_attribute("pruned", True)
+                        self._progress(evaluated, pruned, best)
+                        continue
+                    mapping, _ = found
+                    # Re-score the winner with the full model (adds the sub-LUT
+                    # partition terms of Eq. 3, which are constant per tiling pair).
+                    breakdown = estimate_latency(
+                        shape,
+                        mapping,
+                        self.platform,
+                        amortize_lut_distribution=self.amortize_lut_distribution,
+                    )
+                    tile_span.set_attribute("cost_s", breakdown.total)
+                    if best is None or breakdown.total < best.latency.total:
+                        best = TuningResult(
+                            shape=shape,
+                            mapping=mapping,
+                            latency=breakdown,
+                            candidates_evaluated=evaluated,
+                        )
+                        best_gauge.set(breakdown.total)
+                self._progress(evaluated, pruned, best)
+            root.set_attribute("candidates", evaluated)
+            root.set_attribute("pruned", pruned)
+            if best is not None:
+                root.set_attribute("best_cost_s", best.latency.total)
         if best is None:
             raise RuntimeError(f"no legal mapping found for shape {shape}")
         best = TuningResult(best.shape, best.mapping, best.latency, evaluated)
@@ -103,21 +165,46 @@ class AutoTuner:
         time.  Orders of magnitude slower than :meth:`tune`; retained for
         validating the vectorized search on small shapes.
         """
+        registry = obs.get_registry()
+        registry.counter("tuner.tune_calls").inc()
+        candidates = registry.counter("tuner.candidates_evaluated")
+        pruned_counter = registry.counter("tuner.tilings_pruned")
+        best_gauge = registry.gauge("tuner.best_cost_s")
+        tracer = obs.get_tracer()
+
         best: Optional[TuningResult] = None
         evaluated = 0
-        for n_s, f_s in enumerate_sub_lut_tilings(shape, self.platform):
-            for mapping in enumerate_micro_kernels(
-                shape, n_s, f_s, self.platform, max_points=self.max_micro_kernels
-            ):
-                breakdown = estimate_latency(
-                    shape,
-                    mapping,
-                    self.platform,
-                    amortize_lut_distribution=self.amortize_lut_distribution,
-                )
-                evaluated += 1
-                if best is None or breakdown.total < best.latency.total:
-                    best = TuningResult(shape, mapping, breakdown, evaluated)
+        pruned = 0
+        with tracer.span(
+            "tuner.tune_exhaustive",
+            platform=self.platform.name,
+            shape=f"N={shape.n} CB={shape.cb} CT={shape.ct} F={shape.f}",
+        ) as root:
+            for n_s, f_s in enumerate_sub_lut_tilings(shape, self.platform):
+                tiling_had_legal = False
+                for mapping in enumerate_micro_kernels(
+                    shape, n_s, f_s, self.platform, max_points=self.max_micro_kernels
+                ):
+                    tiling_had_legal = True
+                    breakdown = estimate_latency(
+                        shape,
+                        mapping,
+                        self.platform,
+                        amortize_lut_distribution=self.amortize_lut_distribution,
+                    )
+                    evaluated += 1
+                    if best is None or breakdown.total < best.latency.total:
+                        best = TuningResult(shape, mapping, breakdown, evaluated)
+                        best_gauge.set(breakdown.total)
+                    self._progress(evaluated, pruned, best)
+                if not tiling_had_legal:
+                    pruned += 1
+                    pruned_counter.inc()
+            # Counted once at the end: per-mapping registry updates would be
+            # the hot path of the scalar loop.
+            candidates.inc(evaluated)
+            root.set_attribute("candidates", evaluated)
+            root.set_attribute("pruned", pruned)
         if best is None:
             raise RuntimeError(f"no legal mapping found for shape {shape}")
         return TuningResult(best.shape, best.mapping, best.latency, evaluated)

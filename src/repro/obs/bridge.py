@@ -1,0 +1,109 @@
+"""Bridges from the repo's native cost records to Chrome-trace events.
+
+Two record types predate the telemetry layer and stay authoritative for
+*modeled* time (as opposed to the wall-clock time a :class:`~repro.obs.tracing.Span`
+measures):
+
+* :class:`repro.engine.report.EngineReport` — per-op modeled latencies of
+  one engine inference;
+* :class:`repro.pim.trace.KernelTrace` — the event stream of one PE's
+  micro-kernel execution in the simulator.
+
+Both are converted here to Chrome-trace ``X`` (complete) events on their
+own process id, so engine-level op timelines and micro-kernel timelines
+land in the same viewable file as the wall-clock spans.  The converters
+duck-type their inputs to keep ``repro.obs`` import-free of the rest of
+the package.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Modeled timelines are rendered in microseconds like everything else in
+#: the Chrome trace format.
+_US = 1e6
+
+
+def process_metadata(pid: int, name: str, events: List[dict]) -> None:
+    """Append a ``process_name`` metadata event for ``pid``."""
+    events.append(
+        {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+         "args": {"name": name}}
+    )
+
+
+def report_to_chrome_events(report, pid: int) -> List[dict]:
+    """Lay an :class:`EngineReport`'s ops on a modeled sequential timeline.
+
+    The engines cost a sequential system (host and PIM alternate), so ops
+    are placed back-to-back in execution order; the host and PIM devices
+    get separate rows (``tid``) so the device handoff is visible.
+    """
+    events: List[dict] = []
+    process_metadata(pid, f"engine: {report.engine} [{report.model}]", events)
+    tids = {"host": 1, "pim": 2}
+    for device, tid in tids.items():
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+             "args": {"name": device}}
+        )
+    clock = 0.0
+    for op in report.ops:
+        events.append(
+            {
+                "name": op.name,
+                "cat": op.category,
+                "ph": "X",
+                "ts": clock * _US,
+                "dur": op.seconds * _US,
+                "pid": pid,
+                "tid": tids.get(op.device, 9),
+                "args": {
+                    "engine": report.engine,
+                    "model": report.model,
+                    "device": op.device,
+                    "category": op.category,
+                    "seconds": op.seconds,
+                },
+            }
+        )
+        clock += op.seconds
+    return events
+
+
+def kernel_trace_to_chrome_events(trace, pid: int) -> List[dict]:
+    """Convert a :class:`KernelTrace` to Chrome events, one row per kind.
+
+    Rows (``tid``) mirror the per-kind rows of ``KernelTrace.render`` so
+    the Perfetto view matches the text timeline.
+    """
+    events: List[dict] = []
+    mapping = trace.mapping
+    label = (
+        f"pim-kernel: n_m={mapping.n_m_tile} f_m={mapping.f_m_tile} "
+        f"cb_m={mapping.cb_m_tile} {'-'.join(mapping.traversal)} "
+        f"{mapping.load_scheme}"
+    )
+    process_metadata(pid, label, events)
+    kinds = sorted({event.kind for event in trace.events})
+    tids = {kind: i + 1 for i, kind in enumerate(kinds)}
+    for kind, tid in tids.items():
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+             "args": {"name": kind}}
+        )
+    for event in trace.events:
+        events.append(
+            {
+                "name": event.kind,
+                "cat": "pim-kernel",
+                "ph": "X",
+                "ts": event.time_s * _US,
+                "dur": event.duration_s * _US,
+                "pid": pid,
+                "tid": tids[event.kind],
+                "args": {"tile": list(event.tile)},
+            }
+        )
+    return events

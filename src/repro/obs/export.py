@@ -1,0 +1,177 @@
+"""Exporters: JSON helpers, span JSONL, and Chrome-trace-format files.
+
+The Chrome trace format (the JSON consumed by Perfetto and
+``chrome://tracing``) is the layer's interchange point: wall-clock spans,
+modeled engine timelines (:func:`repro.obs.bridge.report_to_chrome_events`),
+and simulator micro-kernel traces all render to the same ``traceEvents``
+list and can be viewed in one file.
+
+``to_jsonable`` is the shared serialization helper — the CLI's ``--json``
+output modes use it too, so machine-readable tables and telemetry agree
+on how dataclasses, numpy scalars, and tuples serialize.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import IO, Iterable, List, Optional, Sequence, Union
+
+from .bridge import kernel_trace_to_chrome_events, report_to_chrome_events
+from .tracing import Span
+
+
+def to_jsonable(obj):
+    """Recursively convert ``obj`` to JSON-compatible builtins.
+
+    Handles dataclasses, numpy scalars/arrays (duck-typed via ``item`` /
+    ``tolist``), mappings, sets, and sequences; unknown objects fall back
+    to ``str``.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in obj]
+    if hasattr(obj, "tolist"):  # numpy array
+        return to_jsonable(obj.tolist())
+    if hasattr(obj, "item"):  # numpy scalar
+        return to_jsonable(obj.item())
+    return str(obj)
+
+
+def dump_json(obj, fh_or_path: Union[str, IO[str]], indent: Optional[int] = 2) -> None:
+    """Write ``to_jsonable(obj)`` as JSON to a path or open file."""
+    payload = to_jsonable(obj)
+    if isinstance(fh_or_path, str):
+        with open(fh_or_path, "w") as fh:
+            json.dump(payload, fh, indent=indent)
+            fh.write("\n")
+    else:
+        json.dump(payload, fh_or_path, indent=indent)
+
+
+# ----------------------------------------------------------------------
+# JSONL span export
+# ----------------------------------------------------------------------
+
+def spans_to_jsonl_lines(spans: Iterable[Span]) -> List[str]:
+    return [json.dumps(to_jsonable(span.to_dict())) for span in spans]
+
+
+def write_spans_jsonl(path: str, spans: Iterable[Span]) -> int:
+    """Write one JSON object per finished span; returns the line count."""
+    lines = spans_to_jsonl_lines(spans)
+    with open(path, "w") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+    return len(lines)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace format
+# ----------------------------------------------------------------------
+
+#: pid reserved for wall-clock spans; modeled timelines start above it.
+WALL_PID = 1
+
+
+def spans_to_chrome_events(
+    spans: Sequence[Span], pid: int = WALL_PID, complete: bool = True
+) -> List[dict]:
+    """Render finished spans as Chrome events.
+
+    ``complete=True`` emits one ``X`` event per span (ts + dur);
+    ``complete=False`` emits matched ``B``/``E`` pairs, which some tools
+    prefer for deeply nested timelines.
+    """
+    events: List[dict] = []
+    if spans:
+        events.append(
+            {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"name": "wall clock"}}
+        )
+    for span in spans:
+        if span.end_s is None:
+            continue
+        base = {
+            "name": span.name,
+            "cat": str(span.attributes.get("category", "span")),
+            "pid": pid,
+            "tid": span.thread_id,
+            "args": to_jsonable(
+                {**span.attributes, "span_id": span.span_id,
+                 "parent_id": span.parent_id}
+            ),
+        }
+        ts = span.start_s * 1e6
+        if complete:
+            events.append({**base, "ph": "X", "ts": ts, "dur": span.duration_s * 1e6})
+        else:
+            events.append({**base, "ph": "B", "ts": ts})
+            events.append(
+                {"name": base["name"], "cat": base["cat"], "pid": pid,
+                 "tid": span.thread_id, "ph": "E", "ts": span.end_s * 1e6}
+            )
+    return events
+
+
+def build_chrome_trace(
+    spans: Sequence[Span] = (),
+    reports: Sequence = (),
+    kernel_traces: Sequence = (),
+    metrics: Optional[dict] = None,
+    complete: bool = True,
+) -> dict:
+    """Assemble one Chrome-trace document from all telemetry sources.
+
+    ``reports`` are :class:`~repro.engine.report.EngineReport` objects and
+    ``kernel_traces`` are :class:`~repro.pim.trace.KernelTrace` objects;
+    each gets its own process id.  ``metrics`` (e.g. a registry snapshot)
+    rides along in ``otherData``.
+    """
+    events: List[dict] = list(spans_to_chrome_events(spans, complete=complete))
+    pid = WALL_PID + 1
+    for report in reports:
+        events.extend(report_to_chrome_events(report, pid))
+        pid += 1
+    for trace in kernel_traces:
+        events.extend(kernel_trace_to_chrome_events(trace, pid))
+        pid += 1
+    metadata = [e for e in events if e.get("ph") == "M"]
+    timed = [e for e in events if e.get("ph") != "M"]
+    timed.sort(key=lambda e: (e.get("ts", 0.0), e.get("pid", 0), e.get("tid", 0)))
+    document = {
+        "traceEvents": metadata + timed,
+        "displayTimeUnit": "ms",
+    }
+    if metrics is not None:
+        document["otherData"] = {"metrics": to_jsonable(metrics)}
+    return document
+
+
+def write_chrome_trace(
+    path: str,
+    spans: Sequence[Span] = (),
+    reports: Sequence = (),
+    kernel_traces: Sequence = (),
+    metrics: Optional[dict] = None,
+    complete: bool = True,
+) -> dict:
+    """Build and write a Chrome-trace file; returns the document."""
+    document = build_chrome_trace(
+        spans=spans,
+        reports=reports,
+        kernel_traces=kernel_traces,
+        metrics=metrics,
+        complete=complete,
+    )
+    with open(path, "w") as fh:
+        json.dump(document, fh)
+    return document

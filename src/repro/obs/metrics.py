@@ -1,0 +1,319 @@
+"""Metrics primitives: counters, gauges, fixed-bucket histograms, series.
+
+A :class:`MetricsRegistry` is a named collection of instruments.  Every
+subsystem records into the process-wide default registry (see
+:func:`repro.obs.get_registry`), so after any run — a tuner search, a
+calibration pass, an end-to-end engine comparison — a single
+``snapshot()`` answers "what happened", and ``to_json()`` makes it
+machine-readable for the CLI's ``--metrics-json`` flag.
+
+Instruments are cheap (a lock plus a few float ops) and always-on; the
+``repro.obs`` package swaps in null instruments when telemetry is
+disabled, and ``tests/test_obs_overhead.py`` guards the overhead bound.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper edges for latencies in seconds
+#: (1 us .. 100 s, log-spaced by decade thirds).
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = tuple(
+    base * 10.0 ** exp
+    for exp in range(-6, 3)
+    for base in (1.0, 2.0, 5.0)
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "value": self._value}
+
+
+class Gauge:
+    """Last-write-wins scalar (e.g. best-cost-so-far)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        self._lock = threading.Lock()
+        self._value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value = (self._value or 0.0) + amount
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "value": self._value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    ``buckets`` are ascending upper edges; an observation lands in the
+    first bucket whose edge is >= the value, or in the overflow slot.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        description: str = "",
+    ):
+        edges = tuple(float(b) for b in buckets)
+        if not edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        if list(edges) != sorted(set(edges)):
+            raise ValueError(f"bucket edges must be strictly ascending: {edges}")
+        self.name = name
+        self.description = description
+        self.edges = edges
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(edges) + 1)  # +1 overflow
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = bisect_left(self.edges, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else float("nan")
+
+    def bucket_counts(self) -> List[Tuple[Optional[float], int]]:
+        """(upper_edge, count) pairs; the final edge ``None`` is overflow."""
+        edges: List[Optional[float]] = list(self.edges) + [None]
+        return list(zip(edges, self._counts))
+
+    def snapshot(self) -> dict:
+        return {
+            "type": self.kind,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "buckets": [
+                {"le": edge, "count": count} for edge, count in self.bucket_counts()
+            ],
+        }
+
+
+class Series:
+    """Bounded append-only time series — per-step loss curves and the like.
+
+    Keeps the most recent ``capacity`` points as ``(index, value)`` pairs;
+    the index is the global observation number, so a truncated series still
+    shows *where* in the run its points came from.
+    """
+
+    kind = "series"
+
+    def __init__(self, name: str, capacity: int = 4096, description: str = ""):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.name = name
+        self.description = description
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._points: List[Tuple[int, float]] = []
+        self._next_index = 0
+
+    def append(self, value: float) -> None:
+        with self._lock:
+            self._points.append((self._next_index, float(value)))
+            self._next_index += 1
+            if len(self._points) > self.capacity:
+                del self._points[0]
+
+    @property
+    def count(self) -> int:
+        return self._next_index
+
+    def points(self) -> List[Tuple[int, float]]:
+        with self._lock:
+            return list(self._points)
+
+    def values(self) -> List[float]:
+        return [v for _, v in self.points()]
+
+    def snapshot(self) -> dict:
+        return {
+            "type": self.kind,
+            "count": self._next_index,
+            "points": [[i, v] for i, v in self.points()],
+        }
+
+
+class MetricsRegistry:
+    """Named collection of instruments with get-or-create semantics."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, factory, kind: str):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if existing.kind != kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            instrument = factory()
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._get_or_create(name, lambda: Counter(name, description), "counter")
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name, description), "gauge")
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        description: str = "",
+    ) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, buckets, description), "histogram"
+        )
+
+    def series(
+        self, name: str, capacity: int = 4096, description: str = ""
+    ) -> Series:
+        return self._get_or_create(
+            name, lambda: Series(name, capacity, description), "series"
+        )
+
+    def get(self, name: str):
+        return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Plain-dict view of every instrument, keyed by name."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        return {name: inst.snapshot() for name, inst in sorted(instruments.items())}
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+
+class _NullInstrument:
+    """No-op stand-in used when telemetry is disabled."""
+
+    kind = "null"
+    name = "null"
+    description = ""
+    value = None
+    count = 0
+    sum = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def append(self, value: float) -> None:
+        pass
+
+    def points(self) -> list:
+        return []
+
+    def values(self) -> list:
+        return []
+
+    def snapshot(self) -> dict:
+        return {"type": "null"}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """Registry that hands out shared no-op instruments and records nothing."""
+
+    def _get_or_create(self, name, factory, kind):
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> Dict[str, dict]:
+        return {}
+
+
+NULL_REGISTRY = NullRegistry()

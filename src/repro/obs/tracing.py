@@ -1,0 +1,172 @@
+"""Span tracing: nested, thread-safe, wall-clock timed regions.
+
+A :class:`Tracer` hands out :class:`Span` context managers::
+
+    with tracer.span("tuner.tune", shape=str(shape)) as sp:
+        ...
+        sp.set_attribute("candidates", n)
+
+Spans nest per thread (the enclosing span becomes the parent), carry
+key-value attributes, and are timed with ``time.perf_counter`` against the
+tracer's epoch so all spans of one process share a timebase.  Finished
+spans accumulate in a bounded buffer; exporters (``repro.obs.export``)
+render them as JSONL or Chrome-trace JSON viewable in Perfetto /
+``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class Span:
+    """One timed region.  ``start_s``/``end_s`` are seconds since the
+    tracer's epoch; ``end_s`` is ``None`` while the span is open."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    thread_id: int
+    start_s: float
+    end_s: Optional[float] = None
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end_s - self.start_s
+
+    def set_attribute(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread_id": self.thread_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_s": self.end_s - self.start_s if self.end_s is not None else None,
+            "attributes": dict(self.attributes),
+        }
+
+
+class Tracer:
+    """Produces nested spans and buffers the finished ones.
+
+    Parameters
+    ----------
+    max_spans:
+        Bound on the finished-span buffer (oldest dropped first), so
+        always-on tracing cannot grow memory without limit.
+    """
+
+    def __init__(self, max_spans: int = 100_000):
+        self.epoch_perf = time.perf_counter()
+        self.epoch_unix = time.time()
+        self._ids = itertools.count(1)
+        self._finished: deque = deque(maxlen=max_spans)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- internals ------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _now(self) -> float:
+        return time.perf_counter() - self.epoch_perf
+
+    # -- public API -----------------------------------------------------
+    def current_span(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, **attributes) -> Iterator[Span]:
+        """Open a child span of this thread's current span."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        sp = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent else None,
+            thread_id=threading.get_ident(),
+            start_s=self._now(),
+            attributes=dict(attributes),
+        )
+        stack.append(sp)
+        try:
+            yield sp
+        finally:
+            sp.end_s = self._now()
+            stack.pop()
+            with self._lock:
+                self._finished.append(sp)
+
+    def finished_spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._finished)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+    def __len__(self) -> int:
+        return len(self._finished)
+
+
+class _NullSpan:
+    """Shared no-op span handed out by :class:`NullTracer`."""
+
+    name = "null"
+    span_id = 0
+    parent_id = None
+    thread_id = 0
+    start_s = 0.0
+    end_s = 0.0
+    duration_s = 0.0
+    attributes: Dict[str, object] = {}
+
+    def set_attribute(self, key: str, value: object) -> None:
+        pass
+
+    def to_dict(self) -> dict:
+        return {}
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """Tracer that records nothing; ``span()`` costs one attribute lookup."""
+
+    def __init__(self):
+        super().__init__(max_spans=1)
+
+    def span(self, name: str, **attributes) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def current_span(self) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()

@@ -65,6 +65,26 @@ class KernelTrace:
             out[event.kind] = out.get(event.kind, 0) + 1
         return out
 
+    def to_chrome_events(self, pid: int = 2) -> List[dict]:
+        """This trace as Chrome-trace events (one timeline row per kind).
+
+        The bridge in :mod:`repro.obs.bridge` owns the schema, so
+        micro-kernel timelines merge with engine spans in one file; see
+        ``repro.obs.write_chrome_trace`` / ``python -m repro trace-export``.
+        """
+        from ..obs.bridge import kernel_trace_to_chrome_events
+
+        return kernel_trace_to_chrome_events(self, pid=pid)
+
+    def to_jsonable(self) -> dict:
+        """Machine-readable summary of the event stream."""
+        return {
+            "total_s": self.total_s,
+            "events": len(self.events),
+            "time_by_kind": self.time_by_kind(),
+            "count_by_kind": self.count_by_kind(),
+        }
+
     def render(self, width: int = 64, max_rows: int = 40) -> str:
         """Plain-text timeline: one row per event kind, '#' marks busy time."""
         if not self.events:

@@ -1,0 +1,167 @@
+"""Unit tests for the metrics half of the telemetry layer."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import Histogram, MetricsRegistry, NULL_REGISTRY, Series
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, registry):
+        c = registry.counter("c")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increments(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+    def test_get_or_create_returns_same_instance(self, registry):
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+
+class TestGauge:
+    def test_unset_gauge_is_none(self, registry):
+        assert registry.gauge("g").value is None
+
+    def test_set_and_add(self, registry):
+        g = registry.gauge("g")
+        g.set(4.0)
+        g.add(1.5)
+        assert g.value == 5.5
+
+    def test_add_on_unset_starts_from_zero(self, registry):
+        g = registry.gauge("g")
+        g.add(2.0)
+        assert g.value == 2.0
+
+
+class TestHistogram:
+    def test_value_on_edge_lands_in_that_bucket(self):
+        h = Histogram("h", buckets=[1.0, 2.0, 4.0])
+        h.observe(2.0)  # le=2.0 is inclusive
+        counts = dict((edge, count) for edge, count in h.bucket_counts())
+        assert counts[2.0] == 1
+        assert counts[1.0] == 0 and counts[4.0] == 0
+
+    def test_below_first_edge_and_overflow(self):
+        h = Histogram("h", buckets=[1.0, 2.0])
+        h.observe(0.5)
+        h.observe(100.0)
+        buckets = h.bucket_counts()
+        assert buckets[0] == (1.0, 1)
+        assert buckets[-1] == (None, 1)  # overflow slot
+
+    def test_count_sum_min_max_mean(self):
+        h = Histogram("h", buckets=[10.0])
+        for v in (1.0, 3.0, 5.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(9.0)
+        assert h.mean == pytest.approx(3.0)
+        snap = h.snapshot()
+        assert snap["min"] == 1.0 and snap["max"] == 5.0
+
+    def test_empty_histogram_mean_is_nan(self):
+        import math
+        assert math.isnan(Histogram("h", buckets=[1.0]).mean)
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=[])
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=[2.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=[1.0, 1.0])
+
+    def test_default_time_buckets_are_ascending(self):
+        edges = obs.DEFAULT_TIME_BUCKETS
+        assert list(edges) == sorted(edges)
+        assert edges[0] <= 1e-6 and edges[-1] >= 100.0
+
+
+class TestSeries:
+    def test_points_keep_global_indices_after_truncation(self):
+        s = Series("s", capacity=3)
+        for v in range(5):
+            s.append(float(v))
+        assert s.count == 5
+        assert s.points() == [(2, 2.0), (3, 3.0), (4, 4.0)]
+        assert s.values() == [2.0, 3.0, 4.0]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            Series("s", capacity=0)
+
+
+class TestRegistry:
+    def test_snapshot_is_json_serializable(self, registry):
+        registry.counter("a").inc()
+        registry.gauge("b").set(1.0)
+        registry.histogram("c", buckets=[1.0]).observe(0.5)
+        registry.series("d").append(2.0)
+        snap = json.loads(registry.to_json())
+        assert set(snap) == {"a", "b", "c", "d"}
+        assert snap["a"] == {"type": "counter", "value": 1.0}
+        assert snap["c"]["count"] == 1
+        assert snap["d"]["points"] == [[0, 2.0]]
+
+    def test_reset_clears_instruments(self, registry):
+        registry.counter("a")
+        registry.reset()
+        assert len(registry) == 0 and "a" not in registry
+
+    def test_thread_safety_of_counter(self, registry):
+        c = registry.counter("c")
+
+        def work():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 4000
+
+    def test_null_registry_records_nothing(self):
+        NULL_REGISTRY.counter("x").inc(5)
+        NULL_REGISTRY.histogram("y").observe(1.0)
+        assert NULL_REGISTRY.snapshot() == {}
+
+
+class TestDefaults:
+    def test_disable_swaps_in_null_implementations(self):
+        obs.set_enabled(False)
+        try:
+            assert obs.get_registry() is NULL_REGISTRY
+            assert obs.get_tracer() is obs.NULL_TRACER
+            with obs.get_tracer().span("anything") as sp:
+                sp.set_attribute("k", 1)
+        finally:
+            obs.set_enabled(True)
+        assert obs.get_registry() is not NULL_REGISTRY
+
+    def test_set_registry_returns_previous(self):
+        mine = MetricsRegistry()
+        old = obs.set_registry(mine)
+        try:
+            assert obs.get_registry() is mine
+        finally:
+            obs.set_registry(old)

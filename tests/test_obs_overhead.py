@@ -1,0 +1,88 @@
+"""Guard: always-on telemetry must stay cheap.
+
+The instrumented hot path (``AutoTuner.tune``) with the default registry
+and tracer attached — but no exporters — must cost < 5% over the same run
+with telemetry disabled.  Run-to-run variance of the tuner itself is well
+above 5% on a loaded machine, so the guard interleaves the two
+configurations and keeps sampling pairs until the running minima satisfy
+the bound (or a rep budget runs out): it only fails when the overhead is
+*persistently* high, not when the scheduler hiccups once.
+"""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.core import LUTShape
+from repro.mapping import AutoTuner
+from repro.pim import get_platform
+
+SHAPE = LUTShape(n=1024, h=256, f=512, v=4, ct=16)
+MIN_REPS = 3
+MAX_REPS = 15
+#: 5% relative bound plus a small absolute floor so a sub-millisecond
+#: timer blip on a fast machine cannot fail the guard.
+RELATIVE_BOUND = 1.05
+ABSOLUTE_SLACK_S = 0.002
+
+
+def _tune_once(platform) -> float:
+    tuner = AutoTuner(platform)  # fresh instance: no memoised result
+    start = time.perf_counter()
+    tuner.tune(SHAPE)
+    return time.perf_counter() - start
+
+
+def test_instrumentation_overhead_under_five_percent():
+    platform = get_platform("upmem")
+    _tune_once(platform)  # warm numpy / allocator caches off the clock
+
+    enabled_times = []
+    disabled_times = []
+    try:
+        for rep in range(MAX_REPS):
+            obs.set_enabled(True)
+            enabled_times.append(_tune_once(platform))
+            obs.set_enabled(False)
+            disabled_times.append(_tune_once(platform))
+            if rep + 1 >= MIN_REPS and (
+                min(enabled_times)
+                <= min(disabled_times) * RELATIVE_BOUND + ABSOLUTE_SLACK_S
+            ):
+                break
+    finally:
+        obs.set_enabled(True)
+
+    enabled = min(enabled_times)
+    disabled = min(disabled_times)
+    assert enabled <= disabled * RELATIVE_BOUND + ABSOLUTE_SLACK_S, (
+        f"telemetry overhead too high after {len(enabled_times)} reps: "
+        f"{enabled:.4f}s instrumented vs {disabled:.4f}s disabled "
+        f"({enabled / disabled - 1:.1%})"
+    )
+
+
+def test_disabled_telemetry_records_nothing():
+    platform = get_platform("upmem")
+    obs.reset()
+    obs.set_enabled(False)
+    try:
+        AutoTuner(platform).tune(LUTShape(n=512, h=64, f=128, v=4, ct=8))
+        assert obs.get_registry().snapshot() == {}
+        assert obs.get_tracer().finished_spans() == []
+    finally:
+        obs.set_enabled(True)
+        obs.reset()
+
+
+def test_null_span_context_is_reentrant():
+    obs.set_enabled(False)
+    try:
+        tracer = obs.get_tracer()
+        with tracer.span("a") as outer:
+            with tracer.span("b") as inner:
+                inner.set_attribute("x", 1)
+            assert outer is inner  # shared singleton, by design
+    finally:
+        obs.set_enabled(True)

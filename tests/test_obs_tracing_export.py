@@ -1,0 +1,235 @@
+"""Tests for span tracing, the exporters, and the Chrome-trace bridges."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    Tracer,
+    build_chrome_trace,
+    kernel_trace_to_chrome_events,
+    report_to_chrome_events,
+    spans_to_chrome_events,
+    spans_to_jsonl_lines,
+    to_jsonable,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.core import LUTShape
+from repro.engine.report import EngineReport, OpLatency
+from repro.mapping import AutoTuner
+from repro.pim import get_platform, trace_kernel
+
+
+@pytest.fixture()
+def tracer():
+    return Tracer()
+
+
+def make_spans(tracer):
+    with tracer.span("outer", stage="demo"):
+        with tracer.span("inner-1"):
+            pass
+        with tracer.span("inner-2") as sp:
+            sp.set_attribute("k", 3)
+    return tracer.finished_spans()
+
+
+class TestTracer:
+    def test_nested_span_parenting(self, tracer):
+        spans = make_spans(tracer)
+        by_name = {s.name: s for s in spans}
+        outer = by_name["outer"]
+        assert outer.parent_id is None
+        assert by_name["inner-1"].parent_id == outer.span_id
+        assert by_name["inner-2"].parent_id == outer.span_id
+        assert by_name["inner-2"].attributes["k"] == 3
+
+    def test_children_finish_before_parent(self, tracer):
+        spans = make_spans(tracer)
+        # Finished order: children first, then the parent.
+        assert [s.name for s in spans] == ["inner-1", "inner-2", "outer"]
+        outer = spans[-1]
+        for child in spans[:-1]:
+            assert child.start_s >= outer.start_s
+            assert child.end_s <= outer.end_s
+
+    def test_duration_requires_closed_span(self, tracer):
+        with tracer.span("open") as sp:
+            with pytest.raises(ValueError):
+                _ = sp.duration_s
+        assert sp.duration_s >= 0.0
+
+    def test_threads_do_not_share_span_stacks(self, tracer):
+        seen = {}
+
+        def work(tag):
+            with tracer.span(f"thread-{tag}") as sp:
+                seen[tag] = sp.parent_id
+
+        with tracer.span("main-root"):
+            threads = [
+                threading.Thread(target=work, args=(i,)) for i in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        # Spans opened on other threads must not parent onto main's stack.
+        assert seen == {0: None, 1: None}
+
+    def test_finished_buffer_is_bounded(self):
+        tracer = Tracer(max_spans=4)
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        names = [s.name for s in tracer.finished_spans()]
+        assert names == ["s6", "s7", "s8", "s9"]
+
+    def test_exception_still_closes_span(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        (span,) = tracer.finished_spans()
+        assert span.end_s is not None
+        assert tracer.current_span() is None
+
+
+class TestJsonlExport:
+    def test_lines_are_valid_json(self, tracer):
+        lines = spans_to_jsonl_lines(make_spans(tracer))
+        assert len(lines) == 3
+        parsed = [json.loads(line) for line in lines]
+        assert {p["name"] for p in parsed} == {"outer", "inner-1", "inner-2"}
+        for p in parsed:
+            assert p["duration_s"] >= 0.0
+
+    def test_write_jsonl_file(self, tracer, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        count = write_spans_jsonl(path, make_spans(tracer))
+        with open(path) as fh:
+            lines = fh.read().splitlines()
+        assert count == len(lines) == 3
+
+
+class TestChromeSpansExport:
+    def test_complete_events_have_ts_and_dur(self, tracer):
+        events = spans_to_chrome_events(make_spans(tracer))
+        timed = [e for e in events if e["ph"] == "X"]
+        assert len(timed) == 3
+        for e in timed:
+            assert e["dur"] >= 0.0 and e["ts"] >= 0.0
+            assert "span_id" in e["args"]
+
+    def test_begin_end_pairs_are_balanced_and_ordered(self, tracer):
+        events = spans_to_chrome_events(make_spans(tracer), complete=False)
+        begins = [e for e in events if e["ph"] == "B"]
+        ends = [e for e in events if e["ph"] == "E"]
+        assert len(begins) == len(ends) == 3
+        starts = {e["name"]: e["ts"] for e in begins}
+        stops = {e["name"]: e["ts"] for e in ends}
+        for name in starts:
+            assert starts[name] <= stops[name]
+
+
+class TestBridges:
+    def test_report_events_are_sequential(self):
+        report = EngineReport(engine="e", model="m")
+        report.ops = [
+            OpLatency("a", "host", "gemm", 1.0),
+            OpLatency("b", "pim", "lut", 2.0),
+            OpLatency("c", "host", "elementwise", 0.5),
+        ]
+        events = report_to_chrome_events(report, pid=7)
+        timed = [e for e in events if e["ph"] == "X"]
+        assert [e["ts"] for e in timed] == [0.0, 1e6, 3e6]
+        assert [e["dur"] for e in timed] == [1e6, 2e6, 0.5e6]
+        assert all(e["pid"] == 7 for e in timed)
+        # host and pim land on different rows
+        assert timed[0]["tid"] != timed[1]["tid"]
+
+    def test_kernel_trace_bridge_matches_event_stream(self):
+        platform = get_platform("upmem")
+        shape = LUTShape(n=512, h=64, f=128, v=4, ct=8)
+        mapping = AutoTuner(platform).tune(shape).mapping
+        trace = trace_kernel(shape, mapping, platform)
+        events = trace.to_chrome_events(pid=3)
+        timed = [e for e in events if e["ph"] == "X"]
+        assert len(timed) == len(trace.events)
+        assert timed == sorted(timed, key=lambda e: e["ts"])
+        assert {e["cat"] for e in timed} == {"pim-kernel"}
+        # total modeled time round-trips (ts+dur of the last event).
+        last = max(timed, key=lambda e: e["ts"] + e["dur"])
+        assert (last["ts"] + last["dur"]) / 1e6 == pytest.approx(trace.total_s)
+
+
+class TestChromeTraceDocument:
+    def test_round_trip_valid_json_and_monotonic_ts(self, tracer, tmp_path):
+        platform = get_platform("upmem")
+        shape = LUTShape(n=512, h=64, f=128, v=4, ct=8)
+        mapping = AutoTuner(platform).tune(shape).mapping
+        trace = trace_kernel(shape, mapping, platform)
+        report = EngineReport(engine="e", model="m")
+        report.ops = [OpLatency("a", "host", "gemm", 1.0)]
+
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(
+            path,
+            spans=make_spans(tracer),
+            reports=[report],
+            kernel_traces=[trace],
+            metrics={"k": 1},
+        )
+        with open(path) as fh:
+            document = json.load(fh)
+
+        assert document["displayTimeUnit"] == "ms"
+        assert document["otherData"]["metrics"] == {"k": 1}
+        events = document["traceEvents"]
+        timed = [e for e in events if e["ph"] != "M"]
+        assert timed  # spans + report ops + kernel events all present
+        ts = [e["ts"] for e in timed]
+        assert ts == sorted(ts)
+        pids = {e["pid"] for e in timed}
+        assert len(pids) == 3  # wall spans, engine report, kernel trace
+        # metadata names every process
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert set(names) == pids
+
+    def test_empty_document_is_valid(self):
+        document = build_chrome_trace()
+        assert document["traceEvents"] == []
+        json.dumps(document)
+
+
+class TestToJsonable:
+    def test_handles_numpy_and_dataclasses(self):
+        import numpy as np
+        from dataclasses import dataclass
+
+        @dataclass
+        class Point:
+            x: int
+            tag: tuple
+
+        payload = to_jsonable(
+            {
+                "arr": np.arange(3),
+                "scalar": np.float64(1.5),
+                "point": Point(1, ("a", "b")),
+                "set": {1},
+                3: "int-key",
+            }
+        )
+        assert payload["arr"] == [0, 1, 2]
+        assert payload["scalar"] == 1.5
+        assert payload["point"] == {"x": 1, "tag": ["a", "b"]}
+        assert payload["set"] == [1]
+        assert payload["3"] == "int-key"
+        json.dumps(payload)
