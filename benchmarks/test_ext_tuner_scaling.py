@@ -1,0 +1,82 @@
+"""Extension experiment — Auto-Tuner scaling: serial vs parallel vs cache.
+
+The paper reports Algorithm 1 takes ~1 s per model on a CPU (§5.3); ATiM
+(PAPERS.md) shows search-based PIM tuning benefits from parallel candidate
+evaluation.  This bench measures, for every distinct BERT-base linear
+shape, (1) the serial search, (2) the process-pool search at increasing
+job counts — asserting the results stay bit-identical — and (3) the
+warm-start path from a persistent :class:`~repro.mapping.MappingCache`,
+which must evaluate zero candidates.
+
+Speedup on a given machine depends on its core count (on a single-core
+runner the pool only adds overhead), so the assertion is on determinism
+and cache behaviour; the wall-clock table is recorded for inspection.
+"""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.analysis import format_table
+from repro.mapping import AutoTuner, MappingCache, model_lut_shapes
+from repro.pim import get_platform
+from repro.workloads import bert_base
+
+JOB_COUNTS = [1, 2, 4]
+
+pytestmark = pytest.mark.slow
+
+
+def test_ext_tuner_scaling(report, tmp_path):
+    platform = get_platform("upmem")
+    shapes = model_lut_shapes(bert_base())
+
+    timings = {}
+    results = {}
+    for jobs in JOB_COUNTS:
+        tuner = AutoTuner(platform, jobs=jobs)
+        start = time.perf_counter()
+        results[jobs] = {shape: tuner.tune(shape) for shape in shapes}
+        timings[jobs] = time.perf_counter() - start
+
+    # Determinism: every job count returns the serial winner, bit-identical.
+    for jobs in JOB_COUNTS[1:]:
+        for shape in shapes:
+            assert results[jobs][shape].mapping == results[1][shape].mapping
+            assert results[jobs][shape].cost == results[1][shape].cost
+
+    # Cold cache fill, then warm-start: zero candidates evaluated.
+    cache = MappingCache(str(tmp_path / "cache"))
+    fill = AutoTuner(platform, jobs=JOB_COUNTS[-1], cache=cache)
+    start = time.perf_counter()
+    for shape in shapes:
+        fill.tune(shape)
+    cold_s = time.perf_counter() - start
+
+    counter = obs.get_registry().counter("tuner.candidates_evaluated")
+    before = counter.value
+    warm_tuner = AutoTuner(platform, cache=cache)
+    start = time.perf_counter()
+    for shape in shapes:
+        warm = warm_tuner.tune(shape)
+        assert warm.mapping == results[1][shape].mapping
+    warm_s = time.perf_counter() - start
+    assert counter.value == before, "warm cache must evaluate zero candidates"
+
+    rows = [
+        [f"jobs={jobs}", f"{timings[jobs]:.3f}",
+         f"{timings[1] / timings[jobs]:.2f}x"]
+        for jobs in JOB_COUNTS
+    ]
+    rows.append(["cold cache fill", f"{cold_s:.3f}", "-"])
+    rows.append(["warm cache", f"{warm_s:.3f}",
+                 f"{timings[1] / max(warm_s, 1e-9):.0f}x"])
+    report(
+        "ext_tuner_scaling",
+        format_table(["configuration", "wall_s", "speedup vs serial"], rows),
+    )
+
+    # The warm path has to beat even the serial search by a wide margin —
+    # it does no enumeration at all.
+    assert warm_s < timings[1] / 2

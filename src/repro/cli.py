@@ -4,7 +4,9 @@ Subcommands mirror the offline workflow of paper Fig. 5:
 
 * ``platforms`` — list the modeled DRAM-PIM platforms and their constants;
 * ``tune`` — run the Auto-Tuner (Algorithm 1) for one LUT workload shape,
-  optionally persisting the mapping to a JSON store;
+  optionally persisting the mapping to a JSON store (``--store``) and/or a
+  cross-run cache directory (``--cache DIR``); ``--jobs N`` shards the
+  search across worker processes with bit-identical results;
 * ``simulate`` — run the event-level simulator for a shape (tuned or with
   explicit mapping parameters) and print the latency breakdown;
 * ``flops`` — op-count / reduction analytics for a GEMM shape (Fig. 3);
@@ -32,7 +34,7 @@ from typing import List, Optional
 from . import obs
 from .analysis import format_table
 from .core import LUTShape, flop_reduction, gemm_ops, lutnn_ops
-from .mapping import AutoTuner, Mapping, MappingStore, estimate_latency
+from .mapping import AutoTuner, Mapping, MappingCache, MappingStore, estimate_latency
 from .pim import PIMSimulator, PLATFORMS, get_platform, trace_kernel
 from .workloads import EVAL_MODELS
 
@@ -155,13 +157,33 @@ def _progress_printer(every: int):
 def cmd_tune(args) -> int:
     platform = get_platform(args.platform)
     shape = _shape_from_args(args)
-    callback = _progress_printer(args.progress) if args.progress else None
-    tuner = AutoTuner(
-        platform,
-        amortize_lut_distribution=args.amortize_lut,
-        progress_callback=callback,
-    )
-    result = tuner.tune(shape)
+    store = MappingStore(args.store) if args.store else None
+    cache = MappingCache(args.cache) if args.cache else None
+
+    result = None
+    source = None
+    if store is not None:
+        result = store.get(args.platform, shape)
+        if result is not None:
+            source = f"store {args.store} (search skipped)"
+    if result is None:
+        callback = _progress_printer(args.progress) if args.progress else None
+        tuner = AutoTuner(
+            platform,
+            amortize_lut_distribution=args.amortize_lut,
+            progress_callback=callback,
+            jobs=args.jobs,
+            cache=cache,
+        )
+        before = obs.get_registry().counter("tuner.candidates_evaluated").value
+        result = tuner.tune(shape)
+        searched = obs.get_registry().counter("tuner.candidates_evaluated").value
+        if searched == before:
+            source = f"cache {args.cache} (search skipped)"
+        elif args.jobs != 1:
+            source = f"parallel search (jobs={tuner.jobs})"
+        else:
+            source = "serial search"
     m = result.mapping
     print(format_table(
         ["parameter", "value"],
@@ -177,27 +199,38 @@ def cmd_tune(args) -> int:
             ["sub-LUT / kernel split",
              f"{result.latency.sub_lut_partition * 1e3:.3f} / "
              f"{result.latency.micro_kernel * 1e3:.3f} ms"],
+            ["mapping source", source],
         ],
     ))
-    if args.store:
-        store = MappingStore(args.store)
+    if store is not None and (args.platform, shape) not in store:
         store.put(args.platform, result)
         store.save()
         print(f"mapping saved to {args.store}")
     return _finish_telemetry(args)
 
 
+def _mapping_from_store_or_cache(args, platform, shape) -> Optional[Mapping]:
+    """Shared ``--store`` / ``--cache`` lookup for simulate/trace-export."""
+    if getattr(args, "store", None):
+        stored = MappingStore(args.store).get(args.platform, shape)
+        if stored is not None:
+            print(f"using stored mapping from {args.store}")
+            return stored.mapping
+    if getattr(args, "cache", None):
+        cached = MappingCache(args.cache).get(platform, shape)
+        if cached is not None:
+            print(f"using cached mapping from {args.cache}")
+            return cached.mapping
+    return None
+
+
 def cmd_simulate(args) -> int:
     platform = get_platform(args.platform)
     shape = _shape_from_args(args)
-    mapping: Optional[Mapping] = None
-    if args.store:
-        stored = MappingStore(args.store).get(args.platform, shape)
-        if stored is not None:
-            mapping = stored.mapping
-            print(f"using stored mapping from {args.store}")
+    mapping = _mapping_from_store_or_cache(args, platform, shape)
     if mapping is None:
-        mapping = AutoTuner(platform).tune(shape).mapping
+        cache = MappingCache(args.cache) if args.cache else None
+        mapping = AutoTuner(platform, cache=cache).tune(shape).mapping
     report = PIMSimulator(platform).run(shape, mapping)
     estimate = estimate_latency(shape, mapping, platform)
     error = abs(estimate.total - report.total_s) / report.total_s
@@ -317,13 +350,10 @@ def cmd_trace_export(args) -> int:
     """Tune + simulate one shape and export the full telemetry picture."""
     platform = get_platform(args.platform)
     shape = _shape_from_args(args)
-    mapping: Optional[Mapping] = None
-    if args.store:
-        stored = MappingStore(args.store).get(args.platform, shape)
-        if stored is not None:
-            mapping = stored.mapping
+    mapping = _mapping_from_store_or_cache(args, platform, shape)
     if mapping is None:
-        mapping = AutoTuner(platform).tune(shape).mapping
+        cache = MappingCache(args.cache) if args.cache else None
+        mapping = AutoTuner(platform, cache=cache).tune(shape).mapping
     PIMSimulator(platform).run(shape, mapping)
     kernel_traces = []
     trace = _maybe_trace_kernel(shape, mapping, platform)
@@ -357,6 +387,12 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--amortize-lut", action="store_true",
                       help="treat LUTs as resident in PIM memory")
     tune.add_argument("--store", help="JSON mapping store to update")
+    tune.add_argument("--jobs", type=int, metavar="N", default=1,
+                      help="parallel search workers (0 = one per CPU; "
+                           "results are identical to --jobs 1)")
+    tune.add_argument("--cache", metavar="DIR",
+                      help="persistent mapping cache directory "
+                           "(warm-start lookup + write-back)")
     tune.add_argument("--progress", type=int, metavar="N", default=0,
                       help="print search progress every N candidates")
     _add_telemetry_arguments(tune)
@@ -365,6 +401,8 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--platform", default="upmem", choices=sorted(PLATFORMS))
     _add_shape_arguments(simulate)
     simulate.add_argument("--store", help="JSON mapping store to read")
+    simulate.add_argument("--cache", metavar="DIR",
+                          help="persistent mapping cache directory to read")
     _add_telemetry_arguments(simulate)
 
     flops = sub.add_parser("flops", help="GEMM vs LUT-NN op counts (Fig. 3)")
@@ -389,6 +427,8 @@ def build_parser() -> argparse.ArgumentParser:
                               choices=sorted(PLATFORMS))
     _add_shape_arguments(trace_export)
     trace_export.add_argument("--store", help="JSON mapping store to read")
+    trace_export.add_argument("--cache", metavar="DIR",
+                              help="persistent mapping cache directory to read")
     trace_export.add_argument("--out", required=True, metavar="PATH",
                               help="output Chrome-trace JSON file")
     return parser

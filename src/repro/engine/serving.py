@@ -17,10 +17,13 @@ for.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Union
 
 from .. import obs
 from ..baselines.roofline import RooflineDevice
+from ..core.codebook import LUTShape
+from ..mapping.store import MappingCache
+from ..mapping.tuner import AutoTuner, TuningResult, model_lut_shapes
 from ..pim.platforms import PIMPlatform
 from ..workloads.configs import TransformerConfig
 from .decode import GEMVDecodeEngine, LUTDecodeEngine
@@ -69,6 +72,16 @@ class GenerationServer:
         When True (default) both phases use LUT-NN kernels; when False the
         request runs on the platform's native GEMM/GEMV paths — the
         comparison baseline.
+    mapping_cache:
+        A :class:`~repro.mapping.store.MappingCache` (or a directory path
+        for one).  The serving tuners warm-start from it, so a server
+        whose model was tuned offline (``repro tune --cache DIR`` or
+        :func:`~repro.mapping.tuner.tune_model_parallel`) never re-runs
+        Algorithm 1; searches it does perform are persisted for the next
+        process.
+    tune_jobs:
+        Worker processes for any tuning the server still has to do
+        (cold cache).  ``0`` means one per CPU.
     """
 
     def __init__(
@@ -78,13 +91,41 @@ class GenerationServer:
         v: int = 4,
         ct: int = 16,
         lut_nn: bool = True,
+        mapping_cache: Optional[Union[MappingCache, str]] = None,
+        tune_jobs: int = 1,
     ):
         self.platform = platform
         self.host = host
+        self.v = v
+        self.ct = ct
         self.lut_nn = lut_nn
+        if isinstance(mapping_cache, str):
+            mapping_cache = MappingCache(mapping_cache)
+        self.mapping_cache = mapping_cache
         if lut_nn:
-            self._prefill = PIMDLEngine(platform, host, v=v, ct=ct)
-            self._decode = LUTDecodeEngine(platform, host, v=v, ct=ct)
+            # Prefill follows the PIMDLEngine default (LUTs resident only on
+            # platforms that keep weights in PIM banks); decode always
+            # amortizes.  The regimes tune distinct shapes, so they get
+            # separate tuners sharing one persistent cache.
+            prefill_amortize = bool(platform.extras.get("lut_resident", 0))
+            self._prefill = PIMDLEngine(
+                platform, host, v=v, ct=ct,
+                tuner=AutoTuner(
+                    platform,
+                    amortize_lut_distribution=prefill_amortize,
+                    jobs=tune_jobs,
+                    cache=mapping_cache,
+                ),
+            )
+            self._decode = LUTDecodeEngine(
+                platform, host, v=v, ct=ct,
+                tuner=AutoTuner(
+                    platform,
+                    amortize_lut_distribution=True,
+                    jobs=tune_jobs,
+                    cache=mapping_cache,
+                ),
+            )
         else:
             self._prefill = GEMMPIMEngine(platform, host)
             self._decode = GEMVDecodeEngine(platform, host)
@@ -93,6 +134,42 @@ class GenerationServer:
     def name(self) -> str:
         mode = "lut-nn" if self.lut_nn else "native"
         return f"serve[{self.platform.name}, {mode}]"
+
+    def warmup(
+        self,
+        config: TransformerConfig,
+        prompt_len: Optional[int] = None,
+        batch_size: Optional[int] = None,
+    ) -> Dict[LUTShape, TuningResult]:
+        """Pre-tune every LUT shape one request of ``config`` needs.
+
+        With a populated ``mapping_cache`` this loads mappings instead of
+        searching (zero candidates evaluated); on a cold cache it runs the
+        searches once — with ``tune_jobs`` workers — and persists them.
+        Returns the tuned results by shape; a no-op for native serving.
+        """
+        if not self.lut_nn:
+            return {}
+        prompt_len = prompt_len or config.seq_len
+        batch_size = batch_size or config.batch_size
+        prefill_config = config.with_(seq_len=prompt_len, batch_size=batch_size)
+        tuned: Dict[LUTShape, TuningResult] = {}
+        with obs.get_tracer().span(
+            "serving.warmup", engine=self.name, model=config.name
+        ) as span:
+            tuned.update(
+                self._prefill.tuner.tune_many(
+                    model_lut_shapes(prefill_config, v=self.v, ct=self.ct)
+                )
+            )
+            decode_shapes = [
+                LUTShape(n=batch_size, h=h, f=f, v=self.v, ct=self.ct)
+                for _, h, f in config.linear_layer_shapes()
+            ]
+            tuned.update(self._decode.tuner.tune_many(decode_shapes))
+            span.set_attribute("shapes", len(tuned))
+        obs.get_registry().counter("serving.warmup_shapes").inc(len(tuned))
+        return tuned
 
     def run(
         self,

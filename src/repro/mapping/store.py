@@ -2,23 +2,41 @@
 
 The paper tunes each model's LUT kernels once, offline (§5.3: "each model
 need to be tuned only once"), and ships the mapping parameters with the
-model.  This module serializes :class:`~repro.mapping.tuner.TuningResult`
-objects to JSON so a serving process can load them without re-running
-Algorithm 1.
+model.  Two persistence layers implement that workflow:
+
+* :class:`MappingStore` — a single-file JSON registry of tuning results,
+  the artifact a model ships with (``repro tune --store FILE``);
+* :class:`MappingCache` — a cross-run, content-addressed cache directory:
+  one file per ``(LUT shape, platform fingerprint, FORMAT_VERSION)``
+  entry, written atomically so concurrent tuners never corrupt each
+  other, and read leniently — corrupt or stale files are skipped with a
+  warning, never a crash.  :class:`~repro.mapping.tuner.AutoTuner`
+  consults it before any search (warm start) and fills it after.
+
+Cache hit/miss/write/rejection counts land in ``repro.obs`` under
+``mapping_cache.*``.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
 import os
+import tempfile
+import warnings
 from typing import Dict, Optional
 
+from .. import obs
 from ..core.codebook import LUTShape
+from ..pim.platforms import PIMPlatform
 from .analytical import LatencyBreakdown
 from .space import Mapping
 from .tuner import TuningResult
 
-FORMAT_VERSION = 1
+#: Bumped whenever the on-disk entry schema changes; readers skip (cache)
+#: or reject (store) files written under any other version.
+FORMAT_VERSION = 2
 
 
 def mapping_to_dict(mapping: Mapping) -> dict:
@@ -49,6 +67,18 @@ def mapping_from_dict(data: dict) -> Mapping:
     )
 
 
+def platform_fingerprint(platform: PIMPlatform) -> str:
+    """Stable content hash of every constant that shapes tuning results.
+
+    Any change to the platform model — bandwidths, buffer sizes, PE
+    counts, extras — yields a new fingerprint, so cached mappings tuned
+    against an older hardware description are never silently reused.
+    """
+    payload = dataclasses.asdict(platform)
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
 def _shape_key(shape: LUTShape) -> str:
     return f"n{shape.n}_h{shape.h}_f{shape.f}_v{shape.v}_ct{shape.ct}"
 
@@ -61,14 +91,78 @@ def _shape_from_dict(data: dict) -> LUTShape:
     return LUTShape(**{k: int(v) for k, v in data.items()})
 
 
+def _result_to_entry(platform_name: str, result: TuningResult) -> dict:
+    return {
+        "platform": platform_name,
+        "shape": _shape_to_dict(result.shape),
+        "mapping": mapping_to_dict(result.mapping),
+        "latency_s": result.latency.total,
+        "breakdown": {
+            "sub_index": result.latency.sub_index,
+            "sub_lut": result.latency.sub_lut,
+            "sub_output": result.latency.sub_output,
+            "kernel_transfer": result.latency.kernel_transfer,
+            "kernel_reduce": result.latency.kernel_reduce,
+            "launch": result.latency.launch,
+        },
+        "candidates_evaluated": result.candidates_evaluated,
+    }
+
+
+def _result_from_entry(entry: dict) -> TuningResult:
+    return TuningResult(
+        shape=_shape_from_dict(entry["shape"]),
+        mapping=mapping_from_dict(entry["mapping"]),
+        latency=LatencyBreakdown(**entry["breakdown"]),
+        candidates_evaluated=int(entry["candidates_evaluated"]),
+    )
+
+
+def _atomic_write_json(path: str, payload: dict) -> None:
+    """Write JSON via a unique temp file + ``os.replace``.
+
+    Concurrent writers each stage their own temp file in the target
+    directory; the last rename wins and readers only ever observe a
+    complete file.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".tmp-"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
 class MappingStore:
-    """A JSON-backed registry of tuned mappings, keyed by platform + shape."""
+    """A JSON-backed registry of tuned mappings, keyed by platform + shape.
+
+    Constructing with a path auto-loads it *leniently*: an unreadable or
+    wrong-version file starts an empty store with a warning, so a damaged
+    artifact degrades to re-tuning rather than crashing the process.  The
+    explicit :meth:`load` stays strict and raises.
+    """
 
     def __init__(self, path: Optional[str] = None):
         self.path = path
         self._entries: Dict[str, dict] = {}
         if path and os.path.exists(path):
-            self.load(path)
+            try:
+                self.load(path)
+            except (ValueError, OSError) as exc:
+                warnings.warn(
+                    f"ignoring unusable mapping store {path!r}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self._entries = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -83,51 +177,133 @@ class MappingStore:
 
     def put(self, platform_name: str, result: TuningResult) -> None:
         """Record a tuning result."""
-        self._entries[self._key(platform_name, result.shape)] = {
-            "platform": platform_name,
-            "shape": _shape_to_dict(result.shape),
-            "mapping": mapping_to_dict(result.mapping),
-            "latency_s": result.latency.total,
-            "breakdown": {
-                "sub_index": result.latency.sub_index,
-                "sub_lut": result.latency.sub_lut,
-                "sub_output": result.latency.sub_output,
-                "kernel_transfer": result.latency.kernel_transfer,
-                "kernel_reduce": result.latency.kernel_reduce,
-                "launch": result.latency.launch,
-            },
-            "candidates_evaluated": result.candidates_evaluated,
-        }
+        self._entries[self._key(platform_name, result.shape)] = _result_to_entry(
+            platform_name, result
+        )
 
     def get(self, platform_name: str, shape: LUTShape) -> Optional[TuningResult]:
         """Load a previously tuned mapping, or None when absent."""
         entry = self._entries.get(self._key(platform_name, shape))
         if entry is None:
             return None
-        breakdown = LatencyBreakdown(**entry["breakdown"])
-        return TuningResult(
-            shape=_shape_from_dict(entry["shape"]),
-            mapping=mapping_from_dict(entry["mapping"]),
-            latency=breakdown,
-            candidates_evaluated=int(entry["candidates_evaluated"]),
-        )
+        return _result_from_entry(entry)
 
     def save(self, path: Optional[str] = None) -> str:
-        """Write the registry to JSON; returns the path written."""
+        """Atomically write the registry to JSON; returns the path written."""
         path = path or self.path
         if not path:
             raise ValueError("no path given to save the mapping store")
         payload = {"version": FORMAT_VERSION, "entries": self._entries}
-        with open(path, "w") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
+        _atomic_write_json(path, payload)
         self.path = path
         return path
 
     def load(self, path: str) -> None:
+        """Strictly load ``path``; raises ValueError on version/format drift."""
         with open(path) as fh:
-            payload = json.load(fh)
+            try:
+                payload = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"corrupt mapping store: {exc}") from exc
         version = payload.get("version")
         if version != FORMAT_VERSION:
             raise ValueError(f"unsupported mapping store version {version!r}")
-        self._entries = payload["entries"]
+        entries = payload.get("entries")
+        if not isinstance(entries, dict):
+            raise ValueError("corrupt mapping store: no entries object")
+        self._entries = entries
         self.path = path
+
+
+class MappingCache:
+    """Persistent cross-run tuning cache: one JSON file per entry.
+
+    Entries are content-addressed by ``(platform fingerprint, LUT shape,
+    amortization mode, FORMAT_VERSION)``, all encoded in the filename, so
+    a lookup is a single ``open()`` with no index to maintain and no lock
+    to take.  Writes go through a unique temp file + atomic rename;
+    unreadable, stale, or mismatched files are treated as misses (with a
+    ``RuntimeWarning``), never as errors.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = os.path.expanduser(directory)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MappingCache({self.directory!r})"
+
+    def entry_path(
+        self, platform: PIMPlatform, shape: LUTShape, amortize: bool = False
+    ) -> str:
+        mode = "amortized" if amortize else "full"
+        name = (
+            f"v{FORMAT_VERSION}-{platform_fingerprint(platform)}"
+            f"-{_shape_key(shape)}-{mode}.json"
+        )
+        return os.path.join(self.directory, name)
+
+    def __len__(self) -> int:
+        """Number of entry files for the current FORMAT_VERSION."""
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return 0
+        prefix = f"v{FORMAT_VERSION}-"
+        return sum(1 for n in names if n.startswith(prefix) and n.endswith(".json"))
+
+    def get(
+        self, platform: PIMPlatform, shape: LUTShape, amortize: bool = False
+    ) -> Optional[TuningResult]:
+        """Warm-start lookup; None on miss or any unusable entry file."""
+        registry = obs.get_registry()
+        path = self.entry_path(platform, shape, amortize)
+        if not os.path.exists(path):
+            registry.counter("mapping_cache.misses").inc()
+            return None
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._reject(path, f"unreadable entry: {exc}")
+            return None
+        if payload.get("version") != FORMAT_VERSION:
+            self._reject(path, f"format version {payload.get('version')!r}")
+            return None
+        if payload.get("fingerprint") != platform_fingerprint(platform):
+            self._reject(path, "platform fingerprint mismatch")
+            return None
+        try:
+            result = _result_from_entry(payload["entry"])
+        except (KeyError, TypeError, ValueError) as exc:
+            self._reject(path, f"malformed entry: {exc}")
+            return None
+        if result.shape != shape:
+            self._reject(path, "shape mismatch")
+            return None
+        registry.counter("mapping_cache.hits").inc()
+        return result
+
+    def put(
+        self, platform: PIMPlatform, result: TuningResult, amortize: bool = False
+    ) -> str:
+        """Atomically persist one tuning result; returns the entry path."""
+        os.makedirs(self.directory, exist_ok=True)
+        path = self.entry_path(platform, result.shape, amortize)
+        payload = {
+            "version": FORMAT_VERSION,
+            "fingerprint": platform_fingerprint(platform),
+            "amortize_lut_distribution": amortize,
+            "entry": _result_to_entry(platform.name, result),
+        }
+        _atomic_write_json(path, payload)
+        obs.get_registry().counter("mapping_cache.writes").inc()
+        return path
+
+    @staticmethod
+    def _reject(path: str, reason: str) -> None:
+        obs.get_registry().counter("mapping_cache.rejected").inc()
+        warnings.warn(
+            f"skipping mapping cache file {path!r}: {reason}",
+            RuntimeWarning,
+            stacklevel=3,
+        )

@@ -14,18 +14,38 @@ Telemetry: every search records into ``repro.obs`` — counters
 with no legal micro-kernel), gauge ``tuner.best_cost_s``, and per-candidate
 spans under a ``tuner.tune`` root span.  An optional ``progress_callback``
 surfaces the same stream synchronously (the CLI uses it for ``--progress``).
+
+Parallel tuning (``AutoTuner(jobs=N)``) shards the sub-LUT tiling space
+across a process pool and merges per-shard winners deterministically: the
+global best is the minimum of ``(cost, tiling index, mapping key)``, which
+is exactly the candidate the serial scan would have kept, so ``jobs=4``
+results are bit-identical to ``jobs=1``.  Shard counters and per-shard
+spans are aggregated back into the parent process's ``repro.obs``.
 """
 
 from __future__ import annotations
 
+import os
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
 from .. import obs
 from ..core.codebook import LUTShape
 from ..pim.platforms import PIMPlatform
 from .analytical import LatencyBreakdown, estimate_latency, search_micro_kernels
-from .space import Mapping, enumerate_micro_kernels, enumerate_sub_lut_tilings
+from .space import (
+    Mapping,
+    enumerate_micro_kernels,
+    enumerate_sub_lut_tilings,
+    mapping_sort_key,
+    shard_tilings,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (store imports TuningResult)
+    from .store import MappingCache
 
 
 @dataclass(frozen=True)
@@ -54,6 +74,55 @@ class TuneProgress:
 ProgressCallback = Callable[[TuneProgress], None]
 
 
+@dataclass(frozen=True)
+class _ShardResult:
+    """What one worker reports back for its slice of the tiling space."""
+
+    shard: int
+    tilings: int
+    evaluated: int
+    pruned: int
+    #: (cost, global tiling index, mapping, breakdown) of the shard winner,
+    #: or None when every tiling in the shard was pruned.
+    best: Optional[Tuple[float, int, Mapping, LatencyBreakdown]]
+    worker_seconds: float
+
+
+def _tune_tiling_shard(payload) -> _ShardResult:
+    """Worker body: run KernelSearch over one shard of sub-LUT tilings.
+
+    Runs in a child process — records nothing into ``repro.obs`` (the
+    parent aggregates the returned counters) and keeps the same
+    first-strictly-smaller update rule as the serial scan so the merged
+    minimum over ``(cost, index)`` reproduces the serial winner exactly.
+    """
+    shard_id, shape, platform, amortize, indexed_tilings = payload
+    start = time.perf_counter()
+    evaluated = 0
+    pruned = 0
+    best: Optional[Tuple[float, int, Mapping, LatencyBreakdown]] = None
+    for index, (n_s, f_s) in indexed_tilings:
+        found = search_micro_kernels(shape, n_s, f_s, platform)
+        evaluated += 1
+        if found is None:
+            pruned += 1
+            continue
+        mapping, _ = found
+        breakdown = estimate_latency(
+            shape, mapping, platform, amortize_lut_distribution=amortize
+        )
+        if best is None or breakdown.total < best[0]:
+            best = (breakdown.total, index, mapping, breakdown)
+    return _ShardResult(
+        shard=shard_id,
+        tilings=len(indexed_tilings),
+        evaluated=evaluated,
+        pruned=pruned,
+        best=best,
+        worker_seconds=time.perf_counter() - start,
+    )
+
+
 class AutoTuner:
     """Exhaustive mapping search over the PIM-DL design space.
 
@@ -70,7 +139,17 @@ class AutoTuner:
     progress_callback:
         Invoked with a :class:`TuneProgress` after every candidate
         evaluation (per sub-LUT tiling in :meth:`tune`, per mapping in
-        :meth:`tune_exhaustive`).  The search is silent without it.
+        :meth:`tune_exhaustive`; per completed shard when ``jobs > 1``).
+        The search is silent without it.
+    jobs:
+        Worker processes for the sub-LUT tiling search.  ``1`` (default)
+        searches serially in-process; ``N > 1`` shards the tiling space
+        across a process pool.  ``0`` means "one per CPU".  Results are
+        bit-identical across job counts.
+    cache:
+        Optional persistent :class:`~repro.mapping.store.MappingCache`.
+        Checked before any search (warm start: a hit evaluates zero
+        candidates) and updated after every completed search.
     """
 
     def __init__(
@@ -79,11 +158,17 @@ class AutoTuner:
         amortize_lut_distribution: bool = False,
         max_micro_kernels: Optional[int] = None,
         progress_callback: Optional[ProgressCallback] = None,
+        jobs: int = 1,
+        cache: Optional["MappingCache"] = None,
     ):
+        if jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 means one per CPU)")
         self.platform = platform
         self.amortize_lut_distribution = amortize_lut_distribution
         self.max_micro_kernels = max_micro_kernels
         self.progress_callback = progress_callback
+        self.jobs = jobs or (os.cpu_count() or 1)
+        self.cache = cache
         self._cache: Dict[Tuple, TuningResult] = {}
 
     def _progress(self, evaluated: int, pruned: int, best) -> None:
@@ -97,14 +182,42 @@ class AutoTuner:
             )
 
     def tune(self, shape: LUTShape) -> TuningResult:
-        """Run Algorithm 1 for ``shape`` and return the optimal mapping."""
+        """Run Algorithm 1 for ``shape`` and return the optimal mapping.
+
+        Lookup order: in-process memo, then the persistent ``cache`` (both
+        evaluate zero candidates), then the search — serial or sharded
+        across a process pool depending on ``jobs``.
+        """
         registry = obs.get_registry()
         registry.counter("tuner.tune_calls").inc()
         key = (shape, self.amortize_lut_distribution)
         if key in self._cache:
             registry.counter("tuner.cache_hits").inc()
             return self._cache[key]
+        if self.cache is not None:
+            stored = self.cache.get(
+                self.platform, shape, amortize=self.amortize_lut_distribution
+            )
+            if stored is not None:
+                registry.counter("tuner.store_hits").inc()
+                self._cache[key] = stored
+                return stored
+            registry.counter("tuner.store_misses").inc()
 
+        if self.jobs > 1:
+            best = self._search_parallel(shape)
+        else:
+            best = self._search_serial(shape)
+        self._cache[key] = best
+        if self.cache is not None:
+            self.cache.put(
+                self.platform, best, amortize=self.amortize_lut_distribution
+            )
+        return best
+
+    def _search_serial(self, shape: LUTShape) -> TuningResult:
+        """The serial scan of Algorithm 1 (reference semantics)."""
+        registry = obs.get_registry()
         candidates = registry.counter("tuner.candidates_evaluated")
         pruned_counter = registry.counter("tuner.tilings_pruned")
         best_gauge = registry.gauge("tuner.best_cost_s")
@@ -154,9 +267,122 @@ class AutoTuner:
                 root.set_attribute("best_cost_s", best.latency.total)
         if best is None:
             raise RuntimeError(f"no legal mapping found for shape {shape}")
-        best = TuningResult(best.shape, best.mapping, best.latency, evaluated)
-        self._cache[key] = best
-        return best
+        return TuningResult(best.shape, best.mapping, best.latency, evaluated)
+
+    def _search_parallel(self, shape: LUTShape) -> TuningResult:
+        """Shard the sub-LUT tiling space across a process pool and merge.
+
+        Falls back to the serial scan (with a warning) when the pool
+        cannot be started — e.g. in sandboxes that forbid fork.
+        """
+        indexed = list(enumerate(enumerate_sub_lut_tilings(shape, self.platform)))
+        if not indexed:
+            raise RuntimeError(f"no legal mapping found for shape {shape}")
+        jobs = min(self.jobs, len(indexed))
+        shards = shard_tilings(indexed, jobs)
+        payloads = [
+            (i, shape, self.platform, self.amortize_lut_distribution, shard)
+            for i, shard in enumerate(shards)
+        ]
+        registry = obs.get_registry()
+        tracer = obs.get_tracer()
+        with tracer.span(
+            "tuner.tune_parallel",
+            platform=self.platform.name,
+            shape=f"N={shape.n} CB={shape.cb} CT={shape.ct} F={shape.f}",
+            jobs=jobs,
+            tilings=len(indexed),
+        ) as root:
+            try:
+                results = self._run_shards(payloads, jobs, tracer)
+            except (OSError, PermissionError, RuntimeError) as exc:
+                warnings.warn(
+                    f"parallel tuning unavailable ({exc}); falling back to "
+                    "the serial search",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                root.set_attribute("fallback", "serial")
+                return self._search_serial(shape)
+
+            evaluated = sum(r.evaluated for r in results)
+            pruned = sum(r.pruned for r in results)
+            registry.counter("tuner.candidates_evaluated").inc(evaluated)
+            registry.counter("tuner.tilings_pruned").inc(pruned)
+            registry.counter("tuner.shards_completed").inc(len(results))
+            best = self._merge_shard_bests(results)
+            root.set_attribute("candidates", evaluated)
+            root.set_attribute("pruned", pruned)
+            if best is not None:
+                root.set_attribute("best_cost_s", best[0])
+                registry.gauge("tuner.best_cost_s").set(best[0])
+        if best is None:
+            raise RuntimeError(f"no legal mapping found for shape {shape}")
+        _, _, mapping, breakdown = best
+        return TuningResult(
+            shape=shape,
+            mapping=mapping,
+            latency=breakdown,
+            candidates_evaluated=evaluated,
+        )
+
+    def _run_shards(
+        self, payloads: List[Tuple], jobs: int, tracer
+    ) -> List[_ShardResult]:
+        """Execute shard payloads on a pool; record one span per shard."""
+        results: List[_ShardResult] = []
+        evaluated = 0
+        pruned = 0
+        running_best: Optional[Tuple[float, int, Mapping, LatencyBreakdown]] = None
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for result in pool.map(_tune_tiling_shard, payloads):
+                results.append(result)
+                evaluated += result.evaluated
+                pruned += result.pruned
+                with tracer.span("tuner.shard", shard=result.shard) as span:
+                    span.set_attribute("tilings", result.tilings)
+                    span.set_attribute("evaluated", result.evaluated)
+                    span.set_attribute("pruned", result.pruned)
+                    span.set_attribute("worker_seconds", result.worker_seconds)
+                    if result.best is not None:
+                        span.set_attribute("best_cost_s", result.best[0])
+                running_best = self._merge_shard_bests(results)
+                if self.progress_callback is not None:
+                    self.progress_callback(
+                        TuneProgress(
+                            evaluated=evaluated,
+                            pruned=pruned,
+                            best_cost=(
+                                running_best[0] if running_best is not None else None
+                            ),
+                        )
+                    )
+        return results
+
+    @staticmethod
+    def _merge_shard_bests(
+        results: Iterable[_ShardResult],
+    ) -> Optional[Tuple[float, int, Mapping, LatencyBreakdown]]:
+        """Deterministic merge: min over (cost, tiling index, mapping key).
+
+        The serial scan keeps the first strictly-cheaper candidate while
+        walking tilings in enumeration order, i.e. the minimum of
+        ``(cost, index)``; the mapping key is a stable final tie-break.
+        """
+        candidates = [r.best for r in results if r.best is not None]
+        if not candidates:
+            return None
+        return min(
+            candidates, key=lambda b: (b[0], b[1], mapping_sort_key(b[2]))
+        )
+
+    def tune_many(self, shapes: Iterable[LUTShape]) -> Dict[LUTShape, TuningResult]:
+        """Tune every distinct shape, preserving first-seen order."""
+        out: Dict[LUTShape, TuningResult] = {}
+        for shape in shapes:
+            if shape not in out:
+                out[shape] = self.tune(shape)
+        return out
 
     def tune_exhaustive(self, shape: LUTShape) -> TuningResult:
         """Reference scalar-loop implementation of Algorithm 1.
@@ -208,3 +434,48 @@ class AutoTuner:
         if best is None:
             raise RuntimeError(f"no legal mapping found for shape {shape}")
         return TuningResult(best.shape, best.mapping, best.latency, evaluated)
+
+
+def model_lut_shapes(config, v: int = 4, ct: int = 16) -> List[LUTShape]:
+    """Distinct LUT workload shapes of a transformer config's linears.
+
+    ``config`` is any object with ``tokens`` and ``linear_layer_shapes()``
+    (see :class:`~repro.workloads.configs.TransformerConfig`); layers that
+    repeat a (H, F) shape — every block of the model — collapse to one
+    entry, which is why a whole model tunes in a handful of searches.
+    """
+    shapes: List[LUTShape] = []
+    seen = set()
+    for _, h, f in config.linear_layer_shapes():
+        if h % v:
+            raise ValueError(f"hidden dim {h} not divisible by V={v}")
+        shape = LUTShape(n=config.tokens, h=h, f=f, v=v, ct=ct)
+        if shape not in seen:
+            seen.add(shape)
+            shapes.append(shape)
+    return shapes
+
+
+def tune_model_parallel(
+    config,
+    platform: PIMPlatform,
+    v: int = 4,
+    ct: int = 16,
+    jobs: int = 0,
+    cache: Optional["MappingCache"] = None,
+    amortize_lut_distribution: bool = False,
+) -> Dict[LUTShape, TuningResult]:
+    """Tune every LUT shape of a model, sharding each search over ``jobs``.
+
+    The offline entry point of the paper's workflow ("each model need to
+    be tuned only once", §5.3): results land in ``cache`` when given, so
+    serving processes warm-start instead of re-running Algorithm 1.
+    ``jobs=0`` uses one worker per CPU.
+    """
+    tuner = AutoTuner(
+        platform,
+        amortize_lut_distribution=amortize_lut_distribution,
+        jobs=jobs,
+        cache=cache,
+    )
+    return tuner.tune_many(model_lut_shapes(config, v=v, ct=ct))

@@ -1,0 +1,213 @@
+"""Parallel Auto-Tuner: determinism, sharding, fallback, model helpers.
+
+The headline guarantee under test: ``AutoTuner(jobs=N)`` returns results
+bit-identical to the serial scan for every N, because shard winners merge
+by the same ``(cost, tiling index, mapping key)`` order the serial loop
+implies.  A seeded property sweep runs in tier-1 on a handful of shapes;
+the wider sweep is marked ``slow``.
+"""
+
+import random
+import warnings
+
+import pytest
+
+from repro import obs
+from repro.core import LUTShape
+from repro.mapping import (
+    AutoTuner,
+    enumerate_sub_lut_tilings,
+    mapping_sort_key,
+    model_lut_shapes,
+    shard_tilings,
+    tune_model_parallel,
+)
+from repro.mapping.tuner import _ShardResult
+from repro.pim import get_platform
+from repro.workloads import EVAL_MODELS
+
+
+def random_shape(rng: random.Random) -> LUTShape:
+    return LUTShape(
+        n=rng.choice([64, 128, 256, 512]),
+        h=rng.choice([16, 32, 64]),
+        f=rng.choice([32, 64, 128]),
+        v=4,
+        ct=rng.choice([4, 8, 16]),
+    )
+
+
+def assert_results_identical(reference, other):
+    assert other.mapping == reference.mapping
+    assert other.cost == reference.cost  # bit-identical, not approx
+    assert other.candidates_evaluated == reference.candidates_evaluated
+
+
+class TestParallelMatchesSerial:
+    def test_property_seeded_shapes(self):
+        """jobs in {1, 2, 4} agree on random shape/platform pairs."""
+        rng = random.Random(20240711)
+        for _ in range(4):
+            shape = random_shape(rng)
+            platform = get_platform(rng.choice(["upmem", "hbm-pim", "aim"]))
+            amortize = rng.random() < 0.5
+            serial = AutoTuner(
+                platform, amortize_lut_distribution=amortize
+            ).tune(shape)
+            for jobs in (2, 4):
+                parallel = AutoTuner(
+                    platform, amortize_lut_distribution=amortize, jobs=jobs
+                ).tune(shape)
+                assert_results_identical(serial, parallel)
+
+    @pytest.mark.slow
+    def test_property_seeded_shapes_wide(self):
+        """The same property over a much larger seeded sample."""
+        rng = random.Random(7)
+        for _ in range(20):
+            shape = random_shape(rng)
+            platform = get_platform(rng.choice(["upmem", "hbm-pim", "aim"]))
+            serial = AutoTuner(platform).tune(shape)
+            for jobs in (2, 3, 4):
+                parallel = AutoTuner(platform, jobs=jobs).tune(shape)
+                assert_results_identical(serial, parallel)
+
+    def test_parallel_counter_aggregation_matches_serial(self):
+        shape = LUTShape(n=256, h=32, f=64, v=4, ct=8)
+        platform = get_platform("upmem")
+        counter = obs.get_registry().counter("tuner.candidates_evaluated")
+
+        before = counter.value
+        serial = AutoTuner(platform).tune(shape)
+        serial_delta = counter.value - before
+
+        before = counter.value
+        AutoTuner(platform, jobs=2).tune(shape)
+        parallel_delta = counter.value - before
+
+        assert serial_delta == parallel_delta
+        assert serial_delta == serial.candidates_evaluated
+
+    def test_parallel_records_shard_spans(self):
+        shape = LUTShape(n=128, h=16, f=32, v=4, ct=4)
+        AutoTuner(get_platform("upmem"), jobs=2).tune(shape)
+        names = [s.name for s in obs.get_tracer().finished_spans()]
+        assert "tuner.tune_parallel" in names
+        assert "tuner.shard" in names
+
+    def test_parallel_progress_callback_reaches_totals(self):
+        shape = LUTShape(n=256, h=32, f=64, v=4, ct=8)
+        platform = get_platform("upmem")
+        ticks = []
+        AutoTuner(platform, jobs=2, progress_callback=ticks.append).tune(shape)
+        assert ticks, "progress callback never fired"
+        total = len(list(enumerate_sub_lut_tilings(shape, platform)))
+        assert ticks[-1].evaluated == total
+        assert ticks[-1].best_cost is not None
+
+
+class TestSharding:
+    def test_shards_partition_the_index_space(self):
+        indexed = list(enumerate(range(103)))
+        shards = shard_tilings(indexed, 4)
+        seen = sorted(i for shard in shards for i, _ in shard)
+        assert seen == list(range(103))
+        assert len(shards) == 4
+
+    def test_more_jobs_than_tilings_drops_empty_shards(self):
+        indexed = list(enumerate(range(3)))
+        shards = shard_tilings(indexed, 8)
+        assert len(shards) == 3
+        assert all(len(s) == 1 for s in shards)
+
+    def test_zero_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            shard_tilings([(0, (1, 1))], 0)
+
+    def test_merge_prefers_lower_cost_then_lower_index(self):
+        from repro.mapping import Mapping
+        from repro.mapping.analytical import LatencyBreakdown
+
+        bd = LatencyBreakdown(0, 0, 0, 0, 0, 0)
+        m_a = Mapping(64, 32, 8, 8, 4)
+        m_b = Mapping(64, 32, 16, 8, 4)
+        cheap_late = _ShardResult(0, 1, 1, 0, (1.0, 9, m_a, bd), 0.0)
+        cheap_early = _ShardResult(1, 1, 1, 0, (1.0, 2, m_b, bd), 0.0)
+        costly = _ShardResult(2, 1, 1, 0, (5.0, 0, m_a, bd), 0.0)
+        merged = AutoTuner._merge_shard_bests([cheap_late, cheap_early, costly])
+        assert merged[1] == 2 and merged[2] == m_b
+        assert AutoTuner._merge_shard_bests([]) is None
+
+    def test_mapping_sort_key_is_total_order(self):
+        from repro.mapping import Mapping
+
+        a = Mapping(64, 32, 8, 8, 4)
+        b = Mapping(64, 32, 8, 8, 4, load_scheme="coarse", cb_load_tile=2)
+        assert mapping_sort_key(a) != mapping_sort_key(b)
+        assert mapping_sort_key(a) == mapping_sort_key(Mapping(64, 32, 8, 8, 4))
+
+
+class TestFallbackAndValidation:
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
+        import repro.mapping.tuner as tuner_mod
+
+        class BrokenPool:
+            def __init__(self, *a, **k):
+                raise OSError("no processes in this sandbox")
+
+        monkeypatch.setattr(tuner_mod, "ProcessPoolExecutor", BrokenPool)
+        shape = LUTShape(n=128, h=16, f=32, v=4, ct=4)
+        platform = get_platform("upmem")
+        serial = AutoTuner(platform).tune(shape)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            parallel = AutoTuner(platform, jobs=2).tune(shape)
+        assert_results_identical(serial, parallel)
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            AutoTuner(get_platform("upmem"), jobs=-1)
+
+    def test_jobs_zero_means_cpu_count(self):
+        import os
+
+        tuner = AutoTuner(get_platform("upmem"), jobs=0)
+        assert tuner.jobs == (os.cpu_count() or 1)
+
+    def test_parallel_impossible_shape_raises(self):
+        from dataclasses import replace
+
+        platform = get_platform("upmem")
+        broken = replace(
+            platform, local_memory=replace(platform.local_memory, buffer_bytes=1)
+        )
+        with pytest.raises(RuntimeError):
+            AutoTuner(broken, jobs=2).tune(LUTShape(n=64, h=16, f=32, v=4, ct=4))
+
+
+class TestModelHelpers:
+    def test_model_lut_shapes_dedupes(self):
+        config = EVAL_MODELS["bert-base"].with_(seq_len=32, batch_size=2)
+        shapes = model_lut_shapes(config)
+        assert len(shapes) == len(set(shapes)) == 4
+        assert all(s.n == config.tokens for s in shapes)
+
+    def test_model_lut_shapes_checks_divisibility(self):
+        config = EVAL_MODELS["bert-base"].with_(seq_len=32, batch_size=2)
+        with pytest.raises(ValueError):
+            model_lut_shapes(config, v=7)
+
+    def test_tune_model_parallel_matches_per_shape_serial(self):
+        config = EVAL_MODELS["bert-base"].with_(seq_len=16, batch_size=2)
+        platform = get_platform("upmem")
+        results = tune_model_parallel(config, platform, jobs=2)
+        assert len(results) == 4
+        serial = AutoTuner(platform)
+        for shape, result in results.items():
+            assert_results_identical(serial.tune(shape), result)
+
+    def test_tune_many_memoises_repeats(self):
+        platform = get_platform("upmem")
+        tuner = AutoTuner(platform)
+        shape = LUTShape(n=128, h=16, f=32, v=4, ct=4)
+        out = tuner.tune_many([shape, shape, shape])
+        assert list(out) == [shape]
