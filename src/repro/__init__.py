@@ -10,6 +10,7 @@ Package map
 ``repro.autograd``   numpy reverse-mode autodiff (calibration substrate)
 ``repro.nn``         module system + transformer models
 ``repro.core``       LUT-NN conversion, operators, eLUT-NN calibration
+``repro.kernels``    fast host kernels: cached/blocked CCS, fused LUT gather
 ``repro.pim``        DRAM-PIM platform models, kernels, event simulator
 ``repro.mapping``    mapping space, analytical model (Eqs. 3-10), auto-tuner
 ``repro.engine``     PIM-DL inference engine + baseline engines
@@ -32,6 +33,7 @@ from . import (
     baselines,
     core,
     engine,
+    kernels,
     mapping,
     nn,
     obs,
@@ -50,6 +52,7 @@ from .core import (
     set_lut_mode,
 )
 from .engine import GEMMPIMEngine, HostEngine, PIMDLEngine
+from .kernels import CCSKernel, HostKernelProfile, measure_host_kernels
 from .mapping import AutoTuner, Mapping
 from .pim import PIMSimulator, get_platform
 
@@ -59,6 +62,7 @@ __all__ = [
     "autograd",
     "nn",
     "core",
+    "kernels",
     "pim",
     "mapping",
     "engine",
@@ -75,6 +79,9 @@ __all__ = [
     "ELUTNNCalibrator",
     "BaselineLUTNNCalibrator",
     "evaluate_accuracy",
+    "CCSKernel",
+    "HostKernelProfile",
+    "measure_host_kernels",
     "AutoTuner",
     "Mapping",
     "PIMSimulator",

@@ -11,6 +11,11 @@ Subcommands mirror the offline workflow of paper Fig. 5:
   explicit mapping parameters) and print the latency breakdown;
 * ``flops`` — op-count / reduction analytics for a GEMM shape (Fig. 3);
 * ``compare`` — end-to-end engine comparison for a named model (Fig. 10);
+  ``--measure-host`` times this machine's real CCS kernel and substitutes
+  it for the host roofline;
+* ``kernels`` — benchmark + parity-check the :mod:`repro.kernels` host
+  kernels (``--dtype``, ``--block-rows``, ``--int8``) against the frozen
+  pre-kernel references;
 * ``trace-export`` — tune + simulate one shape and write the telemetry as
   a Chrome-trace file (viewable in Perfetto / ``chrome://tracing``).
 
@@ -288,6 +293,110 @@ def cmd_flops(args) -> int:
     return 0
 
 
+def _resolve_cli_dtype(dtype: str):
+    """Map the CLI ``--dtype`` choice to a kernel dtype argument."""
+    return None if dtype == "auto" else dtype
+
+
+def cmd_kernels(args) -> int:
+    """Benchmark + parity-check the host kernels against the references."""
+    import time
+
+    import numpy as np
+
+    from .core import quantize_lut
+    from .kernels import (
+        CCSKernel,
+        lut_gather_reduce,
+        lut_gather_reduce_quantized,
+    )
+    from .kernels.reference import ccs_reference, lut_lookup_reference
+
+    if args.h % args.v:
+        print(f"error: H={args.h} not divisible by V={args.v}", file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    dtype = _resolve_cli_dtype(args.dtype)
+    x = rng.normal(size=(args.n, args.h))
+    centroids = rng.normal(size=(args.h // args.v, args.ct, args.v))
+    lut = rng.normal(size=(args.h // args.v, args.ct, args.f))
+
+    def best(fn) -> float:
+        b = float("inf")
+        for _ in range(max(1, args.repeats)):
+            start = time.perf_counter()
+            fn()
+            b = min(b, time.perf_counter() - start)
+        return b
+
+    kernel = CCSKernel(dtype=dtype, block_rows=args.block_rows)
+    kernel.prepare(centroids, version=0)  # constants cached, as in serving
+    ref_idx = ccs_reference(x, centroids)
+    new_idx = kernel.search(x, centroids, version=0)
+    ccs_ref_s = best(lambda: ccs_reference(x, centroids))
+    ccs_new_s = best(lambda: kernel.search(x, centroids, version=0))
+
+    ref_out = lut_lookup_reference(new_idx, lut)
+    new_out = lut_gather_reduce(new_idx, lut, block_rows=args.block_rows)
+    lut_ref_s = best(lambda: lut_lookup_reference(new_idx, lut))
+    lut_new_s = best(lambda: lut_gather_reduce(new_idx, lut,
+                                               block_rows=args.block_rows))
+
+    index_match = float(np.mean(ref_idx == new_idx))
+    out_scale = float(np.max(np.abs(ref_out))) or 1.0
+    out_err = float(np.max(np.abs(ref_out - new_out))) / out_scale
+    rows = [
+        ["ccs", f"{ccs_ref_s * 1e3:.3f}", f"{ccs_new_s * 1e3:.3f}",
+         f"{ccs_ref_s / max(ccs_new_s, 1e-12):.2f}x",
+         f"index match {index_match:.2%}"],
+        ["lut lookup", f"{lut_ref_s * 1e3:.3f}", f"{lut_new_s * 1e3:.3f}",
+         f"{lut_ref_s / max(lut_new_s, 1e-12):.2f}x",
+         f"rel err {out_err:.1e}"],
+    ]
+    payload = {
+        "shape": {"n": args.n, "h": args.h, "f": args.f,
+                  "v": args.v, "ct": args.ct},
+        "dtype": args.dtype,
+        "block_rows": kernel.block_rows,
+        "ccs": {"reference_s": ccs_ref_s, "kernel_s": ccs_new_s,
+                "speedup": ccs_ref_s / max(ccs_new_s, 1e-12),
+                "index_match": index_match},
+        "lut": {"reference_s": lut_ref_s, "kernel_s": lut_new_s,
+                "speedup": lut_ref_s / max(lut_new_s, 1e-12),
+                "relative_error": out_err},
+    }
+    if args.int8:
+        qlut = quantize_lut(lut)
+        deq = qlut.dequantize()
+        int8_ref_s = best(lambda: lut_lookup_reference(new_idx, deq))
+        int8_new_s = best(lambda: lut_gather_reduce_quantized(
+            new_idx, qlut, block_rows=args.block_rows))
+        q_out = lut_gather_reduce_quantized(new_idx, qlut,
+                                            block_rows=args.block_rows)
+        q_err = float(np.max(np.abs(lut_lookup_reference(new_idx, deq) - q_out)))
+        rows.append([
+            "lut lookup int8", f"{int8_ref_s * 1e3:.3f}",
+            f"{int8_new_s * 1e3:.3f}",
+            f"{int8_ref_s / max(int8_new_s, 1e-12):.2f}x",
+            f"abs err {q_err:.1e}",
+        ])
+        payload["lut_int8"] = {
+            "reference_s": int8_ref_s, "kernel_s": int8_new_s,
+            "speedup": int8_ref_s / max(int8_new_s, 1e-12),
+            "absolute_error": q_err,
+        }
+    if args.json:
+        _print_json(payload)
+    else:
+        print(f"shape: N={args.n} H={args.h} F={args.f} V={args.v} "
+              f"CT={args.ct}; dtype={args.dtype}, "
+              f"block_rows={kernel.block_rows}")
+        print(format_table(
+            ["kernel", "reference_ms", "kernel_ms", "speedup", "parity"], rows
+        ))
+    return _finish_telemetry(args)
+
+
 def cmd_compare(args) -> int:
     from .baselines import cpu_server_fp32, cpu_server_int8, wimpy_host
     from .engine import GEMMPIMEngine, HostEngine, LINEAR, PIMDLEngine, model_graph
@@ -299,7 +408,27 @@ def cmd_compare(args) -> int:
     config = EVAL_MODELS[args.model]
     platform = get_platform(args.platform)
     host = wimpy_host()
-    pimdl = PIMDLEngine(platform, host, v=args.v, ct=args.ct)
+    profile = None
+    if args.measure_host:
+        from .kernels import measure_host_kernels
+
+        profile = measure_host_kernels(
+            n=config.tokens,
+            h=config.hidden_dim,
+            f=config.hidden_dim,
+            v=args.v,
+            ct=args.ct,
+            dtype=args.dtype if args.dtype != "auto" else "float32",
+            block_rows=args.block_rows,
+        )
+        print(
+            f"measured host CCS: {profile.ccs_ops_per_s / 1e9:.2f} Gop/s "
+            f"({profile.dtype}, block_rows={profile.block_rows})",
+            file=sys.stderr,
+        )
+    pimdl = PIMDLEngine(
+        platform, host, v=args.v, ct=args.ct, host_kernel_profile=profile
+    )
     engines = {
         "cpu-fp32": HostEngine(cpu_server_fp32()),
         "cpu-int8": HostEngine(cpu_server_int8()),
@@ -415,9 +544,36 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--platform", default="upmem", choices=sorted(PLATFORMS))
     compare.add_argument("--v", type=int, default=4)
     compare.add_argument("--ct", type=int, default=16)
+    compare.add_argument("--measure-host", action="store_true",
+                         help="measure this machine's host CCS kernel and "
+                              "use it instead of the roofline estimate")
+    compare.add_argument("--dtype", choices=["auto", "float32", "float64"],
+                         default="float32",
+                         help="host kernel compute dtype for --measure-host")
+    compare.add_argument("--block-rows", type=int, default=None, metavar="N",
+                         help="host kernel row-block size for --measure-host")
     compare.add_argument("--json", action="store_true",
                          help="machine-readable output")
     _add_telemetry_arguments(compare)
+
+    kernels = sub.add_parser(
+        "kernels",
+        help="benchmark + parity-check the host kernels vs the references",
+    )
+    _add_shape_arguments(kernels)
+    kernels.add_argument("--dtype", choices=["auto", "float32", "float64"],
+                         default="float32",
+                         help="CCS compute dtype (auto preserves the input's)")
+    kernels.add_argument("--block-rows", type=int, default=None, metavar="N",
+                         help="rows per kernel block")
+    kernels.add_argument("--int8", action="store_true",
+                         help="also benchmark the fused INT8 lookup path")
+    kernels.add_argument("--repeats", type=int, default=3,
+                         help="best-of-N timing repeats")
+    kernels.add_argument("--seed", type=int, default=0)
+    kernels.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+    _add_telemetry_arguments(kernels)
 
     trace_export = sub.add_parser(
         "trace-export",
@@ -440,6 +596,7 @@ COMMANDS = {
     "simulate": cmd_simulate,
     "flops": cmd_flops,
     "compare": cmd_compare,
+    "kernels": cmd_kernels,
     "trace-export": cmd_trace_export,
 }
 

@@ -150,6 +150,10 @@ class ELUTNNCalibrator:
                     optimizer.zero_grad()
                     loss.backward()
                     optimizer.step()
+                    # The step mutated every centroid tensor in place;
+                    # invalidate the layers' cached CCS constants.
+                    for _, layer in layers:
+                        layer.mark_centroids_updated()
 
                     result.steps += 1
                     _record_step(
@@ -245,6 +249,8 @@ class BaselineLUTNNCalibrator:
                     optimizer.zero_grad()
                     loss.backward()
                     optimizer.step()
+                    for _, layer in layers:
+                        layer.mark_centroids_updated()
 
                     step += 1
                     result.steps = step

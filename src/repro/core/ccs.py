@@ -3,19 +3,42 @@
 Steps 4–5 of paper Fig. 2: each (1, V) activation tile is compared with its
 column's codebook and the index of the centroid with minimal L2 distance is
 emitted.  The paper implements the distance estimation with inner products
-(a GEMM) so the operator runs efficiently on the host; this module does the
-same via a single batched einsum.
+(a GEMM) so the operator runs efficiently on the host; this module routes
+the search through the cached, blocked, dtype-aware
+:class:`repro.kernels.CCSKernel`, keeping :func:`squared_distances` as the
+plain einsum reference the kernel is property-tested against.
+
+Accuracy contract
+-----------------
+``closest_centroid_search`` computes in the input's floating dtype by
+default (float32 in → float32 distances; anything else → float64, the
+pre-kernel behaviour).  float64 reproduces the reference argmin on
+continuous data; float32 (``dtype="float32"``) may pick the other centroid
+of a pair whose distances agree to ~1e-6 relative — ties where either
+choice reconstructs equally well.  Pass ``dtype="float64"`` to force the
+reference precision regardless of input dtype.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from ..kernels import CCSKernel
+from ..kernels.ccs import DTypeLike
 from .codebook import Codebooks
+
+# Shared auto-dtype kernel for the functional API; per-layer callers
+# (LUTLinear) own their kernel so each layer's constants stay cached.
+_shared_kernel = CCSKernel(dtype=None)
 
 
 def squared_distances(x: np.ndarray, codebooks: Codebooks) -> np.ndarray:
     """Squared L2 distance between every sub-vector and every centroid.
+
+    This is the float64 einsum *reference* implementation; the fast path
+    is :meth:`repro.kernels.CCSKernel.squared_distances`.
 
     Parameters
     ----------
@@ -35,13 +58,23 @@ def squared_distances(x: np.ndarray, codebooks: Codebooks) -> np.ndarray:
     return a_sq - 2.0 * cross + c_sq
 
 
-def closest_centroid_search(x: np.ndarray, codebooks: Codebooks) -> np.ndarray:
-    """Compute the (N, CB) int index matrix (argmin over centroids)."""
-    x = np.asarray(x, dtype=np.float64)
+def closest_centroid_search(
+    x: np.ndarray,
+    codebooks: Codebooks,
+    dtype: DTypeLike = None,
+    kernel: Optional[CCSKernel] = None,
+) -> np.ndarray:
+    """Compute the (N, CB) int32 index matrix (argmin over centroids).
+
+    ``dtype`` selects the compute precision (see the module docstring for
+    the accuracy contract); ``kernel`` lets a caller supply its own cached
+    :class:`~repro.kernels.CCSKernel` instead of the shared one.
+    """
+    x = np.asarray(x)
     if x.ndim != 2:
         raise ValueError("CCS input must be 2-D (N, H)")
-    dists = squared_distances(x, codebooks)
-    return np.argmin(dists, axis=-1).astype(np.int32)
+    active = kernel if kernel is not None else _shared_kernel
+    return active.search(x, codebooks.centroids, dtype=dtype)
 
 
 def hard_replace(x: np.ndarray, codebooks: Codebooks) -> np.ndarray:
@@ -51,7 +84,7 @@ def hard_replace(x: np.ndarray, codebooks: Codebooks) -> np.ndarray:
     by its nearest centroid.
     """
     indices = closest_centroid_search(x, codebooks)
-    n = x.shape[0]
+    n = np.asarray(x).shape[0]
     cb_idx = np.arange(codebooks.cb)[None, :]
     replaced = codebooks.centroids[cb_idx, indices]  # (N, CB, V)
     return replaced.reshape(n, codebooks.h)

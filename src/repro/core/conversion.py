@@ -132,12 +132,15 @@ def convert_to_lut_nn(
     kmeans_iters: int = 25,
     centroid_init: str = "kmeans",
     max_rows: int = 100_000,
+    kernel_dtype=None,
+    block_rows: Optional[int] = None,
 ) -> List[Tuple[str, LUTLinear]]:
     """Convert every targeted ``Linear`` in ``model`` to a ``LUTLinear``.
 
     Returns the list of (qualified_name, new_layer) replacements.  The model
     is modified in place; each new layer starts in ``calibrate`` mode, ready
-    for an eLUT-NN calibration pass.
+    for an eLUT-NN calibration pass.  ``kernel_dtype``/``block_rows``
+    configure each layer's host CCS kernel (see :mod:`repro.kernels`).
     """
     rng = rng or np.random.default_rng()
     targets = find_target_linears(model, layer_filter)
@@ -156,6 +159,8 @@ def convert_to_lut_nn(
             kmeans_iters=kmeans_iters,
             centroid_init=centroid_init,
             name=name,
+            kernel_dtype=kernel_dtype,
+            block_rows=block_rows,
         )
         model.replace_module(name, lut_layer)
         replacements.append((name, lut_layer))
@@ -170,6 +175,8 @@ def convert_with_plan(
     kmeans_iters: int = 25,
     centroid_init: str = "kmeans",
     max_rows: int = 100_000,
+    kernel_dtype=None,
+    block_rows: Optional[int] = None,
 ) -> List[Tuple[str, LUTLinear]]:
     """Convert with *per-layer* (V, CT) settings.
 
@@ -201,6 +208,8 @@ def convert_with_plan(
             kmeans_iters=kmeans_iters,
             centroid_init=centroid_init,
             name=name,
+            kernel_dtype=kernel_dtype,
+            block_rows=block_rows,
         )
         model.replace_module(name, lut_layer)
         replacements.append((name, lut_layer))

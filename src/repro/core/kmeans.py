@@ -11,6 +11,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..kernels import lloyd_update
+
 
 def kmeans_plusplus_init(
     points: np.ndarray, k: int, rng: np.random.Generator
@@ -76,15 +78,9 @@ def kmeans(
     centroids = kmeans_plusplus_init(points, k, rng)
     labels = assign(points, centroids)
     for _ in range(max_iters):
-        new_centroids = centroids.copy()
-        for j in range(k):
-            members = points[labels == j]
-            if len(members):
-                new_centroids[j] = members.mean(axis=0)
-            else:
-                # Re-seed empty clusters at the point farthest from its centroid.
-                dists = np.sum((points - centroids[labels]) ** 2, axis=1)
-                new_centroids[j] = points[np.argmax(dists)]
+        # Vectorized Lloyd step: scatter means + one-shot empty-cluster
+        # reseed (distances hoisted out of the per-cluster loop).
+        new_centroids, _ = lloyd_update(points, labels, k, centroids)
         shift = float(np.max(np.abs(new_centroids - centroids)))
         centroids = new_centroids
         labels = assign(points, centroids)

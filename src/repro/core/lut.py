@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels import lut_gather_reduce
 from .codebook import Codebooks, LUTShape
 
 
@@ -42,6 +43,12 @@ def build_lut(codebooks: Codebooks, weight: np.ndarray) -> np.ndarray:
 def lut_lookup(indices: np.ndarray, lut: np.ndarray) -> np.ndarray:
     """Table lookup + accumulate (paper Fig. 2 steps 6–7).
 
+    Delegates to :func:`repro.kernels.lut_gather_reduce`: a blocked flat
+    gather whose bounds check is one ``max() >= CT`` pass over an
+    unsigned-reinterpreted view of the indices, instead of the separate
+    ``min()``/``max()`` scans of the old reference.  Out-of-range indices
+    still raise ``IndexError``.
+
     Parameters
     ----------
     indices: (N, CB) int index matrix from closest-centroid search.
@@ -51,17 +58,7 @@ def lut_lookup(indices: np.ndarray, lut: np.ndarray) -> np.ndarray:
     -------
     (N, F) output matrix: ``out[n] = sum_cb lut[cb, indices[n, cb]]``.
     """
-    indices = np.asarray(indices)
-    if indices.ndim != 2:
-        raise ValueError("indices must be 2-D (N, CB)")
-    cb = lut.shape[0]
-    if indices.shape[1] != cb:
-        raise ValueError(f"indices CB={indices.shape[1]} != LUT CB={cb}")
-    if indices.min() < 0 or indices.max() >= lut.shape[1]:
-        raise IndexError("centroid index out of LUT range")
-    cb_idx = np.arange(cb)[None, :]
-    gathered = lut[cb_idx, indices]  # (N, CB, F)
-    return gathered.sum(axis=1)
+    return lut_gather_reduce(indices, np.asarray(lut))
 
 
 def lut_matmul(x: np.ndarray, codebooks: Codebooks, lut: np.ndarray) -> np.ndarray:

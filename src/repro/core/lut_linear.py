@@ -25,18 +25,34 @@ import numpy as np
 
 from ..autograd import Tensor
 from ..autograd.tensor import _route
+from ..kernels import (
+    CCSKernel,
+    gather_offsets,
+    lut_gather_reduce,
+    lut_gather_reduce_quantized,
+)
+from ..kernels.ccs import DTypeLike
 from ..nn.layers import Linear
 from ..nn.module import Module
-from .ccs import closest_centroid_search
 from .codebook import Codebooks, LUTShape
-from .lut import build_lut, lut_lookup
+from .lut import build_lut
 from .quantization import QuantizedLUT, quantize_lut
 
 _MODES = ("exact", "calibrate", "soft", "lut")
 
 
 class LUTLinear(Module):
-    """LUT-NN replacement of a linear layer (see module docstring)."""
+    """LUT-NN replacement of a linear layer (see module docstring).
+
+    Numerics run through :mod:`repro.kernels`: the layer owns a
+    :class:`~repro.kernels.CCSKernel` whose per-layer constants are cached
+    behind ``_centroid_version`` — call :meth:`mark_centroids_updated`
+    after every optimizer step that touches ``centroids`` so the next
+    forward rebuilds them.  ``kernel_dtype=None`` (default) preserves the
+    input's floating dtype, matching the float64 reference bit-for-bit;
+    pass ``"float32"`` for deployment-speed search (see the accuracy
+    contract in :mod:`repro.core.ccs`).
+    """
 
     def __init__(
         self,
@@ -44,6 +60,8 @@ class LUTLinear(Module):
         bias: Optional[Tensor],
         codebooks: Codebooks,
         name: str = "",
+        kernel_dtype: DTypeLike = None,
+        block_rows: Optional[int] = None,
     ):
         super().__init__()
         h, f = weight.shape
@@ -72,6 +90,13 @@ class LUTLinear(Module):
         self._lut: Optional[np.ndarray] = None
         self._qlut: Optional[QuantizedLUT] = None
 
+        # Host kernel state: cached-constant CCS kernel + the centroid
+        # version counter that keys its cache (bumped by
+        # mark_centroids_updated after each optimizer step).
+        self._ccs_kernel = CCSKernel(dtype=kernel_dtype, block_rows=block_rows)
+        self._centroid_version = 0
+        self._gather_offsets = gather_offsets(self.cb, self.ct)
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
@@ -86,6 +111,8 @@ class LUTLinear(Module):
         kmeans_iters: int = 25,
         centroid_init: str = "kmeans",
         name: str = "",
+        kernel_dtype: DTypeLike = None,
+        block_rows: Optional[int] = None,
     ) -> "LUTLinear":
         """Convert a trained ``Linear`` using calibration activations.
 
@@ -104,7 +131,14 @@ class LUTLinear(Module):
             codebooks = Codebooks.random_init(activations, v=v, ct=ct, rng=rng)
         else:
             raise ValueError(f"unknown centroid_init {centroid_init!r}")
-        return cls(linear.weight, linear.bias, codebooks, name=name)
+        return cls(
+            linear.weight,
+            linear.bias,
+            codebooks,
+            name=name,
+            kernel_dtype=kernel_dtype,
+            block_rows=block_rows,
+        )
 
     # ------------------------------------------------------------------
     # Helpers
@@ -124,6 +158,22 @@ class LUTLinear(Module):
         if mode not in _MODES:
             raise ValueError(f"unknown mode {mode!r}; expected one of {_MODES}")
         self.mode = mode
+
+    def mark_centroids_updated(self) -> None:
+        """Notify the CCS kernel that ``centroids`` changed.
+
+        Must be called after every optimizer step that touches the
+        centroid tensor; the bumped version invalidates the kernel's
+        cached constants on the next search.  (The kernel also keeps a
+        content fingerprint as a safety net against missed calls.)
+        """
+        self._centroid_version += 1
+
+    def _search(self, x: np.ndarray) -> np.ndarray:
+        """Closest-centroid indices via the layer's cached kernel."""
+        return self._ccs_kernel.search(
+            x, self.centroids.data, version=self._centroid_version
+        )
 
     def freeze_lut(self, quantize_int8: bool = False) -> None:
         """Pre-compute the deployment LUT from current centroids and weight.
@@ -187,8 +237,7 @@ class LUTLinear(Module):
         return self.centroids[cb_idx, indices]
 
     def _calibrate_forward(self, flat: Tensor) -> Tensor:
-        codebooks = Codebooks(self.centroids.data)
-        indices = closest_centroid_search(flat.data, codebooks)
+        indices = self._search(flat.data)
         gathered = self._gather_centroids(indices)  # (N, CB, V), grads -> centroids
         approx = gathered.reshape(flat.shape[0], self.in_features)
         # Straight-through estimator: forward equals the hard replacement,
@@ -208,8 +257,17 @@ class LUTLinear(Module):
         the assignment becomes hard, creating the train/infer mismatch that
         (together with the missing reconstruction loss) degrades the
         baseline's accuracy when every layer is replaced.
+
+        In eval mode with no gradient consumers the autograd tape is
+        skipped entirely: distances come from the blocked BLAS kernel and
+        the softmax mixture runs in plain numpy (same max-subtracted
+        formulation, so outputs agree with the autograd path to float
+        rounding).
         """
         from ..autograd import softmax
+
+        if not self.training and not flat.requires_grad:
+            return Tensor(self._soft_forward_numpy(flat.data))
 
         n = flat.shape[0]
         sub = flat.reshape(n, self.cb, self.v)
@@ -230,12 +288,35 @@ class LUTLinear(Module):
         a_soft = mixed.transpose(1, 0, 2).reshape(n, self.in_features)
         return a_soft @ self.weight
 
+    def _soft_forward_numpy(self, flat: np.ndarray) -> np.ndarray:
+        """Inference-only soft assignment (no tape, kernel distances)."""
+        n = flat.shape[0]
+        dists = self._ccs_kernel.squared_distances(
+            flat, self.centroids.data, version=self._centroid_version
+        )  # (N, CB, CT)
+        logits = -dists / max(self.temperature, 1e-8)
+        logits -= logits.max(axis=-1, keepdims=True)
+        exp = np.exp(logits)
+        weights = exp / exp.sum(axis=-1, keepdims=True)
+        # (CB, N, CT) @ (CB, CT, V) -> (CB, N, V)
+        mixed = np.matmul(weights.transpose(1, 0, 2), self.centroids.data)
+        a_soft = mixed.transpose(1, 0, 2).reshape(n, self.in_features)
+        return a_soft @ self.weight.data
+
     def _lut_forward(self, flat: Tensor) -> Tensor:
         if self._lut is None:
             self.freeze_lut()
-        codebooks = Codebooks(self.centroids.data)
-        indices = closest_centroid_search(flat.data, codebooks)
-        out = lut_lookup(indices, self._lut)
+        indices = self._search(flat.data)
+        if self._qlut is not None:
+            # Fused INT8 path: gather the int8 table directly, accumulate
+            # in int32, dequantize once (paper §6.3 deployment numerics).
+            out = lut_gather_reduce_quantized(
+                indices, self._qlut, offsets=self._gather_offsets
+            )
+        else:
+            out = lut_gather_reduce(
+                indices, self._lut, offsets=self._gather_offsets
+            )
         result = Tensor(out)
 
         # Keep the tape alive for upstream layers via STE so mixed

@@ -34,18 +34,29 @@ class QuantizedLUT:
         return self.values.astype(np.float64) * self.scales[:, None, None]
 
 
-def quantize_lut(lut: np.ndarray, qmax: int = 127) -> QuantizedLUT:
-    """Symmetric per-codebook INT8 quantization.
+def quantize_lut(
+    lut: np.ndarray, qmax: int = 127, per_codebook: bool = True
+) -> QuantizedLUT:
+    """Symmetric INT8 quantization.
 
-    Each codebook slice ``lut[cb]`` is scaled by ``max(|lut[cb]|) / 127`` and
-    rounded to int8.  Per-codebook scaling bounds the quantization error of
-    the accumulated output by the per-slice dynamic range rather than the
-    global one.
+    With ``per_codebook=True`` (default) each codebook slice ``lut[cb]`` is
+    scaled by ``max(|lut[cb]|) / 127`` and rounded to int8 — per-codebook
+    scaling bounds the quantization error of the accumulated output by the
+    per-slice dynamic range rather than the global one.
+
+    ``per_codebook=False`` uses one global scale for the whole table (the
+    scales vector stays per-codebook shaped but holds one value).  That is
+    slightly lossier but lets the host gather-reduce kernel accumulate the
+    int8 entries *exactly* in int32 and dequantize with a single multiply
+    (:func:`repro.kernels.lut_gather_reduce_quantized`'s fast path).
     """
     lut = np.asarray(lut, dtype=np.float64)
     if lut.ndim != 3:
         raise ValueError("LUT must have shape (CB, CT, F)")
-    peaks = np.max(np.abs(lut), axis=(1, 2))
+    if per_codebook:
+        peaks = np.max(np.abs(lut), axis=(1, 2))
+    else:
+        peaks = np.full(lut.shape[0], np.max(np.abs(lut)))
     scales = np.where(peaks > 0.0, peaks / qmax, 1.0)
     q = np.clip(np.round(lut / scales[:, None, None]), -qmax, qmax).astype(np.int8)
     return QuantizedLUT(values=q, scales=scales)

@@ -20,6 +20,7 @@ from typing import Optional
 
 from ..baselines.roofline import RooflineDevice
 from ..core.codebook import LUTShape
+from ..kernels import HostKernelProfile
 from ..mapping.tuner import AutoTuner
 from ..pim.gemm_kernels import linear_layer_on_pim
 from ..pim.platforms import PIMPlatform
@@ -107,14 +108,18 @@ class LUTDecodeEngine:
         v: int = 4,
         ct: int = 16,
         tuner: Optional[AutoTuner] = None,
+        host_kernel_profile: Optional[HostKernelProfile] = None,
     ):
         self.platform = platform
         self.host = host
         self.v = v
         self.ct = ct
         self.tuner = tuner or AutoTuner(platform, amortize_lut_distribution=True)
+        self.host_kernel_profile = host_kernel_profile
 
     def _ccs_time(self, batch: int, h: int) -> float:
+        if self.host_kernel_profile is not None:
+            return self.host_kernel_profile.ccs_time(batch, h, self.ct)
         cb = h // self.v
         distance = self.host.small_k_gemm_time(batch * cb, self.v, self.ct)
         argmin = self.host.op_time(batch * cb * self.ct, batch * cb * self.ct * 4.0)

@@ -18,6 +18,7 @@ from typing import Optional
 from .. import obs
 from ..baselines.roofline import RooflineDevice
 from ..core.codebook import LUTShape
+from ..kernels import HostKernelProfile
 from ..mapping.tuner import AutoTuner
 from ..pim.energy import host_only_energy, pim_system_energy
 from ..pim.gemm_kernels import linear_layer_on_pim
@@ -123,6 +124,11 @@ class PIMDLEngine:
         Treat LUTs (model weights) as resident in PIM memory across
         inferences.  Default False: every inference pays the full Eq. 3
         distribution cost, matching the paper's measurement setup.
+    host_kernel_profile:
+        Optional measured throughput of this machine's host CCS kernel
+        (:func:`repro.kernels.measure_host_kernels`).  When set, CCS time
+        comes from the measurement instead of the host roofline, so the
+        latency model reflects the actual kernel layer.
     """
 
     def __init__(
@@ -133,6 +139,7 @@ class PIMDLEngine:
         ct: int = 16,
         amortize_lut_distribution: Optional[bool] = None,
         tuner: Optional[AutoTuner] = None,
+        host_kernel_profile: Optional[HostKernelProfile] = None,
     ):
         if v <= 0 or ct <= 0:
             raise ValueError("v and ct must be positive")
@@ -147,6 +154,7 @@ class PIMDLEngine:
         self.tuner = tuner or AutoTuner(
             platform, amortize_lut_distribution=amortize_lut_distribution
         )
+        self.host_kernel_profile = host_kernel_profile
 
     @property
     def name(self) -> str:
@@ -161,7 +169,12 @@ class PIMDLEngine:
         inner dimension of those GEMMs is the sub-vector length V, so they
         run at small-K efficiency — which is why CCS contributes ~20% of
         PIM-DL's latency despite its modest op count (Fig. 11-(a)).
+
+        When a measured :class:`~repro.kernels.HostKernelProfile` is set it
+        replaces the roofline estimate with this machine's real throughput.
         """
+        if self.host_kernel_profile is not None:
+            return self.host_kernel_profile.ccs_time(n, h, self.ct)
         cb = h // self.v
         distance = self.host.small_k_gemm_time(n * cb, self.v, self.ct)
         argmin_bytes = n * cb * self.ct * 4.0 + n * cb

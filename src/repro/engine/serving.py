@@ -22,6 +22,7 @@ from typing import Dict, Optional, Union
 from .. import obs
 from ..baselines.roofline import RooflineDevice
 from ..core.codebook import LUTShape
+from ..kernels import HostKernelProfile
 from ..mapping.store import MappingCache
 from ..mapping.tuner import AutoTuner, TuningResult, model_lut_shapes
 from ..pim.platforms import PIMPlatform
@@ -82,6 +83,10 @@ class GenerationServer:
     tune_jobs:
         Worker processes for any tuning the server still has to do
         (cold cache).  ``0`` means one per CPU.
+    host_kernel_profile:
+        Measured host CCS throughput (:func:`repro.kernels.measure_host_kernels`);
+        forwarded to both the prefill and decode engines so their latency
+        models use this machine's real kernel speed instead of the roofline.
     """
 
     def __init__(
@@ -93,6 +98,7 @@ class GenerationServer:
         lut_nn: bool = True,
         mapping_cache: Optional[Union[MappingCache, str]] = None,
         tune_jobs: int = 1,
+        host_kernel_profile: Optional[HostKernelProfile] = None,
     ):
         self.platform = platform
         self.host = host
@@ -116,6 +122,7 @@ class GenerationServer:
                     jobs=tune_jobs,
                     cache=mapping_cache,
                 ),
+                host_kernel_profile=host_kernel_profile,
             )
             self._decode = LUTDecodeEngine(
                 platform, host, v=v, ct=ct,
@@ -125,6 +132,7 @@ class GenerationServer:
                     jobs=tune_jobs,
                     cache=mapping_cache,
                 ),
+                host_kernel_profile=host_kernel_profile,
             )
         else:
             self._prefill = GEMMPIMEngine(platform, host)

@@ -1,0 +1,189 @@
+"""Fused table-lookup-and-accumulate kernels (paper Fig. 2 steps 6-7).
+
+The reference :func:`repro.core.lut.lut_lookup` gathers with a 2-D fancy
+index and pays two full passes over the index matrix per call for bounds
+checking (``indices.min()`` plus ``indices.max()``).  The kernels here:
+
+* pick the gather strategy by working-set size: small row blocks use one
+  **flat gather** on a ``(CB*CT, F)`` view of the table (one index array,
+  one gather, one reduction); once the ``(nb, CB, F)`` gather intermediate
+  would spill out of cache the kernel switches to **per-codebook
+  accumulation** — CB gathers of ``(nb, F)`` each, added straight into the
+  output slice, so the accumulator stays cache-resident and the huge
+  intermediate (the reference path's bottleneck: it writes and re-reads
+  N*CB*F elements) is never materialized;
+* validate bounds with a **single pass**: the signed index array is
+  reinterpreted as unsigned of the same width, so a negative index becomes
+  a huge value and one ``max() >= CT`` comparison catches both ends of the
+  range at once.  The scan touches N*CB elements against the N*CB*F the
+  gather moves, so its cost is ~1/F of the kernel.  (A per-codebook wrap —
+  index >= CT landing in the next codebook's rows — is invisible to
+  numpy's own flat-gather bounds check, which is why the explicit check
+  stays.)  Corner case: an int8 index ``-1`` with CT=256 reinterprets to
+  the valid unsigned 255 — at CT=256 use uint8 or wider indices, as the
+  CCS kernel's int32 output always is.
+* keep the **INT8 path fused**: the int8 table is gathered directly and
+  accumulated in int32, with a single dequantization multiply at the end
+  when the quantization scale is shared — never materializing a float
+  copy of the LUT.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import obs
+from .ccs import DEFAULT_BLOCK_ROWS
+
+#: Largest (nb, CB, F) gather intermediate the flat strategy may create;
+#: beyond this the per-codebook accumulation path wins on memory traffic.
+_GATHER_BUDGET_BYTES = 8 << 20
+
+
+def gather_offsets(cb: int, ct: int) -> np.ndarray:
+    """(1, CB) int64 row offsets of each codebook in the flat (CB*CT, F) view."""
+    return (np.arange(cb, dtype=np.int64) * ct)[None, :]
+
+
+def _checked_indices(indices: np.ndarray, cb: int, ct: int) -> np.ndarray:
+    """Validate an (N, CB) index matrix and return an in-range unsigned view.
+
+    The unsigned reinterpretation makes the bounds check a single pass:
+    negatives map far past any real table size, so one ``max() >= CT``
+    comparison replaces the reference's separate ``min()`` and ``max()``
+    scans.  The view never copies for the contiguous int32 indices the CCS
+    kernel emits.
+    """
+    idx = np.asarray(indices)
+    if idx.ndim != 2:
+        raise ValueError("indices must be 2-D (N, CB)")
+    if idx.shape[1] != cb:
+        raise ValueError(f"indices CB={idx.shape[1]} != LUT CB={cb}")
+    if idx.dtype.kind == "i":
+        if not idx.flags.c_contiguous:
+            idx = np.ascontiguousarray(idx)
+        idx = idx.view(np.dtype(f"uint{idx.dtype.itemsize * 8}"))
+    elif idx.dtype.kind != "u":
+        raise TypeError(f"indices must be an integer array, got {idx.dtype}")
+    if idx.size and int(idx.max()) >= ct:
+        raise IndexError("centroid index out of LUT range")
+    return idx
+
+
+def lut_gather_reduce(
+    indices: np.ndarray,
+    lut: np.ndarray,
+    offsets: Optional[np.ndarray] = None,
+    block_rows: Optional[int] = None,
+) -> np.ndarray:
+    """Fused table lookup + accumulate: ``out[n] = sum_cb lut[cb, idx[n, cb]]``.
+
+    Parameters
+    ----------
+    indices: (N, CB) integer index matrix from closest-centroid search.
+    lut: (CB, CT, F) pre-computed tables (any float dtype).
+    offsets: optional precomputed :func:`gather_offsets` (cached per layer).
+    block_rows: rows per block; bounds the (nb, CB, F) gather working set.
+
+    Raises
+    ------
+    IndexError
+        If any index falls outside ``[0, CT)`` — detected by one
+        ``max() >= CT`` pass over the unsigned-reinterpreted indices.
+    """
+    if lut.ndim != 3:
+        raise ValueError("LUT must have shape (CB, CT, F)")
+    cb, ct, f = lut.shape
+    unsigned = _checked_indices(indices, cb, ct)
+    if offsets is None:
+        offsets = gather_offsets(cb, ct)
+    lut2d = lut.reshape(cb * ct, f)
+    n = unsigned.shape[0]
+    block = int(block_rows or DEFAULT_BLOCK_ROWS)
+    flat_rows = max(1, _GATHER_BUDGET_BYTES // max(cb * f * lut.itemsize, 1))
+    out = np.empty((n, f), dtype=lut.dtype)
+    if cb == 0:
+        out.fill(0)
+        n = 0  # nothing to gather
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        sub = unsigned[start:stop]
+        if stop - start <= flat_rows:
+            flat = sub.astype(np.int64) + offsets
+            out[start:stop] = lut2d[flat].sum(axis=1)
+        else:
+            # Per-codebook accumulation: the (nb, F) output slice stays
+            # cache-resident; no (nb, CB, F) intermediate is materialized.
+            seg = out[start:stop]
+            seg[:] = lut[0][sub[:, 0]]
+            for c in range(1, cb):
+                seg += lut[c][sub[:, c]]
+    registry = obs.get_registry()
+    registry.counter("kernels.lut.gathers").inc()
+    registry.counter("kernels.lut.rows").inc(unsigned.shape[0])
+    return out
+
+
+def lut_gather_reduce_quantized(
+    indices: np.ndarray,
+    qlut,
+    offsets: Optional[np.ndarray] = None,
+    block_rows: Optional[int] = None,
+) -> np.ndarray:
+    """Fused INT8 lookup + accumulate against a :class:`QuantizedLUT`.
+
+    The int8 table is gathered directly (1 byte/element of traffic — the
+    whole point of INT8 deployment, paper §6.3).  When every codebook
+    shares one quantization scale the partial sums accumulate exactly in
+    int32 and a *single* dequantization multiply produces the output;
+    with per-codebook scales the gathered int8 values are widened once
+    and the scales are folded into the codebook reduction (a tensordot),
+    so dequantization still happens once per output rather than once per
+    table entry.
+    """
+    values = qlut.values
+    scales = np.asarray(qlut.scales, dtype=np.float64)
+    if values.ndim != 3:
+        raise ValueError("quantized LUT must have shape (CB, CT, F)")
+    cb, ct, f = values.shape
+    unsigned = _checked_indices(indices, cb, ct)
+    if offsets is None:
+        offsets = gather_offsets(cb, ct)
+    q2d = values.reshape(cb * ct, f)
+    common = float(scales[0]) if cb and np.all(scales == scales[0]) else None
+    n = unsigned.shape[0]
+    block = int(block_rows or DEFAULT_BLOCK_ROWS)
+    # The int8 gather intermediate is 1 byte/element, so the flat strategy
+    # holds much longer than in the float kernel.
+    flat_rows = max(1, _GATHER_BUDGET_BYTES // max(cb * f, 1))
+    out = np.empty((n, f), dtype=np.float64)
+    if cb == 0:
+        out.fill(0)
+        n = 0  # nothing to gather
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        sub = unsigned[start:stop]
+        if common is not None:
+            if stop - start <= flat_rows:
+                gathered = q2d[sub.astype(np.int64) + offsets]
+                acc = gathered.sum(axis=1, dtype=np.int32)
+            else:
+                acc = values[0][sub[:, 0]].astype(np.int32)
+                for c in range(1, cb):
+                    acc += values[c][sub[:, c]]
+            # Exact integer accumulation, one dequant multiply.
+            out[start:stop] = acc * common
+        else:
+            # Per-codebook scales: fold each codebook's dequant multiply
+            # into its accumulation step — still one multiply per gathered
+            # (nb, F) slice, never a float copy of the whole table.
+            seg = out[start:stop]
+            seg[:] = values[0][sub[:, 0]] * scales[0]
+            for c in range(1, cb):
+                seg += values[c][sub[:, c]] * scales[c]
+    registry = obs.get_registry()
+    registry.counter("kernels.lut.int8_gathers").inc()
+    registry.counter("kernels.lut.rows").inc(unsigned.shape[0])
+    return out

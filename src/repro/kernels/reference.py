@@ -1,0 +1,71 @@
+"""Frozen pre-kernel reference implementations.
+
+These are verbatim copies of the numeric paths as they existed *before*
+the ``repro.kernels`` layer landed: float64 einsum CCS with no constant
+reuse, table lookup with a full ``min()/max()`` bounds scan, and the
+per-cluster Python loop of Lloyd's update.  They exist so that
+
+* parity property tests can assert the fast kernels produce bit-identical
+  indices / allclose outputs against the exact old semantics, and
+* ``benchmarks/test_ext_kernel_speed.py`` can measure the speedup of the
+  kernel layer against a stable baseline.
+
+Do not optimize this module; it is the fixed point the kernels are
+measured against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def squared_distances_reference(x: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Pre-kernel distance computation: float64 einsum, no cached constants."""
+    cb, ct, v = centroids.shape
+    x = np.asarray(x, dtype=np.float64)
+    cents = np.asarray(centroids, dtype=np.float64)
+    sub = x.reshape(x.shape[0], cb, v)
+    cross = np.einsum("ncv,ckv->nck", sub, cents)
+    a_sq = np.sum(sub**2, axis=-1)[:, :, None]
+    c_sq = np.sum(cents**2, axis=-1)[None, :, :]
+    return a_sq - 2.0 * cross + c_sq
+
+
+def ccs_reference(x: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Pre-kernel closest-centroid search: float64 upcast + full distances."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError("CCS input must be 2-D (N, H)")
+    dists = squared_distances_reference(x, centroids)
+    return np.argmin(dists, axis=-1).astype(np.int32)
+
+
+def lut_lookup_reference(indices: np.ndarray, lut: np.ndarray) -> np.ndarray:
+    """Pre-kernel lookup: per-call min/max bounds scan + 2-D fancy gather."""
+    indices = np.asarray(indices)
+    if indices.ndim != 2:
+        raise ValueError("indices must be 2-D (N, CB)")
+    cb = lut.shape[0]
+    if indices.shape[1] != cb:
+        raise ValueError(f"indices CB={indices.shape[1]} != LUT CB={cb}")
+    if indices.min() < 0 or indices.max() >= lut.shape[1]:
+        raise IndexError("centroid index out of LUT range")
+    cb_idx = np.arange(cb)[None, :]
+    gathered = lut[cb_idx, indices]  # (N, CB, F)
+    return gathered.sum(axis=1)
+
+
+def lloyd_update_reference(
+    points: np.ndarray, labels: np.ndarray, k: int, centroids: np.ndarray
+) -> np.ndarray:
+    """Pre-kernel Lloyd update: Python loop over clusters, distances
+    recomputed inside the loop for every empty cluster."""
+    new_centroids = centroids.copy()
+    for j in range(k):
+        members = points[labels == j]
+        if len(members):
+            new_centroids[j] = members.mean(axis=0)
+        else:
+            dists = np.sum((points - centroids[labels]) ** 2, axis=1)
+            new_centroids[j] = points[np.argmax(dists)]
+    return new_centroids
