@@ -13,7 +13,6 @@ shown at software-emulated multiply cost for reference).
 
 from dataclasses import replace
 
-import pytest
 
 from repro.analysis import format_table, geomean
 from repro.baselines import wimpy_host

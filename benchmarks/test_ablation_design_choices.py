@@ -10,7 +10,6 @@
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import format_table, geomean
 from repro.core import (

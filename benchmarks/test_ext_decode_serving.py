@@ -13,7 +13,6 @@ or hidden dim grows, because the tables are read per *selected centroid*
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import format_table, geomean
 from repro.baselines import a2_gpu

@@ -7,7 +7,6 @@ serving should win the full request on both the prefill-heavy and the
 decode-heavy side of the sweep.
 """
 
-import pytest
 
 from repro.analysis import format_table, geomean
 from repro.baselines import a2_gpu

@@ -8,7 +8,6 @@ sharing helps at small batch and stops helping once a single request can
 saturate the system.
 """
 
-import pytest
 
 from repro.analysis import format_table
 from repro.baselines import wimpy_host

@@ -17,7 +17,12 @@ Subcommands mirror the offline workflow of paper Fig. 5:
   kernels (``--dtype``, ``--block-rows``, ``--int8``) against the frozen
   pre-kernel references;
 * ``trace-export`` — tune + simulate one shape and write the telemetry as
-  a Chrome-trace file (viewable in Perfetto / ``chrome://tracing``).
+  a Chrome-trace file (viewable in Perfetto / ``chrome://tracing``);
+* ``faults`` — serve generation requests under an injected fault scenario
+  (dead ranks, stragglers, transfer timeouts, LUT bit flips — from flags
+  or a ``--scenario`` JSON file) and report how the retry → remap → host
+  fallback ladder degraded each request, plus a functional parity check of
+  the recovered kernel against the trusted host kernel.
 
 Observability flags: ``platforms``/``flops``/``compare`` take ``--json``
 for machine-readable output; ``tune``/``simulate``/``compare`` take
@@ -475,6 +480,160 @@ def cmd_compare(args) -> int:
                              kernel_traces=kernel_traces)
 
 
+def _fault_plan_from_args(args) -> "FaultPlan":
+    from .resilience import FaultPlan
+
+    if args.scenario:
+        return FaultPlan.from_json(args.scenario)
+    ranks = tuple(
+        int(r) for r in args.fail_ranks.split(",") if r.strip()
+    ) if args.fail_ranks else ()
+    return FaultPlan(
+        seed=args.seed,
+        failed_ranks=ranks,
+        failed_pes=args.fail_pes,
+        straggler_factor=args.straggler,
+        transfer_timeouts=args.timeouts,
+        lut_bit_flips=args.bit_flips,
+    )
+
+
+def _functional_fault_check(plan, policy) -> dict:
+    """Run one small LUT kernel through the recovery ladder, functionally.
+
+    Uses a *fresh* injector built from the same plan (the scenario is
+    deterministic, so this doubles as a reproducibility demonstration) and
+    checks the recovered output bit-for-bit against the trusted host
+    kernel — the guarantee the ladder makes.
+    """
+    import numpy as np
+
+    from .kernels import lut_gather_reduce
+    from .resilience import DegradationLedger, FaultInjector, run_kernel_with_recovery
+
+    shape = LUTShape(n=8, h=64, f=32, v=4, ct=16)
+    rng = np.random.default_rng(plan.seed)
+    indices = rng.integers(0, shape.ct, size=(shape.n, shape.cb))
+    lut = rng.normal(size=(shape.cb, shape.ct, shape.f)).astype(np.float32)
+
+    injector = FaultInjector(plan)
+    platform = get_platform("upmem")
+    mapping = AutoTuner(platform).tune(shape).mapping
+    ledger = DegradationLedger()
+    output, report = run_kernel_with_recovery(
+        PIMSimulator(platform), shape, mapping, indices, lut,
+        injector, policy=policy, ledger=ledger,
+    )
+    expected = lut_gather_reduce(indices, lut)
+    return {
+        "bit_identical_to_host": bool(np.array_equal(output, expected)),
+        "completed_on": "host" if report is None else "pim",
+        "degradation": ledger.summary().to_jsonable(),
+    }
+
+
+def cmd_faults(args) -> int:
+    """Serve requests under a scripted fault scenario, end to end."""
+    from .baselines import wimpy_host
+    from .engine.serving import GenerationServer
+    from .resilience import FaultInjector, RecoveryManager, RetryPolicy
+
+    try:
+        plan = _fault_plan_from_args(args)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"error: bad fault scenario: {exc}", file=sys.stderr)
+        return 2
+    if plan.is_empty:
+        print("note: empty fault plan — serving runs fault-free", file=sys.stderr)
+
+    config = EVAL_MODELS[args.model]
+    if args.layers:
+        config = config.with_(num_layers=args.layers)
+    policy = RetryPolicy(max_retries=args.max_retries)
+    manager = RecoveryManager(FaultInjector(plan), policy=policy)
+    server = GenerationServer(
+        get_platform(args.platform), wimpy_host(), v=args.v, ct=args.ct,
+        resilience=manager,
+    )
+
+    reports = []
+    for _ in range(max(1, args.requests)):
+        reports.append(server.run(
+            config,
+            prompt_len=args.prompt_len,
+            generate_len=args.generate_len,
+            batch_size=args.batch,
+        ))
+
+    functional = None
+    if not args.no_functional:
+        functional = _functional_fault_check(plan, policy)
+
+    summary = manager.ledger.summary()
+    if args.json:
+        _print_json({
+            "plan": plan.to_dict(),
+            "model": config.name,
+            "platform": args.platform,
+            "requests": [
+                {
+                    "time_to_first_token_s": r.time_to_first_token_s,
+                    "per_token_decode_s": r.per_token_decode_s,
+                    "request_latency_s": r.request_latency_s,
+                    "degraded": r.degraded.to_jsonable() if r.degraded else None,
+                }
+                for r in reports
+            ],
+            "degradation": summary.to_jsonable(),
+            "injected_events": [
+                {"kind": e.kind, **e.detail} for e in manager.injector.events
+            ],
+            "functional_check": functional,
+        })
+        return _finish_telemetry(args)
+
+    print(f"fault plan: {plan.to_dict()}")
+    print(f"model: {config.name} ({config.num_layers} layers) "
+          f"on {args.platform}")
+    rows = []
+    for i, r in enumerate(reports):
+        deg = r.degraded
+        rows.append([
+            f"request {i}",
+            f"{r.time_to_first_token_s * 1e3:.3f}",
+            f"{r.per_token_decode_s * 1e3:.3f}",
+            "yes" if (deg is not None and deg.degraded) else "no",
+            deg.retries if deg else 0,
+            deg.remaps if deg else 0,
+            deg.fallbacks if deg else 0,
+        ])
+    print(format_table(
+        ["request", "ttft_ms", "per_token_ms", "degraded",
+         "retries", "remaps", "fallbacks"],
+        rows,
+    ))
+    print(
+        f"ladder totals: {summary.retries} retries "
+        f"({summary.backoff_s * 1e3:.3f} ms backoff), "
+        f"{summary.remaps} remaps, {summary.checksum_failures} checksum "
+        f"repairs ({summary.recovery_s * 1e3:.3f} ms), "
+        f"{summary.fallbacks} host fallbacks"
+    )
+    if summary.fallback_layers:
+        print(f"fallen-back layers: {', '.join(summary.fallback_layers)}")
+    print(f"injected events: {len(manager.injector.events)}")
+    if functional is not None:
+        verdict = "PASS" if functional["bit_identical_to_host"] else "FAIL"
+        print(
+            f"functional parity: {verdict} — recovered kernel completed on "
+            f"{functional['completed_on']}, output bit-identical to the "
+            f"host kernel: {functional['bit_identical_to_host']}"
+        )
+        if not functional["bit_identical_to_host"]:
+            return 1
+    return _finish_telemetry(args)
+
+
 def cmd_trace_export(args) -> int:
     """Tune + simulate one shape and export the full telemetry picture."""
     platform = get_platform(args.platform)
@@ -575,6 +734,46 @@ def build_parser() -> argparse.ArgumentParser:
                          help="machine-readable output")
     _add_telemetry_arguments(kernels)
 
+    faults = sub.add_parser(
+        "faults",
+        help="serve requests under an injected fault scenario (retry/remap/"
+             "fallback ladder)",
+    )
+    faults.add_argument("--model", default="bert-base",
+                        choices=sorted(EVAL_MODELS))
+    faults.add_argument("--platform", default="upmem", choices=sorted(PLATFORMS))
+    faults.add_argument("--v", type=int, default=4)
+    faults.add_argument("--ct", type=int, default=16)
+    faults.add_argument("--layers", type=int, default=None, metavar="N",
+                        help="override the model's layer count (quick runs)")
+    faults.add_argument("--prompt-len", type=int, default=None, metavar="N")
+    faults.add_argument("--generate-len", type=int, default=16, metavar="N")
+    faults.add_argument("--batch", type=int, default=None, metavar="N")
+    faults.add_argument("--requests", type=int, default=2, metavar="N",
+                        help="requests to serve (first pays recovery; the "
+                             "rest show the degraded steady state)")
+    faults.add_argument("--scenario", metavar="PATH",
+                        help="JSON fault-plan file (overrides the fault flags)")
+    faults.add_argument("--seed", type=int, default=0,
+                        help="fault injection seed (bit-flip positions)")
+    faults.add_argument("--fail-ranks", default="", metavar="R0,R1",
+                        help="comma-separated dead PIM rank ids")
+    faults.add_argument("--fail-pes", type=int, default=0, metavar="N",
+                        help="additional individual dead PEs")
+    faults.add_argument("--straggler", type=float, default=1.0, metavar="X",
+                        help="micro-kernel slowdown factor (>= 1)")
+    faults.add_argument("--timeouts", type=int, default=0, metavar="N",
+                        help="leading PIM transfers that time out")
+    faults.add_argument("--bit-flips", type=int, default=0, metavar="N",
+                        help="bit flips injected into each device LUT table")
+    faults.add_argument("--max-retries", type=int, default=3, metavar="N",
+                        help="transient-fault retry budget")
+    faults.add_argument("--no-functional", action="store_true",
+                        help="skip the functional kernel parity check")
+    faults.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    _add_telemetry_arguments(faults)
+
     trace_export = sub.add_parser(
         "trace-export",
         help="tune + simulate one shape and write a Chrome-trace file",
@@ -597,6 +796,7 @@ COMMANDS = {
     "flops": cmd_flops,
     "compare": cmd_compare,
     "kernels": cmd_kernels,
+    "faults": cmd_faults,
     "trace-export": cmd_trace_export,
 }
 

@@ -187,7 +187,7 @@ def convert_with_plan(
     rng = rng or np.random.default_rng()
     targets = [
         (name, layer)
-        for name, layer in find_target_linears(model, lambda n, l: n in plan)
+        for name, layer in find_target_linears(model, lambda n, layer: n in plan)
     ]
     missing = set(plan) - {name for name, _ in targets}
     if missing:

@@ -20,7 +20,6 @@ from typing import Dict
 import numpy as np
 
 from ..nn.module import Module
-from .codebook import Codebooks
 from .conversion import lut_layers
 from .lut_linear import LUTLinear
 from .quantization import QuantizedLUT

@@ -16,7 +16,7 @@ decode bottleneck.  The engine reports per-token latency and tokens/s.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..baselines.roofline import RooflineDevice
 from ..core.codebook import LUTShape
@@ -25,6 +25,9 @@ from ..mapping.tuner import AutoTuner
 from ..pim.gemm_kernels import linear_layer_on_pim
 from ..pim.platforms import PIMPlatform
 from ..workloads.configs import TransformerConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (resilience uses tuner)
+    from ..resilience.recovery import RecoveryManager
 
 
 @dataclass(frozen=True)
@@ -109,6 +112,7 @@ class LUTDecodeEngine:
         ct: int = 16,
         tuner: Optional[AutoTuner] = None,
         host_kernel_profile: Optional[HostKernelProfile] = None,
+        resilience: Optional["RecoveryManager"] = None,
     ):
         self.platform = platform
         self.host = host
@@ -116,6 +120,7 @@ class LUTDecodeEngine:
         self.ct = ct
         self.tuner = tuner or AutoTuner(platform, amortize_lut_distribution=True)
         self.host_kernel_profile = host_kernel_profile
+        self.resilience = resilience
 
     def _ccs_time(self, batch: int, h: int) -> float:
         if self.host_kernel_profile is not None:
@@ -131,9 +136,20 @@ class LUTDecodeEngine:
         if config.hidden_dim % self.v or config.ffn_dim % self.v:
             raise ValueError(f"model dims not divisible by V={self.v}")
         linear_s = 0.0
-        for _, h, f in config.linear_layer_shapes():
+        for name, h, f in config.linear_layer_shapes():
             shape = LUTShape(n=batch_size, h=h, f=f, v=self.v, ct=self.ct)
-            linear_s += self.tuner.tune(shape).latency.total
+            if self.resilience is not None and self.resilience.active:
+                lut_s, _ = self.resilience.lut_op_seconds(
+                    shape,
+                    self.platform,
+                    self.tuner,
+                    self.host,
+                    host_kernel_profile=self.host_kernel_profile,
+                    op_name=f"decode/{name}",
+                )
+                linear_s += lut_s
+            else:
+                linear_s += self.tuner.tune(shape).latency.total
             linear_s += self._ccs_time(batch_size, h)
         linear_s *= config.num_layers
         return DecodeReport(

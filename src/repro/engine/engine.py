@@ -13,7 +13,7 @@ Three engines share the operator graph of :mod:`repro.engine.graph`:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from .. import obs
 from ..baselines.roofline import RooflineDevice
@@ -26,6 +26,9 @@ from ..pim.platforms import PIMPlatform
 from ..workloads.configs import TransformerConfig
 from .graph import LINEAR, model_graph
 from .report import EngineReport, OpLatency
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (resilience uses tuner)
+    from ..resilience.recovery import RecoveryManager
 
 
 def _observe_op(report: EngineReport, op: OpLatency) -> None:
@@ -129,6 +132,14 @@ class PIMDLEngine:
         (:func:`repro.kernels.measure_host_kernels`).  When set, CCS time
         comes from the measurement instead of the host roofline, so the
         latency model reflects the actual kernel layer.
+    resilience:
+        Optional :class:`~repro.resilience.recovery.RecoveryManager`.
+        When set (and its fault plan is non-empty), every LUT operator
+        runs through the retry → remap → host-fallback ladder instead of
+        the plain tuner lookup; degradation is recorded in the manager's
+        ledger and the op's device switches to ``"host"`` for fallen-back
+        layers.  ``None`` (or an empty plan) leaves the engine's behavior
+        bit-identical to a build without the resilience layer.
     """
 
     def __init__(
@@ -140,6 +151,7 @@ class PIMDLEngine:
         amortize_lut_distribution: Optional[bool] = None,
         tuner: Optional[AutoTuner] = None,
         host_kernel_profile: Optional[HostKernelProfile] = None,
+        resilience: Optional["RecoveryManager"] = None,
     ):
         if v <= 0 or ct <= 0:
             raise ValueError("v and ct must be positive")
@@ -155,6 +167,7 @@ class PIMDLEngine:
             platform, amortize_lut_distribution=amortize_lut_distribution
         )
         self.host_kernel_profile = host_kernel_profile
+        self.resilience = resilience
 
     @property
     def name(self) -> str:
@@ -212,16 +225,35 @@ class PIMDLEngine:
                     _observe_op(
                         report, OpLatency(f"{op.name}/CCS", "host", "ccs", ccs_seconds)
                     )
-                    # The LUT op's costing span nests the tuner's own spans.
-                    with tracer.span(
-                        f"op:{op.name}/LUT", engine=self.name, device="pim",
-                        category="lut",
-                    ) as sp:
-                        tuned = self.tuner.tune(self.lut_shape(n, op.h, op.f))
-                        sp.set_attribute("model_seconds", tuned.latency.total)
+                    # The LUT op's costing span nests the tuner's own spans
+                    # (and, under fault injection, the recovery ladder's).
+                    shape = self.lut_shape(n, op.h, op.f)
+                    if self.resilience is not None and self.resilience.active:
+                        with tracer.span(
+                            f"op:{op.name}/LUT", engine=self.name, device="pim",
+                            category="lut",
+                        ) as sp:
+                            lut_seconds, device = self.resilience.lut_op_seconds(
+                                shape,
+                                self.platform,
+                                self.tuner,
+                                self.host,
+                                host_kernel_profile=self.host_kernel_profile,
+                                op_name=f"{op.name}/LUT",
+                            )
+                            sp.set_attribute("model_seconds", lut_seconds)
+                            sp.set_attribute("device", device)
+                    else:
+                        device = "pim"
+                        with tracer.span(
+                            f"op:{op.name}/LUT", engine=self.name, device="pim",
+                            category="lut",
+                        ) as sp:
+                            lut_seconds = self.tuner.tune(shape).latency.total
+                            sp.set_attribute("model_seconds", lut_seconds)
                     _observe_op(
                         report,
-                        OpLatency(f"{op.name}/LUT", "pim", "lut", tuned.latency.total),
+                        OpLatency(f"{op.name}/LUT", device, "lut", lut_seconds),
                     )
                 else:
                     with tracer.span(

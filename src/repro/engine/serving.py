@@ -26,6 +26,7 @@ from ..kernels import HostKernelProfile
 from ..mapping.store import MappingCache
 from ..mapping.tuner import AutoTuner, TuningResult, model_lut_shapes
 from ..pim.platforms import PIMPlatform
+from ..resilience.recovery import DegradationSummary, RecoveryManager
 from ..workloads.configs import TransformerConfig
 from .decode import GEMVDecodeEngine, LUTDecodeEngine
 from .engine import GEMMPIMEngine, PIMDLEngine
@@ -42,6 +43,10 @@ class ServingReport:
     batch_size: int
     prefill_s: float
     decode_s: float
+    #: Degradation summary of this request under fault injection; ``None``
+    #: when the server has no resilience manager (or the plan is empty
+    #: and nothing degraded).
+    degraded: Optional[DegradationSummary] = None
 
     @property
     def time_to_first_token_s(self) -> float:
@@ -87,6 +92,12 @@ class GenerationServer:
         Measured host CCS throughput (:func:`repro.kernels.measure_host_kernels`);
         forwarded to both the prefill and decode engines so their latency
         models use this machine's real kernel speed instead of the roofline.
+    resilience:
+        A :class:`~repro.resilience.recovery.RecoveryManager` shared by
+        the prefill and decode engines.  Requests then survive the
+        manager's fault plan (retry → remap → host fallback) and each
+        :class:`ServingReport` carries the ``degraded`` summary of what
+        the ladder did.  ``None`` (default) serves fault-free.
     """
 
     def __init__(
@@ -99,6 +110,7 @@ class GenerationServer:
         mapping_cache: Optional[Union[MappingCache, str]] = None,
         tune_jobs: int = 1,
         host_kernel_profile: Optional[HostKernelProfile] = None,
+        resilience: Optional[RecoveryManager] = None,
     ):
         self.platform = platform
         self.host = host
@@ -108,6 +120,7 @@ class GenerationServer:
         if isinstance(mapping_cache, str):
             mapping_cache = MappingCache(mapping_cache)
         self.mapping_cache = mapping_cache
+        self.resilience = resilience if lut_nn else None
         if lut_nn:
             # Prefill follows the PIMDLEngine default (LUTs resident only on
             # platforms that keep weights in PIM banks); decode always
@@ -123,6 +136,7 @@ class GenerationServer:
                     cache=mapping_cache,
                 ),
                 host_kernel_profile=host_kernel_profile,
+                resilience=self.resilience,
             )
             self._decode = LUTDecodeEngine(
                 platform, host, v=v, ct=ct,
@@ -133,6 +147,7 @@ class GenerationServer:
                     cache=mapping_cache,
                 ),
                 host_kernel_profile=host_kernel_profile,
+                resilience=self.resilience,
             )
         else:
             self._prefill = GEMMPIMEngine(platform, host)
@@ -199,6 +214,12 @@ class GenerationServer:
 
         tracer = obs.get_tracer()
         registry = obs.get_registry()
+        ledger = (
+            self.resilience.ledger
+            if self.resilience is not None and self.resilience.active
+            else None
+        )
+        before = ledger.summary() if ledger is not None else None
         with tracer.span(
             "serving.request",
             engine=self.name,
@@ -226,11 +247,19 @@ class GenerationServer:
                     sp.set_attribute("model_seconds", decode_s)
             request_span.set_attribute("model_seconds", prefill_s + decode_s)
 
+            degraded = None
+            if ledger is not None:
+                degraded = self._request_degradation(before, ledger.summary())
+                request_span.set_attribute("degraded", degraded.degraded)
+                request_span.set_attribute("fallbacks", degraded.fallbacks)
+
         registry.counter("serving.requests").inc()
         registry.counter("serving.generated_tokens").inc(batch_size * generate_len)
         registry.histogram("serving.request_model_seconds").observe(
             prefill_s + decode_s
         )
+        if degraded is not None and degraded.degraded:
+            registry.counter("serving.degraded_requests").inc()
 
         return ServingReport(
             engine=self.name,
@@ -240,4 +269,20 @@ class GenerationServer:
             batch_size=batch_size,
             prefill_s=prefill_s,
             decode_s=decode_s,
+            degraded=degraded,
+        )
+
+    @staticmethod
+    def _request_degradation(
+        before: DegradationSummary, after: DegradationSummary
+    ) -> DegradationSummary:
+        """This request's slice of the server-lifetime degradation ledger."""
+        return DegradationSummary(
+            retries=after.retries - before.retries,
+            remaps=after.remaps - before.remaps,
+            fallbacks=after.fallbacks - before.fallbacks,
+            checksum_failures=after.checksum_failures - before.checksum_failures,
+            backoff_s=after.backoff_s - before.backoff_s,
+            recovery_s=after.recovery_s - before.recovery_s,
+            fallback_layers=after.fallback_layers[len(before.fallback_layers):],
         )

@@ -28,6 +28,7 @@ This package depends only on numpy and :mod:`repro.obs` (never on
 """
 
 from .ccs import CCSKernel, DEFAULT_BLOCK_ROWS, resolve_dtype
+from .integrity import lut_checksums, verify_lut
 from .kmeans import lloyd_update
 from .lut import (
     gather_offsets,
@@ -41,6 +42,8 @@ __all__ = [
     "DEFAULT_BLOCK_ROWS",
     "resolve_dtype",
     "lloyd_update",
+    "lut_checksums",
+    "verify_lut",
     "gather_offsets",
     "lut_gather_reduce",
     "lut_gather_reduce_quantized",

@@ -1,0 +1,60 @@
+"""LUT table integrity checking: cheap per-codebook checksums.
+
+A deployed LUT table is model state resident in PIM DRAM banks for the
+lifetime of the serving process, and commodity DRAM-PIMs ship without the
+ECC budget of server DIMMs — "Towards Efficient LUT-based PIM" (PAPERS.md)
+calls out reliability as a first-order limit of LUT-PIM at scale.  A
+single flipped bit in a table silently corrupts every output row that
+selects the affected entry, so the serving stack checksums tables at
+codebook granularity:
+
+* :func:`lut_checksums` — one CRC32 per codebook slab ``lut[cb]``,
+  computed once when the table is built/loaded.  Cost is one streaming
+  pass over the table (far below one inference) and the result is a tiny
+  ``(CB,)`` vector shipped alongside the table.
+* :func:`verify_lut` — recompute and compare; returns the indices of
+  corrupted codebooks so recovery can re-distribute (or fall back) at
+  codebook granularity instead of rebuilding the whole layer.
+
+CRC32 detects every single-bit error and all error bursts up to 32 bits
+within a codebook slab, which covers the radiation/retention flip model
+used by :class:`repro.resilience.FaultInjector`.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+
+def lut_checksums(lut: np.ndarray) -> np.ndarray:
+    """Per-codebook CRC32 checksums of a (CB, CT, F) LUT table.
+
+    Works on any dtype (float tables and INT8-quantized tables alike):
+    the checksum covers the raw bytes, so any representational change —
+    including sign/NaN-payload bit flips invisible to value comparisons —
+    changes the checksum.
+    """
+    lut = np.ascontiguousarray(lut)
+    if lut.ndim != 3:
+        raise ValueError(f"LUT must be (CB, CT, F), got shape {lut.shape}")
+    return np.array(
+        [zlib.crc32(lut[cb].tobytes()) for cb in range(lut.shape[0])],
+        dtype=np.uint32,
+    )
+
+
+def verify_lut(lut: np.ndarray, checksums: np.ndarray) -> np.ndarray:
+    """Return the indices of codebooks whose checksum no longer matches.
+
+    An empty result means the table is intact.  ``checksums`` must come
+    from :func:`lut_checksums` on the trusted copy of the same table.
+    """
+    checksums = np.asarray(checksums, dtype=np.uint32)
+    if checksums.ndim != 1 or checksums.shape[0] != np.asarray(lut).shape[0]:
+        raise ValueError(
+            f"expected {np.asarray(lut).shape[0]} checksums, got {checksums.shape}"
+        )
+    current = lut_checksums(lut)
+    return np.flatnonzero(current != checksums)

@@ -96,6 +96,7 @@ def estimate_latency(
     mapping: Mapping,
     platform: PIMPlatform,
     amortize_lut_distribution: bool = False,
+    fault_injector=None,
 ) -> LatencyBreakdown:
     """Closed-form latency of one LUT kernel under ``mapping``.
 
@@ -105,7 +106,17 @@ def estimate_latency(
         When True, the host→PIM LUT transfer (model weights) is treated as
         resident across invocations and excluded — the steady-state serving
         configuration used by the end-to-end engine.
+    fault_injector:
+        Optional :class:`~repro.resilience.faults.FaultInjector`.  When
+        active, the estimate is evaluated against the *degraded* platform
+        (dead ranks/PEs removed — the mapping must be legal there, i.e.
+        already remapped) and the micro-kernel terms are stretched by the
+        straggler slowdown.  An inactive injector changes nothing.
     """
+    straggler = 1.0
+    if fault_injector is not None and fault_injector.active:
+        platform = fault_injector.degraded_platform(platform)
+        straggler = fault_injector.straggler_slowdown()
     if not is_legal(shape, mapping, platform):
         raise ValueError(f"illegal mapping {mapping} for shape {shape}")
 
@@ -184,8 +195,8 @@ def estimate_latency(
         sub_index=t_sub_index,
         sub_lut=t_sub_lut,
         sub_output=t_sub_output,
-        kernel_transfer=t_transfer,
-        kernel_reduce=t_reduce,
+        kernel_transfer=t_transfer * straggler,
+        kernel_reduce=t_reduce * straggler,
         launch=platform.kernel_launch_s,
     )
 

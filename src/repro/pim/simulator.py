@@ -18,9 +18,12 @@ to check that the distributed dataflow computes exactly what the reference
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (resilience uses the sim)
+    from ..resilience.faults import FaultInjector
 
 from ..core.codebook import LUTShape
 from ..core.lut import lut_lookup
@@ -64,6 +67,12 @@ class SimulationReport:
     launch_s: float
     event_counts: Dict[str, int] = field(default_factory=dict)
     output: Optional[np.ndarray] = None
+    #: Names of faults injected into this run (empty on the healthy path).
+    faults: Tuple[str, ...] = ()
+    #: The (possibly corrupted) table the PEs actually read; ``None``
+    #: unless a fault injector tampered with the functional execution.
+    #: Integrity checks (:func:`repro.kernels.verify_lut`) run against it.
+    device_lut: Optional[np.ndarray] = None
 
     @property
     def total_s(self) -> float:
@@ -373,16 +382,51 @@ class PIMSimulator:
         mapping: Mapping,
         indices: Optional[np.ndarray] = None,
         lut: Optional[np.ndarray] = None,
+        injector: Optional["FaultInjector"] = None,
     ) -> SimulationReport:
-        """Simulate one kernel; pass ``indices``/``lut`` for functional output."""
+        """Simulate one kernel; pass ``indices``/``lut`` for functional output.
+
+        ``injector`` threads a :class:`~repro.resilience.faults.FaultInjector`
+        through the run: kernel launches against dead ranks raise
+        :class:`~repro.resilience.faults.RankFailure`, planned transfer
+        timeouts raise :class:`~repro.resilience.faults.TransferTimeout`
+        (transient — a retry consumes the next budget entry), stragglers
+        stretch the micro-kernel phase, and LUT bit flips corrupt the
+        table the functional execution reads (``report.device_lut``
+        carries the tampered copy for integrity checking).  An inactive
+        injector (empty plan) leaves every code path — and therefore the
+        report — bit-identical to ``injector=None``.
+        """
         if not is_legal(shape, mapping, self.platform):
             raise ValueError(f"illegal mapping {mapping} for shape {shape}")
+        faulting = injector is not None and injector.active
+        faults: Tuple[str, ...] = ()
+        device_lut: Optional[np.ndarray] = None
+        if faulting:
+            # Permanent faults fail the launch; transients fail this
+            # attempt's distribution burst.  Both raise before any cost
+            # is accumulated, exactly like a driver error on real HW.
+            injector.check_launch(self.platform)
+            injector.check_transfer()
         distribution = self._distribution_time(shape, mapping)
         kernel, counts = self._micro_kernel_time(shape, mapping)
+        if faulting:
+            slowdown = injector.straggler_slowdown()
+            if slowdown > 1.0:
+                # The launch is synchronous: the host waits for the
+                # slowest PE, so one straggler stretches the whole phase.
+                kernel *= slowdown
+                faults += ("straggler",)
+                injector.record("straggler", factor=slowdown)
         gather = self._gather_time(shape, mapping)
         output = None
         if indices is not None and lut is not None:
-            output = self._execute(shape, mapping, np.asarray(indices), np.asarray(lut))
+            exec_lut = np.asarray(lut)
+            if faulting and injector.plan.lut_bit_flips > 0:
+                exec_lut = injector.corrupt_lut(exec_lut)
+                device_lut = exec_lut
+                faults += ("lut_bit_flips",)
+            output = self._execute(shape, mapping, np.asarray(indices), exec_lut)
         return SimulationReport(
             shape=shape,
             mapping=mapping,
@@ -393,4 +437,6 @@ class PIMSimulator:
             launch_s=self.platform.kernel_launch_s,
             event_counts=counts,
             output=output,
+            faults=faults,
+            device_lut=device_lut,
         )

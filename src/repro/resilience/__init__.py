@@ -1,0 +1,56 @@
+"""Fault injection and graceful degradation for the PIM pipeline.
+
+The first robustness pillar on the road from "latency model" to "system
+that serves traffic": a seeded, deterministic fault model
+(:mod:`repro.resilience.faults`) threaded through the event-level
+simulator and the analytical model, and a recovery ladder
+(:mod:`repro.resilience.recovery`) — bounded retry with exponential
+backoff, remapping around dead ranks via the Auto-Tuner and the
+persistent mapping cache, and last-resort host-kernel fallback — wired
+into :class:`~repro.engine.engine.PIMDLEngine` and
+:class:`~repro.engine.serving.GenerationServer`.
+
+Quick tour::
+
+    from repro.resilience import FaultInjector, FaultPlan, RecoveryManager
+
+    plan = FaultPlan(failed_ranks=(0,), transfer_timeouts=2, seed=7)
+    injector = FaultInjector(plan)
+    manager = RecoveryManager(injector)
+    server = GenerationServer(platform, host, resilience=manager)
+    report = server.run(config)          # completes despite the faults
+    report.degraded.fallback_layers      # what ran on the host
+
+Scenario files for the ``repro faults`` CLI are JSON renderings of
+:meth:`FaultPlan.to_dict`.
+"""
+
+from .faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    PIMFault,
+    RankFailure,
+    TransferTimeout,
+)
+from .recovery import (
+    DegradationLedger,
+    DegradationSummary,
+    RecoveryManager,
+    RetryPolicy,
+    run_kernel_with_recovery,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "PIMFault",
+    "RankFailure",
+    "TransferTimeout",
+    "DegradationLedger",
+    "DegradationSummary",
+    "RecoveryManager",
+    "RetryPolicy",
+    "run_kernel_with_recovery",
+]

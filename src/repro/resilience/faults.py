@@ -1,0 +1,294 @@
+"""Deterministic fault model for the PIM serving stack.
+
+Production DRAM-PIM deployments fail in ways the fault-free models of
+paper §5 never exercise: UPMEM ranks drop off the bus, individual DPUs
+straggle behind their rank-mates, host<->PIM DMA bursts time out under
+contention, and LUT tables resident in non-ECC banks take bit flips.
+This module describes those failures declaratively — a :class:`FaultPlan`
+— and injects them reproducibly through a :class:`FaultInjector`.
+
+Design rules:
+
+* **Seeded and deterministic.**  Two injectors built from equal plans
+  inject byte-identical faults (bit-flip positions come from a
+  ``numpy`` generator seeded with ``plan.seed``; transient timeouts are
+  consumed from a counter, not sampled).  Every resilience test in the
+  suite relies on this.
+* **Empty plan == strict no-op.**  An injector whose plan is empty is
+  ``active == False`` and every consumer guards its fault hooks behind
+  that flag, so the fault-free paths stay bit-identical to a build
+  without the resilience layer.
+* **Transient vs permanent.**  :class:`TransferTimeout` is transient —
+  a bounded retry (see :mod:`repro.resilience.recovery`) may succeed.
+  :class:`RankFailure` is permanent for the process lifetime — recovery
+  must remap around the dead ranks or fall back to the host.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..pim.platforms import PIMPlatform
+
+
+class PIMFault(RuntimeError):
+    """Base class of injected PIM hardware faults."""
+
+    #: Transient faults may succeed on retry; permanent ones never do.
+    transient = False
+
+
+class TransferTimeout(PIMFault):
+    """A host<->PIM DMA burst exceeded its deadline (transient)."""
+
+    transient = True
+
+
+class RankFailure(PIMFault):
+    """One or more PIM ranks dropped out (permanent for this process)."""
+
+    transient = False
+
+    def __init__(self, failed_ranks: Tuple[int, ...]):
+        super().__init__(f"PIM rank(s) {sorted(failed_ranks)} failed")
+        self.failed_ranks = tuple(failed_ranks)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of the faults one scenario injects.
+
+    Attributes
+    ----------
+    seed:
+        Seed for every random draw the injector makes (bit-flip
+        positions).  Equal plans inject identical faults.
+    failed_ranks:
+        Rank ids that are dead for the whole run (permanent).  Kernel
+        launches against a platform still counting those ranks raise
+        :class:`RankFailure`; recovery remaps onto the surviving ranks.
+    failed_pes:
+        Additional individual dead PEs (beyond whole-rank losses),
+        removed from the degraded platform's PE count.
+    straggler_factor:
+        Slowdown multiplier (>= 1) applied to the micro-kernel phase —
+        the kernel completes, but only after the slowest PE does, so one
+        straggling DPU stretches the whole synchronous launch.
+    transfer_timeouts:
+        Number of *leading* PIM transfer attempts that time out.  Each
+        injected timeout is consumed, so a bounded retry loop eventually
+        gets through — unless the budget exceeds the retry limit, in
+        which case recovery escalates to remap/fallback.
+    lut_bit_flips:
+        Bit flips injected into each LUT table on its way into PIM
+        memory (corruption-in-transit / in-bank model).  Detected by the
+        per-codebook checksums of :mod:`repro.kernels.integrity`.
+    """
+
+    seed: int = 0
+    failed_ranks: Tuple[int, ...] = ()
+    failed_pes: int = 0
+    straggler_factor: float = 1.0
+    transfer_timeouts: int = 0
+    lut_bit_flips: int = 0
+
+    def __post_init__(self) -> None:
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor must be >= 1")
+        if self.failed_pes < 0 or self.transfer_timeouts < 0 or self.lut_bit_flips < 0:
+            raise ValueError("fault counts must be non-negative")
+        if len(set(self.failed_ranks)) != len(self.failed_ranks):
+            raise ValueError(f"duplicate failed ranks: {self.failed_ranks}")
+        # Normalize for equality/serialization stability.
+        object.__setattr__(self, "failed_ranks", tuple(sorted(self.failed_ranks)))
+
+    @property
+    def is_empty(self) -> bool:
+        """True when this plan injects nothing at all."""
+        return (
+            not self.failed_ranks
+            and self.failed_pes == 0
+            and self.straggler_factor == 1.0
+            and self.transfer_timeouts == 0
+            and self.lut_bit_flips == 0
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "failed_ranks": list(self.failed_ranks),
+            "failed_pes": self.failed_pes,
+            "straggler_factor": self.straggler_factor,
+            "transfer_timeouts": self.transfer_timeouts,
+            "lut_bit_flips": self.lut_bit_flips,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown fault plan fields: {sorted(unknown)}")
+        payload = dict(data)
+        if "failed_ranks" in payload:
+            payload["failed_ranks"] = tuple(int(r) for r in payload["failed_ranks"])
+        return cls(**payload)
+
+    @classmethod
+    def from_json(cls, path: str) -> "FaultPlan":
+        """Load a scenario file (the CLI's ``faults --scenario``)."""
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, as recorded in the injector's log."""
+
+    kind: str
+    detail: Dict[str, object] = field(default_factory=dict)
+
+
+class FaultInjector:
+    """Injects the faults of a :class:`FaultPlan`, deterministically.
+
+    One injector models one process lifetime: permanent faults (dead
+    ranks/PEs) hold for every call, the transient-timeout budget is
+    consumed across calls, and every injection is appended to
+    :attr:`events` so tests and the CLI can audit exactly what happened.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None):
+        self.plan = plan or FaultPlan()
+        self._rng = np.random.default_rng(self.plan.seed)
+        self._timeouts_left = self.plan.transfer_timeouts
+        self.events: List[FaultEvent] = []
+        self._degraded: Dict[int, PIMPlatform] = {}
+        #: ids of degraded platforms this injector handed out; launches
+        #: against them (i.e. after remap) must succeed.
+        self._degraded_ids: set = set()
+
+    @property
+    def active(self) -> bool:
+        """False for an empty plan — consumers skip all fault hooks."""
+        return not self.plan.is_empty
+
+    def record(self, kind: str, **detail: object) -> None:
+        self.events.append(FaultEvent(kind=kind, detail=detail))
+
+    # ------------------------------------------------------------------
+    # Permanent capacity loss
+    # ------------------------------------------------------------------
+    def degraded_platform(self, platform: PIMPlatform) -> PIMPlatform:
+        """``platform`` with the dead ranks/PEs removed.
+
+        Returns the *same object* when no capacity fault is planned, so
+        platform fingerprints (and therefore mapping-cache keys) are
+        untouched on the no-fault path.  With rank faults, the reduced
+        platform has its own fingerprint — remapped tunings are cached
+        under the degraded hardware description, never mixed with the
+        healthy one.
+        """
+        if not self.plan.failed_ranks and not self.plan.failed_pes:
+            return platform
+        if id(platform) in self._degraded_ids:
+            return platform  # already the surviving-capacity description
+        key = id(platform)
+        if key not in self._degraded:
+            dead_ranks = [r for r in self.plan.failed_ranks if r < platform.ranks]
+            ranks = platform.ranks - len(dead_ranks)
+            pes = platform.num_pes - len(dead_ranks) * platform.pes_per_rank
+            pes -= self.plan.failed_pes
+            if ranks <= 0 or pes <= 0:
+                raise RankFailure(tuple(self.plan.failed_ranks))
+            degraded = dataclasses.replace(
+                platform,
+                name=f"{platform.name} (degraded -{len(dead_ranks)}r)",
+                ranks=ranks,
+                num_pes=pes,
+            )
+            self._degraded[key] = degraded
+            self._degraded_ids.add(id(degraded))
+        return self._degraded[key]
+
+    def check_launch(self, platform: PIMPlatform) -> None:
+        """Fail a kernel launch that still counts on dead ranks.
+
+        A launch against the full (healthy) platform raises
+        :class:`RankFailure`; a launch against the degraded platform —
+        i.e. after recovery remapped — goes through.
+        """
+        if not self.active or not self.plan.failed_ranks:
+            return
+        survivors = self.degraded_platform(platform)
+        if platform.ranks > survivors.ranks or platform.num_pes > survivors.num_pes:
+            self.record("rank_failure", ranks=list(self.plan.failed_ranks))
+            raise RankFailure(tuple(self.plan.failed_ranks))
+
+    # ------------------------------------------------------------------
+    # Transient faults
+    # ------------------------------------------------------------------
+    def take_transfer_timeout(self) -> bool:
+        """Consume one planned timeout; True when this transfer fails."""
+        if self._timeouts_left <= 0:
+            return False
+        self._timeouts_left -= 1
+        self.record("transfer_timeout", remaining=self._timeouts_left)
+        return True
+
+    @property
+    def timeouts_remaining(self) -> int:
+        return self._timeouts_left
+
+    def check_transfer(self) -> None:
+        """Raise :class:`TransferTimeout` when this transfer is doomed."""
+        if self.active and self.take_transfer_timeout():
+            raise TransferTimeout("host<->PIM transfer timed out")
+
+    # ------------------------------------------------------------------
+    # Performance faults
+    # ------------------------------------------------------------------
+    def straggler_slowdown(self) -> float:
+        """Micro-kernel slowdown from straggling PEs (1.0 = none)."""
+        if not self.active or self.plan.straggler_factor == 1.0:
+            return 1.0
+        return self.plan.straggler_factor
+
+    # ------------------------------------------------------------------
+    # Data corruption
+    # ------------------------------------------------------------------
+    def corrupt_lut(self, lut: np.ndarray) -> np.ndarray:
+        """Return a copy of ``lut`` with the planned bit flips applied.
+
+        Flip positions are drawn from the injector's seeded generator,
+        so the corruption is reproducible.  The input array is never
+        modified (it models the host's trusted copy).
+        """
+        if not self.active or self.plan.lut_bit_flips <= 0:
+            return lut
+        corrupted = np.array(lut, copy=True)
+        raw = corrupted.view(np.uint8).reshape(-1)
+        total_bits = raw.size * 8
+        flips = min(self.plan.lut_bit_flips, total_bits)
+        # Distinct positions: two flips of the same bit would cancel and
+        # leave the table (and its checksum) untouched.
+        bit_positions: List[int] = []
+        seen = set()
+        while len(bit_positions) < flips:
+            bit = int(self._rng.integers(0, total_bits))
+            if bit not in seen:
+                seen.add(bit)
+                bit_positions.append(bit)
+        for bit in bit_positions:
+            raw[bit // 8] ^= np.uint8(1 << (bit % 8))
+        self.record(
+            "lut_bit_flips",
+            flips=flips,
+            bits=[int(b) for b in bit_positions],
+        )
+        return corrupted

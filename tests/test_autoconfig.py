@@ -5,7 +5,6 @@ import pytest
 
 from repro.baselines import wimpy_host
 from repro.core import (
-    CandidatePoint,
     convert_with_plan,
     lut_layers,
     measure_candidates,

@@ -1,0 +1,125 @@
+"""Validate the CI configuration the repo actually ships.
+
+CI breakage is usually discovered in CI; these tests catch the cheap
+mistakes locally instead: an unparseable workflow file, a job that stops
+running the tier-1 command from ROADMAP.md, a dropped coverage gate, the
+lint config disappearing from pyproject.toml, or the benchmark suite
+becoming un-collectable (which would break the nightly job at startup).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+WORKFLOW = os.path.join(REPO, ".github", "workflows", "ci.yml")
+PYPROJECT = os.path.join(REPO, "pyproject.toml")
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    with open(WORKFLOW) as fh:
+        doc = yaml.safe_load(fh)
+    assert isinstance(doc, dict)
+    return doc
+
+
+def _triggers(workflow):
+    # YAML 1.1 parses the bare key `on` as boolean True.
+    return workflow.get("on", workflow.get(True))
+
+
+def _run_commands(job):
+    return [step.get("run", "") for step in job["steps"]]
+
+
+class TestWorkflowFile:
+    def test_parses_and_has_expected_jobs(self, workflow):
+        assert set(workflow["jobs"]) == {"tests", "lint", "slow-benchmarks"}
+
+    def test_push_and_pr_trigger_tier1(self, workflow):
+        triggers = _triggers(workflow)
+        assert "push" in triggers
+        assert "pull_request" in triggers
+
+    def test_tests_job_runs_tier1_command_with_coverage(self, workflow):
+        job = workflow["jobs"]["tests"]
+        runs = " ".join(_run_commands(job))
+        # The command ROADMAP.md defines as the tier-1 gate.
+        assert "PYTHONPATH=src python -m pytest -x -q" in runs
+        assert "--cov=repro" in runs
+        assert "--cov-fail-under" in runs
+
+    def test_tests_job_python_matrix(self, workflow):
+        versions = workflow["jobs"]["tests"]["strategy"]["matrix"]["python-version"]
+        assert "3.10" in versions and "3.12" in versions
+
+    def test_pip_caching_enabled(self, workflow):
+        for job in workflow["jobs"].values():
+            setup = [
+                s for s in job["steps"]
+                if "setup-python" in str(s.get("uses", ""))
+            ]
+            assert setup, "every job pins its Python via setup-python"
+            assert all(s["with"].get("cache") == "pip" for s in setup)
+
+    def test_coverage_artifact_uploaded(self, workflow):
+        steps = workflow["jobs"]["tests"]["steps"]
+        uploads = [s for s in steps if "upload-artifact" in str(s.get("uses", ""))]
+        assert uploads and uploads[0]["with"]["path"] == "coverage.xml"
+
+    def test_lint_job_runs_ruff(self, workflow):
+        runs = _run_commands(workflow["jobs"]["lint"])
+        assert any(r.startswith("ruff check") for r in runs)
+
+    def test_slow_job_is_nightly_or_manual_only(self, workflow):
+        triggers = _triggers(workflow)
+        assert "schedule" in triggers
+        assert "workflow_dispatch" in triggers
+        condition = workflow["jobs"]["slow-benchmarks"]["if"]
+        assert "schedule" in condition and "workflow_dispatch" in condition
+
+    def test_slow_job_covers_slow_marker_and_benchmarks(self, workflow):
+        runs = " ".join(_run_commands(workflow["jobs"]["slow-benchmarks"]))
+        assert "-m slow" in runs
+        assert "benchmarks" in runs
+
+
+class TestLintConfig:
+    def test_ruff_configured_in_pyproject(self):
+        with open(PYPROJECT) as fh:
+            text = fh.read()
+        assert "[tool.ruff]" in text
+        assert "[tool.ruff.lint]" in text
+        # The gate selects defect-class rules, not formatting taste.
+        assert '"F"' in text and '"E9"' in text
+
+    def test_init_reexports_exempted(self):
+        with open(PYPROJECT) as fh:
+            text = fh.read()
+        assert '"**/__init__.py" = ["F401"]' in text
+
+
+class TestSuiteHygiene:
+    def test_slow_marker_registered_and_excluded_by_default(self):
+        with open(PYPROJECT) as fh:
+            text = fh.read()
+        assert 'addopts = \'-q -m "not slow"\'' in text
+        assert "slow:" in text
+
+    @pytest.mark.slow
+    def test_benchmarks_are_collection_safe(self):
+        """The nightly job must at least *collect* benchmarks/ cleanly."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO, "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", "benchmarks", "--collect-only", "-q"],
+            cwd=REPO, env=env, capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

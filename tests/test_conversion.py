@@ -45,7 +45,7 @@ class TestTargetSelection:
         assert "classifier" not in " ".join(names)
 
     def test_custom_filter(self, model):
-        targets = find_target_linears(model, lambda n, l: n.endswith("fc1"))
+        targets = find_target_linears(model, lambda n, layer: n.endswith("fc1"))
         assert len(targets) == 2
         assert all(n.endswith("fc1") for n, _ in targets)
 
@@ -66,8 +66,8 @@ class TestActivationRecorder:
         record_activations(model, [tokens], targets)
         # The instance-level wrapper must be gone: forward resolves to the
         # class method again and no further recording happens.
-        assert all("forward" not in l.__dict__ for _, l in targets)
-        assert all(l.forward.__func__ is Linear.forward for _, l in targets)
+        assert all("forward" not in layer.__dict__ for _, layer in targets)
+        assert all(layer.forward.__func__ is Linear.forward for _, layer in targets)
 
     def test_max_rows_caps_recording(self, model, tokens):
         targets = find_target_linears(model)
@@ -89,7 +89,7 @@ class TestConversion:
     def test_replaces_all_targets_in_place(self, model, tokens, rng):
         replaced = convert_to_lut_nn(model, [tokens], v=2, ct=4, rng=rng)
         assert len(replaced) == 8
-        assert all(isinstance(l, LUTLinear) for _, l in replaced)
+        assert all(isinstance(layer, LUTLinear) for _, layer in replaced)
         assert len(lut_layers(model)) == 8
         assert len(find_target_linears(model)) == 0  # no plain Linears left
 
@@ -100,7 +100,7 @@ class TestConversion:
 
     def test_layers_start_in_calibrate_mode(self, model, tokens, rng):
         convert_to_lut_nn(model, [tokens], v=2, ct=4, rng=rng)
-        assert all(l.mode == "calibrate" for _, l in lut_layers(model))
+        assert all(layer.mode == "calibrate" for _, layer in lut_layers(model))
 
     def test_random_init_forwarded(self, model, tokens, rng):
         convert_to_lut_nn(model, [tokens], v=2, ct=4, rng=rng, centroid_init="random")
@@ -108,7 +108,7 @@ class TestConversion:
 
     def test_no_targets_raises(self, model, tokens):
         with pytest.raises(ValueError):
-            convert_to_lut_nn(model, [tokens], v=2, ct=4, layer_filter=lambda n, l: False)
+            convert_to_lut_nn(model, [tokens], v=2, ct=4, layer_filter=lambda n, layer: False)
 
     def test_layer_names_recorded(self, model, tokens, rng):
         replaced = convert_to_lut_nn(model, [tokens], v=2, ct=4, rng=rng)
@@ -120,17 +120,17 @@ class TestModeHelpers:
     def test_set_lut_mode_all(self, model, tokens, rng):
         convert_to_lut_nn(model, [tokens], v=2, ct=4, rng=rng)
         set_lut_mode(model, "lut")
-        assert all(l.mode == "lut" for _, l in lut_layers(model))
+        assert all(layer.mode == "lut" for _, layer in lut_layers(model))
 
     def test_freeze_all_luts(self, model, tokens, rng):
         convert_to_lut_nn(model, [tokens], v=2, ct=4, rng=rng)
         freeze_all_luts(model)
-        assert all(l.lut is not None for _, l in lut_layers(model))
+        assert all(layer.lut is not None for _, layer in lut_layers(model))
 
     def test_freeze_all_quantized(self, model, tokens, rng):
         convert_to_lut_nn(model, [tokens], v=2, ct=4, rng=rng)
         freeze_all_luts(model, quantize_int8=True)
-        assert all(l.quantized_lut is not None for _, l in lut_layers(model))
+        assert all(layer.quantized_lut is not None for _, layer in lut_layers(model))
 
     def test_conversion_preserves_exact_path(self, model, tokens, rng):
         """In 'exact' mode the converted model must equal the original."""

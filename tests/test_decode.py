@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.autograd import Adam, Tensor, cross_entropy
-from repro.baselines import a2_gpu, v100_gpu, wimpy_host
+from repro.baselines import a2_gpu, v100_gpu
 from repro.engine import GEMVDecodeEngine, HostDecodeEngine, LUTDecodeEngine
 from repro.nn import DecoderLM, MultiHeadAttention
 from repro.pim import get_platform

@@ -15,7 +15,7 @@ from repro.engine import (
     model_graph,
 )
 from repro.pim import get_platform
-from repro.workloads import bert_base, bert_large
+from repro.workloads import bert_base
 
 
 @pytest.fixture(scope="module")

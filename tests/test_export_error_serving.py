@@ -24,7 +24,6 @@ from repro.workloads import SyntheticTextTask, opt_style, sample_batches, train_
 
 @pytest.fixture(scope="module")
 def converted_setup():
-    rng = np.random.default_rng(0)
     task = SyntheticTextTask(vocab_size=48, seq_len=12, num_classes=4,
                              peak_mass=0.7, seed=1)
     train = sample_batches(task, 384, 32)
@@ -133,7 +132,6 @@ class TestErrorProbe:
 
     def test_more_centroids_lower_error(self):
         """Sanity: a finer codebook must reduce the measured error."""
-        rng = np.random.default_rng(4)
         task = SyntheticTextTask(vocab_size=32, seq_len=10, num_classes=3, seed=6)
         calib = sample_batches(task, 64, 32)
 

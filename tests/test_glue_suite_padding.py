@@ -67,8 +67,8 @@ class TestCopyDetectionTask:
             first = set(row[1 : 1 + seg].tolist())
             second = set(row[1 + seg :].tolist())
             overlaps.append((label, len(first & second) / seg))
-        pos = np.mean([o for l, o in overlaps if l == 1])
-        neg = np.mean([o for l, o in overlaps if l == 0])
+        pos = np.mean([o for lab, o in overlaps if lab == 1])
+        neg = np.mean([o for lab, o in overlaps if lab == 0])
         assert pos > neg + 0.3
 
     def test_validation(self):

@@ -10,9 +10,7 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    Codebooks,
     ELUTNNCalibrator,
-    LUTShape,
     closest_centroid_search,
     convert_to_lut_nn,
     evaluate_accuracy,

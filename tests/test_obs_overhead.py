@@ -11,7 +11,6 @@ the bound (or a rep budget runs out): it only fails when the overhead is
 
 import time
 
-import pytest
 
 from repro import obs
 from repro.core import LUTShape

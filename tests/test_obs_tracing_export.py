@@ -5,11 +5,9 @@ import threading
 
 import pytest
 
-from repro import obs
 from repro.obs import (
     Tracer,
     build_chrome_trace,
-    kernel_trace_to_chrome_events,
     report_to_chrome_events,
     spans_to_chrome_events,
     spans_to_jsonl_lines,

@@ -1,6 +1,5 @@
 """Unit tests for DRAM-PIM platform models and primitives."""
 
-import numpy as np
 import pytest
 
 from repro.pim import (

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import Codebooks, LUTShape, build_lut, lut_lookup
-from repro.mapping import AutoTuner, Mapping, estimate_latency
+from repro.mapping import AutoTuner, Mapping
 from repro.pim import PIMSimulator, get_platform
 
 

@@ -3,7 +3,6 @@
 import json
 import os
 
-import numpy as np
 import pytest
 
 from repro.cli import main

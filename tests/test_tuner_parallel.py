@@ -8,7 +8,6 @@ the wider sweep is marked ``slow``.
 """
 
 import random
-import warnings
 
 import pytest
 
