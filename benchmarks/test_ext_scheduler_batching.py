@@ -1,0 +1,75 @@
+"""Extension experiment — continuous batching vs single-server FIFO.
+
+The utilization sweep the serving ROADMAP asks for: the same Poisson
+request stream is scheduled (a) into a continuous batch with iteration-
+level admission and (b) through the batch-1 FIFO discipline, across
+offered loads from comfortable to past the FIFO capacity knee.  The
+batching curve should dominate: equal-or-better P95 end-to-end latency at
+every load, and strictly higher sustainable goodput once the FIFO server
+saturates (rho >= 1 against its own service rate).
+
+Marked ``slow``: the sweep re-costs decode steps across many (batch,
+context) points, so it lands in the nightly job with the other sweeps.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.baselines import wimpy_host
+from repro.engine import (GenerationServer, RequestScheduler,
+                          SchedulerPolicy, scheduler_load_sweep)
+from repro.pim import get_platform
+from repro.workloads import opt_style
+
+pytestmark = pytest.mark.slow
+
+
+def test_ext_scheduler_batching(benchmark, report):
+    config = opt_style(1024, seq_len=128, batch_size=1)
+    server = GenerationServer(get_platform("upmem"), wimpy_host())
+    scheduler = RequestScheduler(
+        server, config, policy=SchedulerPolicy(max_batch_size=8)
+    )
+
+    def run():
+        return scheduler_load_sweep(
+            scheduler,
+            utilizations=(0.3, 0.6, 0.9, 1.2, 1.5),
+            num_requests=120,
+            prompt_len=128,
+            generate_len=32,
+            seed=0,
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = []
+    for p in points:
+        table.append([
+            f"{p.target_utilization:.1f}",
+            f"{p.arrival_rate_rps:.2f}",
+            f"{p.batched.e2e_p95_s * 1e3:.0f} / {p.fifo.e2e_p95_s * 1e3:.0f}",
+            f"{p.batched.ttft_p95_s * 1e3:.0f} / {p.fifo.ttft_p95_s * 1e3:.0f}",
+            f"{p.batched.throughput_rps:.2f} / {p.fifo.throughput_rps:.2f}",
+            f"{p.batched.mean_batch_occupancy:.2f}",
+        ])
+    report(
+        "ext_scheduler_batching",
+        format_table(
+            ["rho(FIFO)", "req/s",
+             "P95 e2e ms (batch/fifo)", "P95 ttft ms (batch/fifo)",
+             "req/s done (batch/fifo)", "batch occupancy"],
+            table,
+        ),
+    )
+
+    for p in points:
+        # Batching never loses on tail latency on the shared stream...
+        assert p.batched.e2e_p95_s <= p.fifo.e2e_p95_s * 1.02
+    overloaded = [p for p in points if p.target_utilization > 1.0]
+    assert overloaded, "sweep must cross the FIFO capacity knee"
+    for p in overloaded:
+        # ...and wins capacity outright past the FIFO knee: strictly more
+        # completed work at a strictly better P95.
+        assert p.batched.e2e_p95_s < p.fifo.e2e_p95_s
+        assert p.batched.throughput_rps > p.fifo.throughput_rps

@@ -18,6 +18,12 @@ Subcommands mirror the offline workflow of paper Fig. 5:
   pre-kernel references;
 * ``trace-export`` — tune + simulate one shape and write the telemetry as
   a Chrome-trace file (viewable in Perfetto / ``chrome://tracing``);
+* ``serve-sim`` — discrete-event continuous-batching serving simulation
+  (:mod:`repro.engine.scheduler`): a Poisson/uniform arrival stream is
+  scheduled into the running batch with chunked-prefill and admission
+  controls, reporting TTFT/TPOT/e2e P50/P95/P99, SLO goodput, and batch
+  occupancy; ``--compare-fifo`` runs the same stream through the
+  single-server FIFO discipline for the batching-vs-FIFO comparison;
 * ``faults`` — serve generation requests under an injected fault scenario
   (dead ranks, stragglers, transfer timeouts, LUT bit flips — from flags
   or a ``--scenario`` JSON file) and report how the retry → remap → host
@@ -634,6 +640,126 @@ def cmd_faults(args) -> int:
     return _finish_telemetry(args)
 
 
+def _scheduler_row(label: str, result) -> list:
+    return [
+        label,
+        result.completed,
+        result.rejected,
+        f"{result.ttft_p50_s * 1e3:.1f}/{result.ttft_p95_s * 1e3:.1f}/"
+        f"{result.ttft_p99_s * 1e3:.1f}",
+        f"{result.tpot_p50_s * 1e3:.2f}/{result.tpot_p95_s * 1e3:.2f}/"
+        f"{result.tpot_p99_s * 1e3:.2f}",
+        f"{result.e2e_p50_s * 1e3:.1f}/{result.e2e_p95_s * 1e3:.1f}/"
+        f"{result.e2e_p99_s * 1e3:.1f}",
+        f"{result.throughput_rps:.2f}",
+        f"{result.goodput_rps:.2f}",
+        f"{result.mean_batch_occupancy:.2f}",
+    ]
+
+
+def cmd_serve_sim(args) -> int:
+    """Continuous-batching serving simulation under an arrival stream."""
+    from .baselines import wimpy_host
+    from .engine import (GenerationServer, Request, RequestScheduler,
+                         SchedulerPolicy, poisson_requests)
+
+    config = EVAL_MODELS[args.model]
+    if args.layers:
+        config = config.with_(num_layers=args.layers)
+    server = GenerationServer(
+        get_platform(args.platform), wimpy_host(), v=args.v, ct=args.ct,
+        lut_nn=not args.native,
+    )
+    probe = Request(
+        request_id=-1, arrival_s=0.0, prompt_len=args.prompt_len,
+        generate_len=args.generate_len, batch=args.batch,
+    )
+    # SLOs default to headroom over the *unloaded* request: 2.5x the bare
+    # prefill for TTFT, 2.5x the bare service time end to end.
+    prescheduler = RequestScheduler(server, config)
+    service_s = prescheduler.fifo_service_time(probe)
+    unloaded_ttft_s = prescheduler.cost.prefill_s(args.prompt_len, args.batch)
+    slo_ttft_s = args.slo_ttft_ms / 1e3 if args.slo_ttft_ms else 2.5 * unloaded_ttft_s
+    slo_e2e_s = args.slo_e2e_ms / 1e3 if args.slo_e2e_ms else 2.5 * service_s
+
+    policy = SchedulerPolicy(
+        max_batch_size=args.max_batch,
+        max_context_tokens=args.max_context_tokens,
+        max_queue_len=args.queue_cap,
+        chunked_prefill=args.chunked_prefill,
+        prefill_chunk=args.prefill_chunk,
+        slo_ttft_s=slo_ttft_s,
+        slo_e2e_s=slo_e2e_s,
+    )
+    scheduler = RequestScheduler(server, config, policy=policy)
+    scheduler.cost = prescheduler.cost  # reuse the probe's tuned costs
+
+    rate = args.rate if args.rate else args.utilization / service_s
+    stream = poisson_requests(
+        args.requests, rate,
+        prompt_len=args.prompt_len, generate_len=args.generate_len,
+        batch=args.batch, arrivals=args.arrivals, seed=args.seed,
+    )
+    result = scheduler.run(stream)
+
+    fifo_result = None
+    if args.compare_fifo:
+        fifo = RequestScheduler(server, config, policy=policy.fifo())
+        fifo.cost = scheduler.cost
+        fifo_result = fifo.run(stream)
+
+    if args.json:
+        payload = {
+            "model": config.name,
+            "platform": args.platform,
+            "arrival_rate_rps": rate,
+            "fifo_service_time_s": service_s,
+            "slo": {"ttft_s": slo_ttft_s, "e2e_s": slo_e2e_s},
+            "continuous_batching": result.to_jsonable(),
+        }
+        if fifo_result is not None:
+            payload["fifo"] = fifo_result.to_jsonable()
+        _print_json(payload)
+        return _finish_telemetry(args)
+
+    mode = "chunked prefill" if policy.chunked_prefill else "whole-prompt prefill"
+    print(
+        f"{config.name} on {args.platform}: {args.requests} requests "
+        f"({args.arrivals} arrivals, {rate:.2f} req/s), prompt "
+        f"{args.prompt_len}, generate {args.generate_len}, batch hint "
+        f"{args.batch}"
+    )
+    print(
+        f"policy: max batch {policy.max_batch_size} seqs, "
+        f"max context {policy.max_context_tokens} tokens, queue cap "
+        f"{policy.max_queue_len}, {mode}; SLO ttft "
+        f"{slo_ttft_s * 1e3:.1f} ms, e2e {slo_e2e_s * 1e3:.1f} ms"
+    )
+    rows = [_scheduler_row("continuous batching", result)]
+    if fifo_result is not None:
+        rows.append(_scheduler_row("fifo (batch 1)", fifo_result))
+    print(format_table(
+        ["discipline", "done", "rej",
+         "ttft ms p50/95/99", "tpot ms p50/95/99", "e2e ms p50/95/99",
+         "req/s", "goodput", "occupancy"],
+        rows,
+    ))
+    if result.degradation is not None and result.degradation.degraded:
+        print(f"degradation (batch-level): {result.degradation.to_jsonable()}")
+    if fifo_result is not None:
+        better_p95 = result.e2e_p95_s <= fifo_result.e2e_p95_s
+        better_goodput = result.goodput_rps > fifo_result.goodput_rps
+        print(
+            f"continuous batching vs FIFO at the same stream: "
+            f"P95 e2e {result.e2e_p95_s * 1e3:.1f} vs "
+            f"{fifo_result.e2e_p95_s * 1e3:.1f} ms, goodput "
+            f"{result.goodput_rps:.2f} vs {fifo_result.goodput_rps:.2f} req/s"
+            + (" — batching sustains more at equal-or-better P95"
+               if better_p95 and better_goodput else "")
+        )
+    return _finish_telemetry(args)
+
+
 def cmd_trace_export(args) -> int:
     """Tune + simulate one shape and export the full telemetry picture."""
     platform = get_platform(args.platform)
@@ -774,6 +900,64 @@ def build_parser() -> argparse.ArgumentParser:
                         help="machine-readable output")
     _add_telemetry_arguments(faults)
 
+    serve_sim = sub.add_parser(
+        "serve-sim",
+        help="continuous-batching serving simulation under a request "
+             "arrival stream (TTFT/TPOT percentiles, SLO goodput)",
+    )
+    serve_sim.add_argument("--model", default="bert-base",
+                           choices=sorted(EVAL_MODELS))
+    serve_sim.add_argument("--platform", default="upmem",
+                           choices=sorted(PLATFORMS))
+    serve_sim.add_argument("--v", type=int, default=4)
+    serve_sim.add_argument("--ct", type=int, default=16)
+    serve_sim.add_argument("--layers", type=int, default=None, metavar="N",
+                           help="override the model's layer count (quick runs)")
+    serve_sim.add_argument("--native", action="store_true",
+                           help="serve on the native GEMM/GEMV engines "
+                                "instead of LUT-NN")
+    serve_sim.add_argument("--requests", type=int, default=64, metavar="N")
+    serve_sim.add_argument("--prompt-len", type=int, default=128, metavar="N")
+    serve_sim.add_argument("--generate-len", type=int, default=32, metavar="N")
+    serve_sim.add_argument("--batch", type=int, default=1, metavar="N",
+                           help="sequences bundled per request (batch hint)")
+    serve_sim.add_argument("--arrivals", choices=["poisson", "uniform"],
+                           default="poisson")
+    serve_sim.add_argument("--seed", type=int, default=0)
+    serve_sim.add_argument("--rate", type=float, default=None, metavar="RPS",
+                           help="offered arrival rate; default derives from "
+                                "--utilization")
+    serve_sim.add_argument("--utilization", type=float, default=0.8,
+                           metavar="RHO",
+                           help="offered load as a fraction of the FIFO "
+                                "service rate (may exceed 1 to overload "
+                                "the FIFO baseline)")
+    serve_sim.add_argument("--max-batch", type=int, default=8, metavar="N",
+                           help="sequences decoding concurrently")
+    serve_sim.add_argument("--max-context-tokens", type=int, default=1 << 20,
+                           metavar="N", help="KV-token cap across the batch")
+    serve_sim.add_argument("--queue-cap", type=int, default=1024, metavar="N",
+                           help="bounded wait queue; overflow rejects")
+    serve_sim.add_argument("--chunked-prefill", action="store_true",
+                           help="interleave prompt prefill in chunks with "
+                                "decode steps")
+    serve_sim.add_argument("--prefill-chunk", type=int, default=128,
+                           metavar="N", help="tokens prefilled per step "
+                                             "under --chunked-prefill")
+    serve_sim.add_argument("--slo-ttft-ms", type=float, default=None,
+                           metavar="MS",
+                           help="TTFT SLO (default: 2.5x unloaded prefill)")
+    serve_sim.add_argument("--slo-e2e-ms", type=float, default=None,
+                           metavar="MS",
+                           help="end-to-end SLO (default: 2.5x unloaded "
+                                "request)")
+    serve_sim.add_argument("--compare-fifo", action="store_true",
+                           help="also run the identical stream through the "
+                                "single-server FIFO (batch-1) discipline")
+    serve_sim.add_argument("--json", action="store_true",
+                           help="machine-readable output")
+    _add_telemetry_arguments(serve_sim)
+
     trace_export = sub.add_parser(
         "trace-export",
         help="tune + simulate one shape and write a Chrome-trace file",
@@ -797,6 +981,7 @@ COMMANDS = {
     "compare": cmd_compare,
     "kernels": cmd_kernels,
     "faults": cmd_faults,
+    "serve-sim": cmd_serve_sim,
     "trace-export": cmd_trace_export,
 }
 

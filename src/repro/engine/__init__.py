@@ -7,7 +7,10 @@ from .graph import ATTENTION, ELEMENTWISE, LINEAR, OperatorSpec, layer_graph, mo
 from .report import EngineReport, OpLatency
 from .multiplex import (SharingPoint, best_latency, best_throughput,
                         slice_platform, space_sharing_sweep)
-from .queueing import QueueStats, load_sweep, simulate_queue
+from .queueing import QueueStats, generate_arrivals, load_sweep, simulate_queue
+from .scheduler import (EngineCostModel, Request, RequestScheduler,
+                        RequestStats, ScheduleResult, SchedulerPolicy,
+                        SweepPoint, poisson_requests, scheduler_load_sweep)
 from .serving import GenerationServer, ServingReport
 
 __all__ = [
@@ -36,4 +39,14 @@ __all__ = [
     "QueueStats",
     "simulate_queue",
     "load_sweep",
+    "generate_arrivals",
+    "Request",
+    "RequestStats",
+    "RequestScheduler",
+    "SchedulerPolicy",
+    "ScheduleResult",
+    "SweepPoint",
+    "EngineCostModel",
+    "poisson_requests",
+    "scheduler_load_sweep",
 ]

@@ -38,6 +38,35 @@ class QueueStats:
         return self.mean_latency_s / self.service_time_s
 
 
+def generate_arrivals(
+    arrival_rate_rps: float,
+    num_requests: int,
+    arrivals: str = "poisson",
+    seed: int = 0,
+) -> np.ndarray:
+    """Arrival timestamps for a request stream.
+
+    ``"poisson"`` draws exponential inter-arrival gaps from a
+    ``default_rng(seed)``; ``"uniform"`` spaces requests deterministically
+    (the seed is ignored, so uniform streams are seed-invariant).  Shared
+    by :func:`simulate_queue` and the continuous-batching scheduler
+    (:mod:`repro.engine.scheduler`) so both disciplines can be compared on
+    the *same* arrival stream.
+    """
+    if arrival_rate_rps <= 0:
+        raise ValueError("arrival rate must be positive")
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    if arrivals not in ("poisson", "uniform"):
+        raise ValueError(f"unknown arrival process {arrivals!r}")
+    if arrivals == "poisson":
+        rng = np.random.default_rng(seed)
+        gaps = rng.exponential(1.0 / arrival_rate_rps, size=num_requests)
+    else:
+        gaps = np.full(num_requests, 1.0 / arrival_rate_rps)
+    return np.cumsum(gaps)
+
+
 def simulate_queue(
     service_time_s: float,
     arrival_rate_rps: float,
@@ -61,22 +90,12 @@ def simulate_queue(
     """
     if service_time_s <= 0:
         raise ValueError("service time must be positive")
-    if arrival_rate_rps <= 0:
-        raise ValueError("arrival rate must be positive")
-    utilization = arrival_rate_rps * service_time_s
+    utilization = arrival_rate_rps * service_time_s if arrival_rate_rps > 0 else 0.0
     if utilization >= 1.0:
         raise ValueError(
             f"offered load {utilization:.2f} >= 1: the queue is unstable"
         )
-    if arrivals not in ("poisson", "uniform"):
-        raise ValueError(f"unknown arrival process {arrivals!r}")
-
-    rng = np.random.default_rng(seed)
-    if arrivals == "poisson":
-        gaps = rng.exponential(1.0 / arrival_rate_rps, size=num_requests)
-    else:
-        gaps = np.full(num_requests, 1.0 / arrival_rate_rps)
-    arrival_times = np.cumsum(gaps)
+    arrival_times = generate_arrivals(arrival_rate_rps, num_requests, arrivals, seed)
 
     latencies = np.empty(num_requests)
     server_free_at = 0.0

@@ -89,7 +89,9 @@ class EngineReport:
 
     @property
     def throughput_inferences_per_s(self) -> float:
-        return 1.0 / self.total_s if self.total_s > 0 else float("inf")
+        # An empty report (no ops recorded) performed no inference; its
+        # throughput is zero, not the infinity a bare 1/total_s suggests.
+        return 1.0 / self.total_s if self.total_s > 0 else 0.0
 
     def to_jsonable(self) -> dict:
         """Machine-readable roll-up (the CLI's ``--json`` compare output)."""

@@ -1,0 +1,753 @@
+"""Continuous-batching request scheduler over the generation cost model.
+
+:mod:`repro.engine.queueing` answers "what happens under load" for a
+single-server FIFO with one fixed service time.  Real LLM serving does not
+work that way: requests with different prompt and generation lengths share
+one engine, new arrivals are *admitted into the running batch* while
+earlier requests are still decoding, and every decode step's cost depends
+on the batch size and context lengths at that instant.  This module is a
+discrete-event simulator of that discipline (iteration-level scheduling, as
+in Orca/vLLM) driving the :class:`~repro.engine.serving.GenerationServer`
+cost model:
+
+* requests carry ``(arrival time, prompt_len, generate_len, batch hint)``;
+* an admission policy caps the running batch by sequence count and total
+  context tokens, with a bounded wait queue (overflow rejects);
+* each scheduler step optionally prefills newly admitted prompts (whole
+  prompts, or ``prefill_chunk``-token chunks interleaved with decoding)
+  and runs one decode iteration for every in-flight sequence;
+* decode iterations are re-costed through the server's
+  :class:`~repro.engine.decode.LUTDecodeEngine` at the step's *actual*
+  effective batch size and mean context length — not the single
+  average-context approximation ``GenerationServer.run`` uses for a lone
+  request;
+* per-request TTFT / TPOT / end-to-end latencies, SLO goodput, and the
+  batch-occupancy timeline come out the other end.
+
+Everything is instrumented through :mod:`repro.obs` (``scheduler.*``
+counters/histograms/series, a span per scheduler step) and is compatible
+with :class:`~repro.resilience.recovery.RecoveryManager`: a resilient
+server's engines run their recovery ladder inside the cost model, and the
+run-level degradation is accounted through the ledger's exclusive request
+scope (at the batch level — per-request slicing is unsound once requests
+interleave, which the ledger itself enforces).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .. import obs
+from ..resilience.recovery import DegradationSummary
+from ..workloads.configs import TransformerConfig
+from .queueing import generate_arrivals
+from .serving import GenerationServer
+
+
+@dataclass(frozen=True)
+class Request:
+    """One generation request in the arrival stream.
+
+    ``batch`` is the request's batch hint: the number of sequences it
+    bundles (a client-side batched call).  It occupies ``batch`` slots of
+    the running batch and generates ``batch * generate_len`` tokens.
+    """
+
+    request_id: int
+    arrival_s: float
+    prompt_len: int
+    generate_len: int
+    batch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ValueError("arrival_s must be non-negative")
+        if self.prompt_len <= 0:
+            raise ValueError(f"prompt_len must be positive, got {self.prompt_len}")
+        if self.generate_len < 0:
+            raise ValueError("generate_len must be non-negative")
+        if self.batch <= 0:
+            raise ValueError(f"batch must be positive, got {self.batch}")
+
+    @property
+    def total_context(self) -> int:
+        """Peak KV-cache footprint in tokens (all sequences, full length)."""
+        return self.batch * (self.prompt_len + self.generate_len)
+
+
+@dataclass(frozen=True)
+class SchedulerPolicy:
+    """Admission + batching policy of the scheduler.
+
+    max_batch_size:
+        Sequences decoding concurrently (sum of admitted batch hints).
+    max_context_tokens:
+        Cap on the running batch's peak KV footprint
+        (:attr:`Request.total_context` summed over admitted requests).
+    max_queue_len:
+        Bounded wait queue; arrivals beyond it are rejected.
+    chunked_prefill:
+        When True, prompts prefill ``prefill_chunk`` tokens per step,
+        interleaved with decode iterations of in-flight requests; when
+        False (default) an admitted prompt prefills in one step.
+    slo_ttft_s / slo_e2e_s:
+        Optional service-level objectives; completed requests meeting both
+        count toward :attr:`ScheduleResult.goodput_rps`.
+    """
+
+    max_batch_size: int = 8
+    max_context_tokens: int = 1 << 20
+    max_queue_len: int = 1024
+    chunked_prefill: bool = False
+    prefill_chunk: int = 128
+    slo_ttft_s: Optional[float] = None
+    slo_e2e_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if self.max_context_tokens <= 0:
+            raise ValueError("max_context_tokens must be positive")
+        if self.max_queue_len <= 0:
+            raise ValueError("max_queue_len must be positive")
+        if self.prefill_chunk <= 0:
+            raise ValueError("prefill_chunk must be positive")
+
+    def fifo(self) -> "SchedulerPolicy":
+        """This policy restricted to the single-server FIFO discipline."""
+        return replace(self, max_batch_size=1, chunked_prefill=False)
+
+
+@dataclass(frozen=True)
+class RequestStats:
+    """Per-request outcome of one scheduler run."""
+
+    request_id: int
+    arrival_s: float
+    prompt_len: int
+    generate_len: int
+    batch: int
+    rejected: bool = False
+    admitted_s: float = 0.0
+    prefill_done_s: float = 0.0
+    first_token_s: float = 0.0
+    finished_s: float = 0.0
+
+    @property
+    def queue_wait_s(self) -> float:
+        return self.admitted_s - self.arrival_s
+
+    @property
+    def ttft_s(self) -> float:
+        """Arrival to first generated token (to prefill end when gen=0)."""
+        first = self.first_token_s if self.generate_len else self.prefill_done_s
+        return first - self.arrival_s
+
+    @property
+    def tpot_s(self) -> float:
+        """Mean time per output token over the decode phase."""
+        if self.generate_len == 0:
+            return 0.0
+        return (self.finished_s - self.prefill_done_s) / self.generate_len
+
+    @property
+    def e2e_s(self) -> float:
+        return self.finished_s - self.arrival_s
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Aggregate outcome of one scheduler run over a request stream."""
+
+    policy: SchedulerPolicy
+    completed: int
+    rejected: int
+    steps: int
+    makespan_s: float
+    busy_s: float
+    prefill_tokens: int
+    generated_tokens: int
+    ttft_p50_s: float
+    ttft_p95_s: float
+    ttft_p99_s: float
+    tpot_p50_s: float
+    tpot_p95_s: float
+    tpot_p99_s: float
+    e2e_p50_s: float
+    e2e_p95_s: float
+    e2e_p99_s: float
+    mean_e2e_s: float
+    mean_batch_occupancy: float
+    peak_batch_occupancy: int
+    #: (time, sequences in the running batch) after every step.
+    occupancy_timeline: Tuple[Tuple[float, float], ...]
+    requests: Tuple[RequestStats, ...]
+    #: Run-level degradation slice when the server has an active
+    #: RecoveryManager (batch-level accounting); None otherwise.
+    degradation: Optional[DegradationSummary] = None
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the makespan the engine was executing steps."""
+        return self.busy_s / self.makespan_s if self.makespan_s > 0 else 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.makespan_s if self.makespan_s > 0 else 0.0
+
+    @property
+    def generated_tokens_per_s(self) -> float:
+        if self.generated_tokens == 0:
+            return 0.0
+        return self.generated_tokens / self.makespan_s
+
+    @property
+    def goodput_rps(self) -> float:
+        """Completed requests meeting the policy's SLOs, per second.
+
+        Without SLOs in the policy this equals :attr:`throughput_rps`;
+        rejected requests never count.
+        """
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.slo_attained / self.makespan_s
+
+    @property
+    def slo_attained(self) -> int:
+        """Completed requests that met both SLOs (all, if none set)."""
+        good = 0
+        for r in self.requests:
+            if r.rejected:
+                continue
+            if self.policy.slo_ttft_s is not None and r.ttft_s > self.policy.slo_ttft_s:
+                continue
+            if self.policy.slo_e2e_s is not None and r.e2e_s > self.policy.slo_e2e_s:
+                continue
+            good += 1
+        return good
+
+    def sojourn_times(self) -> List[float]:
+        """End-to-end latencies of completed requests, in request order."""
+        return [r.e2e_s for r in self.requests if not r.rejected]
+
+    def to_jsonable(self) -> dict:
+        return {
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "steps": self.steps,
+            "makespan_s": self.makespan_s,
+            "busy_s": self.busy_s,
+            "utilization": self.utilization,
+            "prefill_tokens": self.prefill_tokens,
+            "generated_tokens": self.generated_tokens,
+            "throughput_rps": self.throughput_rps,
+            "goodput_rps": self.goodput_rps,
+            "generated_tokens_per_s": self.generated_tokens_per_s,
+            "ttft_s": {"p50": self.ttft_p50_s, "p95": self.ttft_p95_s,
+                       "p99": self.ttft_p99_s},
+            "tpot_s": {"p50": self.tpot_p50_s, "p95": self.tpot_p95_s,
+                       "p99": self.tpot_p99_s},
+            "e2e_s": {"p50": self.e2e_p50_s, "p95": self.e2e_p95_s,
+                      "p99": self.e2e_p99_s, "mean": self.mean_e2e_s},
+            "mean_batch_occupancy": self.mean_batch_occupancy,
+            "peak_batch_occupancy": self.peak_batch_occupancy,
+            "policy": {
+                "max_batch_size": self.policy.max_batch_size,
+                "max_context_tokens": self.policy.max_context_tokens,
+                "max_queue_len": self.policy.max_queue_len,
+                "chunked_prefill": self.policy.chunked_prefill,
+                "prefill_chunk": self.policy.prefill_chunk,
+                "slo_ttft_s": self.policy.slo_ttft_s,
+                "slo_e2e_s": self.policy.slo_e2e_s,
+            },
+            "degradation": (
+                self.degradation.to_jsonable() if self.degradation else None
+            ),
+        }
+
+
+class EngineCostModel:
+    """Memoized prefill/decode-step costing through a GenerationServer.
+
+    Decode contexts are quantized up to ``context_bucket`` tokens so the
+    number of distinct engine evaluations stays bounded while still
+    tracking the growing KV cache step by step; prefill chunks are costed
+    exactly (the set of distinct chunk sizes is small).
+    """
+
+    def __init__(
+        self,
+        server: GenerationServer,
+        config: TransformerConfig,
+        context_bucket: int = 32,
+    ):
+        if context_bucket <= 0:
+            raise ValueError("context_bucket must be positive")
+        self.server = server
+        self.config = config
+        self.context_bucket = context_bucket
+        self._prefill_cache: Dict[Tuple[int, int], float] = {}
+        self._decode_cache: Dict[Tuple[int, int], float] = {}
+
+    def prefill_s(self, tokens: int, batch: int = 1) -> float:
+        """Cost of prefilling ``tokens`` prompt tokens of one request."""
+        key = (tokens, batch)
+        if key not in self._prefill_cache:
+            shaped = self.config.with_(seq_len=tokens, batch_size=batch)
+            self._prefill_cache[key] = self.server.prefill_engine.run(shaped).total_s
+        return self._prefill_cache[key]
+
+    def decode_step_s(self, batch_seqs: int, context_len: float) -> float:
+        """Cost of one decode iteration for ``batch_seqs`` sequences.
+
+        ``context_len`` is the batch's mean KV-cache length at this step.
+        """
+        bucket = int(np.ceil(max(context_len, 1.0) / self.context_bucket))
+        bucket *= self.context_bucket
+        key = (batch_seqs, bucket)
+        if key not in self._decode_cache:
+            report = self.server.decode_engine.run(
+                self.config, batch_size=batch_seqs, context_len=bucket
+            )
+            self._decode_cache[key] = report.token_latency_s
+        return self._decode_cache[key]
+
+
+@dataclass
+class _InFlight:
+    """Mutable bookkeeping for one admitted request."""
+
+    request: Request
+    admitted_s: float
+    prefilled: int = 0
+    generated: int = 0
+    prefill_done_s: Optional[float] = None
+    first_token_s: Optional[float] = None
+    #: Set at the end of the step that finished prefill; the request
+    #: starts decoding on the *next* step.
+    decode_ready: bool = False
+
+    @property
+    def context_len(self) -> int:
+        return self.request.prompt_len + self.generated
+
+    @property
+    def prefill_remaining(self) -> int:
+        return self.request.prompt_len - self.prefilled
+
+    @property
+    def done(self) -> bool:
+        return self.prefilled >= self.request.prompt_len and (
+            self.generated >= self.request.generate_len
+        )
+
+
+class RequestScheduler:
+    """Discrete-event continuous-batching scheduler over one server.
+
+    One scheduler instance can :meth:`run` many independent streams; the
+    engine cost caches (and the server's tuner memos) persist across runs,
+    so sweeps amortize the Auto-Tuner searches.
+    """
+
+    def __init__(
+        self,
+        server: GenerationServer,
+        config: TransformerConfig,
+        policy: Optional[SchedulerPolicy] = None,
+        context_bucket: int = 32,
+    ):
+        self.server = server
+        self.config = config
+        self.policy = policy or SchedulerPolicy()
+        self.cost = EngineCostModel(server, config, context_bucket=context_bucket)
+
+    # ------------------------------------------------------------------
+    # Admission policy
+    # ------------------------------------------------------------------
+    def _feasible(self, request: Request) -> bool:
+        """Could this request ever be admitted, even to an empty batch?"""
+        return (
+            request.batch <= self.policy.max_batch_size
+            and request.total_context <= self.policy.max_context_tokens
+        )
+
+    def _fits(self, request: Request, running: List[_InFlight]) -> bool:
+        seqs = sum(f.request.batch for f in running)
+        tokens = sum(f.request.total_context for f in running)
+        return (
+            seqs + request.batch <= self.policy.max_batch_size
+            and tokens + request.total_context <= self.policy.max_context_tokens
+        )
+
+    # ------------------------------------------------------------------
+    # FIFO reference costing
+    # ------------------------------------------------------------------
+    def fifo_service_time(self, request: Request) -> float:
+        """The request's service time when it runs alone, unbatched.
+
+        Full prefill followed by ``generate_len`` decode steps at the
+        request's own (growing) context — exactly what a batch-1,
+        unchunked scheduler executes, and the service time to feed
+        :func:`~repro.engine.queueing.simulate_queue` for a FIFO
+        comparison on equal footing.
+        """
+        total = self.cost.prefill_s(request.prompt_len, request.batch)
+        for step in range(request.generate_len):
+            total += self.cost.decode_step_s(
+                request.batch, request.prompt_len + step
+            )
+        return total
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+    def run(self, requests: Sequence[Request]) -> ScheduleResult:
+        """Simulate the stream and return per-request + aggregate stats."""
+        policy = self.policy
+        registry = obs.get_registry()
+        tracer = obs.get_tracer()
+        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+
+        ledger = None
+        scope = None
+        if self.server.resilience is not None and self.server.resilience.active:
+            ledger = self.server.resilience.ledger
+            scope = ledger.open_request_scope("scheduler.run")
+
+        waiting: deque = deque()
+        running: List[_InFlight] = []
+        stats: Dict[int, RequestStats] = {}
+        rejected = 0
+        steps = 0
+        busy_s = 0.0
+        prefill_tokens = 0
+        generated_tokens = 0
+        occupancy: List[Tuple[float, float]] = []
+        occupancy_weighted = 0.0
+        peak_occupancy = 0
+        now = 0.0
+        idx = 0
+
+        def finish(flight: _InFlight, when: float) -> None:
+            nonlocal generated_tokens
+            r = flight.request
+            stats[r.request_id] = RequestStats(
+                request_id=r.request_id,
+                arrival_s=r.arrival_s,
+                prompt_len=r.prompt_len,
+                generate_len=r.generate_len,
+                batch=r.batch,
+                admitted_s=flight.admitted_s,
+                prefill_done_s=flight.prefill_done_s,
+                first_token_s=(
+                    flight.first_token_s
+                    if flight.first_token_s is not None
+                    else flight.prefill_done_s
+                ),
+                finished_s=when,
+            )
+            registry.counter("scheduler.requests_completed").inc()
+            registry.histogram("scheduler.ttft_s").observe(
+                stats[r.request_id].ttft_s
+            )
+            registry.histogram("scheduler.e2e_s").observe(
+                stats[r.request_id].e2e_s
+            )
+            if r.generate_len:
+                registry.histogram("scheduler.tpot_s").observe(
+                    stats[r.request_id].tpot_s
+                )
+
+        def reject(r: Request) -> None:
+            nonlocal rejected
+            rejected += 1
+            stats[r.request_id] = RequestStats(
+                request_id=r.request_id,
+                arrival_s=r.arrival_s,
+                prompt_len=r.prompt_len,
+                generate_len=r.generate_len,
+                batch=r.batch,
+                rejected=True,
+            )
+            registry.counter("scheduler.requests_rejected").inc()
+
+        try:
+            with tracer.span(
+                "scheduler.run",
+                model=self.config.name,
+                engine=self.server.name,
+                requests=len(ordered),
+                max_batch_size=policy.max_batch_size,
+                chunked_prefill=policy.chunked_prefill,
+            ) as run_span:
+                while idx < len(ordered) or waiting or running:
+                    # 1. Move arrivals into the bounded wait queue.
+                    while idx < len(ordered) and ordered[idx].arrival_s <= now:
+                        r = ordered[idx]
+                        idx += 1
+                        if not self._feasible(r):
+                            reject(r)
+                        elif len(waiting) >= policy.max_queue_len:
+                            reject(r)
+                        else:
+                            waiting.append(r)
+                            registry.counter("scheduler.requests_queued").inc()
+
+                    # 2. Admit from the queue head while the batch has room.
+                    while waiting and self._fits(waiting[0], running):
+                        r = waiting.popleft()
+                        running.append(_InFlight(request=r, admitted_s=now))
+                        registry.counter("scheduler.requests_admitted").inc()
+
+                    # 3. Idle: jump to the next arrival.
+                    if not running:
+                        if idx < len(ordered):
+                            now = max(now, ordered[idx].arrival_s)
+                            continue
+                        break  # waiting is necessarily empty here
+
+                    # 4. Execute one scheduler step (serialized on the one
+                    #    PIM system: prefill work, then a decode iteration).
+                    step_s = 0.0
+                    step_prefill = 0
+                    decoding = [f for f in running if f.decode_ready]
+                    budget = (
+                        policy.prefill_chunk
+                        if policy.chunked_prefill
+                        else float("inf")
+                    )
+                    prefilling: List[_InFlight] = []
+                    with tracer.span("scheduler.step") as sp:
+                        for f in running:
+                            if f.prefill_remaining <= 0 or budget <= 0:
+                                continue
+                            take = f.prefill_remaining
+                            if policy.chunked_prefill:
+                                take = min(take, int(budget))
+                            step_s += self.cost.prefill_s(take, f.request.batch)
+                            f.prefilled += take
+                            budget -= take
+                            step_prefill += take * f.request.batch
+                            prefilling.append(f)
+
+                        seqs = sum(f.request.batch for f in decoding)
+                        if seqs:
+                            total_ctx = sum(
+                                f.context_len * f.request.batch for f in decoding
+                            )
+                            step_s += self.cost.decode_step_s(
+                                seqs, total_ctx / seqs
+                            )
+                        sp.set_attribute("batch_seqs", seqs)
+                        sp.set_attribute("prefill_tokens", step_prefill)
+                        sp.set_attribute("model_seconds", step_s)
+
+                    if step_s <= 0.0:
+                        # Nothing runnable this step (all admitted requests
+                        # are freshly prefilled, none decode-ready yet).
+                        for f in running:
+                            f.decode_ready = f.prefilled >= f.request.prompt_len
+                        continue
+
+                    now += step_s
+                    busy_s += step_s
+                    steps += 1
+                    prefill_tokens += step_prefill
+
+                    registry.counter("scheduler.steps").inc()
+                    registry.counter("scheduler.prefill_tokens").inc(step_prefill)
+                    registry.counter("scheduler.decode_tokens").inc(seqs)
+                    generated_tokens += seqs
+
+                    # 5. Post-step bookkeeping: prefill completions, token
+                    #    emissions, request completions.
+                    for f in prefilling:
+                        if f.prefill_remaining <= 0 and f.prefill_done_s is None:
+                            f.prefill_done_s = now
+                            f.decode_ready = True
+                    for f in decoding:
+                        f.generated += 1
+                        if f.first_token_s is None:
+                            f.first_token_s = now
+                    for f in list(running):
+                        if f.done:
+                            if f.prefill_done_s is None:
+                                f.prefill_done_s = now
+                            finish(f, now)
+                            running.remove(f)
+
+                    occ = float(sum(f.request.batch for f in running))
+                    occupancy.append((now, occ))
+                    occupancy_weighted += occ * step_s
+                    peak_occupancy = max(peak_occupancy, int(occ))
+                    registry.series("scheduler.batch_occupancy").append(occ)
+
+                run_span.set_attribute("completed", len(stats) - rejected)
+                run_span.set_attribute("rejected", rejected)
+                run_span.set_attribute("model_makespan_s", now)
+        except BaseException:
+            if scope is not None:
+                ledger.close_request_scope(scope)
+            raise
+
+        degradation = None
+        if scope is not None:
+            degradation = ledger.close_request_scope(scope)
+            if degradation.degraded:
+                registry.counter("scheduler.degraded_runs").inc()
+
+        done = [s for s in stats.values() if not s.rejected]
+
+        def pct(values: List[float], q: float) -> float:
+            return float(np.percentile(values, q)) if values else 0.0
+
+        ttfts = [s.ttft_s for s in done]
+        tpots = [s.tpot_s for s in done if s.generate_len]
+        e2es = [s.e2e_s for s in done]
+        ordered_stats = tuple(
+            stats[r.request_id] for r in ordered if r.request_id in stats
+        )
+        return ScheduleResult(
+            policy=policy,
+            completed=len(done),
+            rejected=rejected,
+            steps=steps,
+            makespan_s=now,
+            busy_s=busy_s,
+            prefill_tokens=prefill_tokens,
+            generated_tokens=generated_tokens,
+            ttft_p50_s=pct(ttfts, 50),
+            ttft_p95_s=pct(ttfts, 95),
+            ttft_p99_s=pct(ttfts, 99),
+            tpot_p50_s=pct(tpots, 50),
+            tpot_p95_s=pct(tpots, 95),
+            tpot_p99_s=pct(tpots, 99),
+            e2e_p50_s=pct(e2es, 50),
+            e2e_p95_s=pct(e2es, 95),
+            e2e_p99_s=pct(e2es, 99),
+            mean_e2e_s=float(np.mean(e2es)) if e2es else 0.0,
+            mean_batch_occupancy=(
+                occupancy_weighted / busy_s if busy_s > 0 else 0.0
+            ),
+            peak_batch_occupancy=peak_occupancy,
+            occupancy_timeline=tuple(occupancy),
+            requests=ordered_stats,
+            degradation=degradation,
+        )
+
+
+def poisson_requests(
+    num_requests: int,
+    arrival_rate_rps: float,
+    prompt_len: Union[int, Sequence[int]] = 128,
+    generate_len: Union[int, Sequence[int]] = 32,
+    batch: int = 1,
+    arrivals: str = "poisson",
+    seed: int = 0,
+) -> List[Request]:
+    """A request stream with Poisson (or uniform) arrivals.
+
+    ``prompt_len`` / ``generate_len`` may be single values or sequences to
+    sample from uniformly (seeded; the arrival stream uses the same seed,
+    so a stream is fully reproducible from ``(seed, rate, n)``).
+    """
+    times = generate_arrivals(arrival_rate_rps, num_requests, arrivals, seed)
+    rng = np.random.default_rng(seed + 1)
+
+    def draw(spec: Union[int, Sequence[int]]) -> List[int]:
+        if isinstance(spec, (int, np.integer)):
+            return [int(spec)] * num_requests
+        choices = list(spec)
+        if not choices:
+            raise ValueError("length choices must be non-empty")
+        return [int(c) for c in rng.choice(choices, size=num_requests)]
+
+    prompts = draw(prompt_len)
+    gens = draw(generate_len)
+    return [
+        Request(
+            request_id=i,
+            arrival_s=float(times[i]),
+            prompt_len=prompts[i],
+            generate_len=gens[i],
+            batch=batch,
+        )
+        for i in range(num_requests)
+    ]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One utilization level of :func:`scheduler_load_sweep`."""
+
+    target_utilization: float
+    arrival_rate_rps: float
+    batched: ScheduleResult
+    fifo: Optional[ScheduleResult] = None
+
+
+def scheduler_load_sweep(
+    scheduler: RequestScheduler,
+    utilizations: Sequence[float] = (0.3, 0.5, 0.7, 0.9),
+    num_requests: int = 100,
+    prompt_len: int = 128,
+    generate_len: int = 32,
+    batch: int = 1,
+    arrivals: str = "poisson",
+    seed: int = 0,
+    compare_fifo: bool = True,
+) -> List[SweepPoint]:
+    """``queueing.load_sweep``-style sweep under continuous batching.
+
+    Utilization targets are expressed against the *FIFO* service time of
+    one request (the same normalization :func:`~repro.engine.queueing.load_sweep`
+    uses), so ``rho >= 1`` deliberately offers more load than a
+    single-server FIFO can sustain — the regime where batching shows its
+    capacity win.  With ``compare_fifo`` each point also runs the identical
+    stream through the batch-1 policy.
+    """
+    probe = Request(
+        request_id=-1,
+        arrival_s=0.0,
+        prompt_len=prompt_len,
+        generate_len=generate_len,
+        batch=batch,
+    )
+    service_s = scheduler.fifo_service_time(probe)
+    fifo_sched = RequestScheduler(
+        scheduler.server,
+        scheduler.config,
+        policy=scheduler.policy.fifo(),
+        context_bucket=scheduler.cost.context_bucket,
+    )
+    fifo_sched.cost = scheduler.cost  # share the memoized engine costs
+    points = []
+    for rho in utilizations:
+        if rho <= 0.0:
+            raise ValueError("utilizations must be positive")
+        rate = rho / service_s
+        stream = poisson_requests(
+            num_requests,
+            rate,
+            prompt_len=prompt_len,
+            generate_len=generate_len,
+            batch=batch,
+            arrivals=arrivals,
+            seed=seed,
+        )
+        batched = scheduler.run(stream)
+        fifo = fifo_sched.run(stream) if compare_fifo else None
+        points.append(
+            SweepPoint(
+                target_utilization=float(rho),
+                arrival_rate_rps=rate,
+                batched=batched,
+                fifo=fifo,
+            )
+        )
+    return points

@@ -64,9 +64,35 @@ class ServingReport:
 
     @property
     def generated_tokens_per_s(self) -> float:
+        if self.generate_len == 0:
+            # Prefill-only request: no tokens were generated, so the rate
+            # is zero — not the infinity 0/0 used to produce here.
+            return 0.0
         if self.decode_s == 0:
             return float("inf")
         return self.batch_size * self.generate_len / self.decode_s
+
+
+def _resolve_request_shape(
+    config: TransformerConfig,
+    prompt_len: Optional[int],
+    batch_size: Optional[int],
+) -> "tuple[int, int]":
+    """Apply config defaults to an explicit ``None`` only, then validate.
+
+    ``prompt_len or config.seq_len`` would silently replace an explicit 0
+    with the config default; here 0 (and any non-positive value) is an
+    error and only ``None`` means "use the config's value".
+    """
+    if prompt_len is None:
+        prompt_len = config.seq_len
+    if batch_size is None:
+        batch_size = config.batch_size
+    if prompt_len <= 0:
+        raise ValueError(f"prompt_len must be positive, got {prompt_len}")
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    return prompt_len, batch_size
 
 
 class GenerationServer:
@@ -173,8 +199,7 @@ class GenerationServer:
         """
         if not self.lut_nn:
             return {}
-        prompt_len = prompt_len or config.seq_len
-        batch_size = batch_size or config.batch_size
+        prompt_len, batch_size = _resolve_request_shape(config, prompt_len, batch_size)
         prefill_config = config.with_(seq_len=prompt_len, batch_size=batch_size)
         tuned: Dict[LUTShape, TuningResult] = {}
         with obs.get_tracer().span(
@@ -208,8 +233,7 @@ class GenerationServer:
         """
         if generate_len < 0:
             raise ValueError("generate_len must be non-negative")
-        prompt_len = prompt_len or config.seq_len
-        batch_size = batch_size or config.batch_size
+        prompt_len, batch_size = _resolve_request_shape(config, prompt_len, batch_size)
         prefill_config = config.with_(seq_len=prompt_len, batch_size=batch_size)
 
         tracer = obs.get_tracer()
@@ -219,39 +243,53 @@ class GenerationServer:
             if self.resilience is not None and self.resilience.active
             else None
         )
-        before = ledger.summary() if ledger is not None else None
-        with tracer.span(
-            "serving.request",
-            engine=self.name,
-            model=config.name,
-            prompt_len=prompt_len,
-            generate_len=generate_len,
-            batch_size=batch_size,
-        ) as request_span:
-            with tracer.span("serving.prefill", engine=self.name) as sp:
-                prefill_s = self._prefill.run(prefill_config).total_s
-                sp.set_attribute("model_seconds", prefill_s)
+        # Per-request degradation is an exclusive ledger scope: the ledger
+        # itself rejects a second concurrent request, so interleaved callers
+        # (the continuous-batching scheduler) must drive the engines
+        # directly and account at the batch level.
+        scope = (
+            ledger.open_request_scope("serving.request")
+            if ledger is not None
+            else None
+        )
+        try:
+            with tracer.span(
+                "serving.request",
+                engine=self.name,
+                model=config.name,
+                prompt_len=prompt_len,
+                generate_len=generate_len,
+                batch_size=batch_size,
+            ) as request_span:
+                with tracer.span("serving.prefill", engine=self.name) as sp:
+                    prefill_s = self._prefill.run(prefill_config).total_s
+                    sp.set_attribute("model_seconds", prefill_s)
 
-            decode_s = 0.0
-            if generate_len:
-                average_context = prompt_len + generate_len // 2
-                with tracer.span(
-                    "serving.decode", engine=self.name, context_len=average_context
-                ) as sp:
-                    token = self._decode.run(
-                        prefill_config,
-                        batch_size=batch_size,
-                        context_len=average_context,
-                    )
-                    decode_s = token.token_latency_s * generate_len
-                    sp.set_attribute("model_seconds", decode_s)
-            request_span.set_attribute("model_seconds", prefill_s + decode_s)
+                decode_s = 0.0
+                if generate_len:
+                    average_context = prompt_len + generate_len // 2
+                    with tracer.span(
+                        "serving.decode", engine=self.name, context_len=average_context
+                    ) as sp:
+                        token = self._decode.run(
+                            prefill_config,
+                            batch_size=batch_size,
+                            context_len=average_context,
+                        )
+                        decode_s = token.token_latency_s * generate_len
+                        sp.set_attribute("model_seconds", decode_s)
+                request_span.set_attribute("model_seconds", prefill_s + decode_s)
 
-            degraded = None
-            if ledger is not None:
-                degraded = self._request_degradation(before, ledger.summary())
-                request_span.set_attribute("degraded", degraded.degraded)
-                request_span.set_attribute("fallbacks", degraded.fallbacks)
+                degraded = None
+                if scope is not None:
+                    degraded = ledger.close_request_scope(scope)
+                    scope = None
+                    request_span.set_attribute("degraded", degraded.degraded)
+                    request_span.set_attribute("fallbacks", degraded.fallbacks)
+        except BaseException:
+            if scope is not None:
+                ledger.close_request_scope(scope)
+            raise
 
         registry.counter("serving.requests").inc()
         registry.counter("serving.generated_tokens").inc(batch_size * generate_len)
@@ -272,17 +310,12 @@ class GenerationServer:
             degraded=degraded,
         )
 
-    @staticmethod
-    def _request_degradation(
-        before: DegradationSummary, after: DegradationSummary
-    ) -> DegradationSummary:
-        """This request's slice of the server-lifetime degradation ledger."""
-        return DegradationSummary(
-            retries=after.retries - before.retries,
-            remaps=after.remaps - before.remaps,
-            fallbacks=after.fallbacks - before.fallbacks,
-            checksum_failures=after.checksum_failures - before.checksum_failures,
-            backoff_s=after.backoff_s - before.backoff_s,
-            recovery_s=after.recovery_s - before.recovery_s,
-            fallback_layers=after.fallback_layers[len(before.fallback_layers):],
-        )
+    @property
+    def prefill_engine(self):
+        """The prefill cost engine (PIM-DL or native GEMM)."""
+        return self._prefill
+
+    @property
+    def decode_engine(self):
+        """The decode cost engine (LUT or native GEMV)."""
+        return self._decode

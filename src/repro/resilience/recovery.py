@@ -110,10 +110,66 @@ class DegradationLedger:
     recovery_s: float = 0.0
     fallback_layers: List[str] = field(default_factory=list)
     events: List[Dict[str, object]] = field(default_factory=list)
+    #: Open per-request attribution scope (owner tag, starting summary,
+    #: fallback-layer index) — at most one at a time, enforced.
+    _scope_owner: Optional[str] = field(default=None, init=False, repr=False)
+    _scope_start: Optional[DegradationSummary] = field(
+        default=None, init=False, repr=False
+    )
+    _scope_layer_base: int = field(default=0, init=False, repr=False)
 
     def note(self, kind: str, **detail: object) -> None:
         self.events.append({"kind": kind, **detail})
         obs.get_registry().counter(f"resilience.{kind}").inc()
+
+    def open_request_scope(self, owner: str = "request") -> str:
+        """Begin attributing ledger growth to one request.
+
+        Per-request attribution slices the ledger between two snapshots,
+        which is only sound while exactly one request runs at a time.  The
+        ledger enforces that: opening a scope while another is open raises,
+        so interleaved callers (e.g. a continuous-batching scheduler that
+        drives the engines directly) must account at the batch level
+        instead of nesting ``GenerationServer.run`` calls.
+        """
+        if self._scope_owner is not None:
+            raise RuntimeError(
+                f"degradation ledger already has an open request scope "
+                f"({self._scope_owner!r}); per-request attribution assumes "
+                f"strictly sequential requests — interleaved requests must "
+                f"account degradation at the batch level"
+            )
+        self._scope_owner = owner
+        self._scope_start = self.summary()
+        self._scope_layer_base = len(self.fallback_layers)
+        return owner
+
+    def close_request_scope(self, owner: str) -> DegradationSummary:
+        """End the open scope and return its slice of the ledger.
+
+        The ``fallback_layers`` slice is taken by index from the scope's
+        opening snapshot, so it contains exactly the layers appended while
+        the scope was open.
+        """
+        if self._scope_owner != owner:
+            raise RuntimeError(
+                f"closing request scope {owner!r} but the open scope is "
+                f"{self._scope_owner!r}"
+            )
+        before = self._scope_start
+        base = self._scope_layer_base
+        self._scope_owner = None
+        self._scope_start = None
+        after = self.summary()
+        return DegradationSummary(
+            retries=after.retries - before.retries,
+            remaps=after.remaps - before.remaps,
+            fallbacks=after.fallbacks - before.fallbacks,
+            checksum_failures=after.checksum_failures - before.checksum_failures,
+            backoff_s=after.backoff_s - before.backoff_s,
+            recovery_s=after.recovery_s - before.recovery_s,
+            fallback_layers=tuple(self.fallback_layers[base:]),
+        )
 
     def summary(self) -> DegradationSummary:
         return DegradationSummary(

@@ -54,6 +54,11 @@ class TestWorkflowFile:
         assert "--cov=repro" in runs
         assert "--cov-fail-under" in runs
 
+    def test_tests_job_runs_scheduler_suite(self, workflow):
+        """The serving scheduler module is an explicit tier-1 member."""
+        runs = " ".join(_run_commands(workflow["jobs"]["tests"]))
+        assert "tests/test_scheduler.py" in runs
+
     def test_tests_job_python_matrix(self, workflow):
         versions = workflow["jobs"]["tests"]["strategy"]["matrix"]["python-version"]
         assert "3.10" in versions and "3.12" in versions

@@ -1,0 +1,434 @@
+"""Continuous-batching scheduler + serving-layer bugfix regression tests.
+
+Covers the :mod:`repro.engine.scheduler` discrete-event simulator (admission
+policy, chunked prefill, FIFO consistency, batching win, telemetry,
+resilience accounting) and the serving bugfix sweep: zero-token throughput,
+falsy-zero parameter defaults, and per-request degradation attribution.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.baselines import wimpy_host
+from repro.engine import (
+    EngineReport,
+    GenerationServer,
+    Request,
+    RequestScheduler,
+    SchedulerPolicy,
+    ServingReport,
+    poisson_requests,
+    scheduler_load_sweep,
+    simulate_queue,
+)
+from repro.pim import get_platform
+from repro.resilience import DegradationLedger, FaultInjector, FaultPlan, RecoveryManager
+from repro.workloads import opt_style
+
+
+@pytest.fixture(scope="module")
+def config():
+    return opt_style(256, seq_len=64, batch_size=1)
+
+
+@pytest.fixture(scope="module")
+def server(config):
+    return GenerationServer(get_platform("upmem"), wimpy_host())
+
+
+@pytest.fixture(scope="module")
+def scheduler(server, config):
+    return RequestScheduler(
+        server, config, policy=SchedulerPolicy(max_batch_size=8)
+    )
+
+
+def _stream(scheduler, n=40, rho=0.8, prompt=64, gen=16, seed=3, **kwargs):
+    service = scheduler.fifo_service_time(Request(-1, 0.0, prompt, gen))
+    return poisson_requests(
+        n, rho / service, prompt_len=prompt, generate_len=gen, seed=seed,
+        **kwargs,
+    ), service
+
+
+# ---------------------------------------------------------------------------
+# Satellite bugfix regressions
+# ---------------------------------------------------------------------------
+class TestServingBugfixes:
+    def test_zero_generation_throughput_is_zero_not_inf(self):
+        report = ServingReport(
+            engine="e", model="m", prompt_len=64, generate_len=0,
+            batch_size=4, prefill_s=0.5, decode_s=0.0,
+        )
+        assert report.generated_tokens_per_s == 0.0
+
+    def test_empty_engine_report_throughput_is_zero_not_inf(self):
+        report = EngineReport(engine="e", model="m", ops=[])
+        assert report.throughput_inferences_per_s == 0.0
+
+    def test_positive_throughput_unchanged(self):
+        report = ServingReport(
+            engine="e", model="m", prompt_len=64, generate_len=10,
+            batch_size=2, prefill_s=0.5, decode_s=0.5,
+        )
+        assert report.generated_tokens_per_s == pytest.approx(40.0)
+
+    def test_run_rejects_zero_prompt_len_instead_of_config_fallback(
+        self, server, config
+    ):
+        with pytest.raises(ValueError, match="prompt_len"):
+            server.run(config, prompt_len=0, generate_len=1)
+
+    def test_run_rejects_zero_batch_size_instead_of_config_fallback(
+        self, server, config
+    ):
+        with pytest.raises(ValueError, match="batch_size"):
+            server.run(config, batch_size=0, generate_len=1)
+
+    def test_warmup_rejects_non_positive_parameters(self, server, config):
+        with pytest.raises(ValueError, match="prompt_len"):
+            server.warmup(config, prompt_len=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            server.warmup(config, batch_size=-2)
+
+    def test_none_still_means_config_default(self, server, config):
+        report = server.run(config, prompt_len=None, generate_len=1,
+                            batch_size=None)
+        assert report.prompt_len == config.seq_len
+        assert report.batch_size == config.batch_size
+
+    def test_explicit_values_are_honored(self, server, config):
+        report = server.run(config, prompt_len=32, generate_len=1, batch_size=2)
+        assert report.prompt_len == 32
+        assert report.batch_size == 2
+
+
+class TestLedgerRequestScope:
+    def test_scope_slices_by_index(self):
+        ledger = DegradationLedger()
+        ledger.fallbacks += 1
+        ledger.fallback_layers.append("before")
+        scope = ledger.open_request_scope("r1")
+        ledger.fallbacks += 2
+        ledger.fallback_layers.extend(["a", "b"])
+        sliced = ledger.close_request_scope(scope)
+        assert sliced.fallbacks == 2
+        assert sliced.fallback_layers == ("a", "b")
+
+    def test_concurrent_scopes_rejected(self):
+        ledger = DegradationLedger()
+        ledger.open_request_scope("r1")
+        with pytest.raises(RuntimeError, match="open request scope"):
+            ledger.open_request_scope("r2")
+        ledger.close_request_scope("r1")
+        # After closing, a new scope opens cleanly.
+        ledger.close_request_scope(ledger.open_request_scope("r3"))
+
+    def test_mismatched_close_rejected(self):
+        ledger = DegradationLedger()
+        ledger.open_request_scope("r1")
+        with pytest.raises(RuntimeError, match="r2"):
+            ledger.close_request_scope("r2")
+
+    def test_interleaved_server_requests_rejected(self, config):
+        manager = RecoveryManager(FaultInjector(FaultPlan(failed_ranks=(0,))))
+        resilient = GenerationServer(
+            get_platform("upmem"), wimpy_host(), resilience=manager
+        )
+        manager.ledger.open_request_scope("other-request")
+        with pytest.raises(RuntimeError, match="open request scope"):
+            resilient.run(config, prompt_len=16, generate_len=1)
+        manager.ledger.close_request_scope("other-request")
+        # The failed attempt must not have leaked a scope.
+        report = resilient.run(config, prompt_len=16, generate_len=1)
+        assert report.degraded is not None
+
+
+# ---------------------------------------------------------------------------
+# Queueing properties
+# ---------------------------------------------------------------------------
+class TestUniformSeedInvariance:
+    @pytest.mark.parametrize("seed", [1, 7, 1234])
+    @pytest.mark.parametrize("rate", [0.3, 0.8])
+    def test_uniform_latencies_invariant_to_seed(self, seed, rate):
+        base = simulate_queue(1.0, rate, num_requests=300, arrivals="uniform",
+                              seed=0)
+        other = simulate_queue(1.0, rate, num_requests=300,
+                               arrivals="uniform", seed=seed)
+        assert other.p50_latency_s == base.p50_latency_s
+        assert other.p95_latency_s == base.p95_latency_s
+        assert other.p99_latency_s == base.p99_latency_s
+        assert other.mean_latency_s == base.mean_latency_s
+
+    def test_poisson_latencies_do_depend_on_seed(self):
+        a = simulate_queue(1.0, 0.8, num_requests=300, seed=0)
+        b = simulate_queue(1.0, 0.8, num_requests=300, seed=1)
+        assert a.mean_latency_s != b.mean_latency_s
+
+
+# ---------------------------------------------------------------------------
+# Scheduler core
+# ---------------------------------------------------------------------------
+class TestRequestValidation:
+    def test_request_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            Request(0, -1.0, 8, 4)
+        with pytest.raises(ValueError):
+            Request(0, 0.0, 0, 4)
+        with pytest.raises(ValueError):
+            Request(0, 0.0, 8, -1)
+        with pytest.raises(ValueError):
+            Request(0, 0.0, 8, 4, batch=0)
+
+    def test_policy_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            SchedulerPolicy(max_batch_size=0)
+        with pytest.raises(ValueError):
+            SchedulerPolicy(max_queue_len=0)
+        with pytest.raises(ValueError):
+            SchedulerPolicy(prefill_chunk=0)
+
+
+class TestFIFOConsistency:
+    def test_batch1_matches_simulate_queue_sojourns(self, server, config):
+        """Batch 1, no interleaving => the FIFO single-server queue."""
+        fifo = RequestScheduler(server, config,
+                                policy=SchedulerPolicy().fifo())
+        stream, service = _stream(fifo, n=50, rho=0.8, seed=5)
+        result = fifo.run(stream)
+        assert result.completed == 50 and result.rejected == 0
+
+        queue = simulate_queue(service, 0.8 / service, num_requests=50,
+                               seed=5)
+        sojourns = np.asarray(result.sojourn_times())
+        assert float(np.percentile(sojourns, 50)) == pytest.approx(
+            queue.p50_latency_s, rel=1e-9
+        )
+        assert float(np.percentile(sojourns, 95)) == pytest.approx(
+            queue.p95_latency_s, rel=1e-9
+        )
+        assert float(np.percentile(sojourns, 99)) == pytest.approx(
+            queue.p99_latency_s, rel=1e-9
+        )
+        assert float(sojourns.mean()) == pytest.approx(
+            queue.mean_latency_s, rel=1e-9
+        )
+
+    def test_fifo_service_time_composes_prefill_and_decode(self, scheduler):
+        r = Request(0, 0.0, 64, 4)
+        expected = scheduler.cost.prefill_s(64, 1) + sum(
+            scheduler.cost.decode_step_s(1, 64 + k) for k in range(4)
+        )
+        assert scheduler.fifo_service_time(r) == pytest.approx(expected)
+
+
+class TestContinuousBatching:
+    def test_all_requests_complete_in_arrival_order_stats(self, scheduler):
+        stream, _ = _stream(scheduler, n=30, rho=0.8)
+        result = scheduler.run(stream)
+        assert result.completed == 30
+        assert result.rejected == 0
+        assert [r.request_id for r in result.requests] == [
+            r.request_id for r in sorted(stream, key=lambda q: q.arrival_s)
+        ]
+        for r in result.requests:
+            assert r.finished_s >= r.prefill_done_s >= r.admitted_s >= r.arrival_s
+            assert r.ttft_s > 0 and r.e2e_s >= r.ttft_s
+
+    def test_occupancy_respects_max_batch(self, server, config):
+        sched = RequestScheduler(
+            server, config, policy=SchedulerPolicy(max_batch_size=3)
+        )
+        stream, _ = _stream(sched, n=30, rho=1.5)
+        result = sched.run(stream)
+        assert result.peak_batch_occupancy <= 3
+        assert result.completed == 30
+
+    def test_batching_beats_fifo_under_overload(self, server, config):
+        """The acceptance curve: more goodput at equal-or-better P95."""
+        slo_policy = SchedulerPolicy(max_batch_size=8)
+        batched = RequestScheduler(server, config, policy=slo_policy)
+        fifo = RequestScheduler(server, config, policy=slo_policy.fifo())
+        fifo.cost = batched.cost
+        stream, _ = _stream(batched, n=40, rho=1.4, seed=11)
+        b = batched.run(stream)
+        f = fifo.run(stream)
+        assert b.completed == f.completed == 40
+        assert b.e2e_p95_s < f.e2e_p95_s
+        assert b.throughput_rps > f.throughput_rps
+        assert b.mean_batch_occupancy > f.mean_batch_occupancy
+
+    def test_bounded_queue_rejects_overflow(self, server, config):
+        sched = RequestScheduler(
+            server, config,
+            policy=SchedulerPolicy(max_batch_size=1, max_queue_len=2),
+        )
+        stream, _ = _stream(sched, n=25, rho=3.0, seed=2)
+        result = sched.run(stream)
+        assert result.rejected > 0
+        assert result.completed + result.rejected == 25
+        assert all(
+            r.finished_s == 0.0 for r in result.requests if r.rejected
+        )
+
+    def test_infeasible_request_rejected_immediately(self, server, config):
+        sched = RequestScheduler(
+            server, config, policy=SchedulerPolicy(max_batch_size=2)
+        )
+        too_wide = Request(0, 0.0, 16, 2, batch=4)
+        ok = Request(1, 0.0, 16, 2)
+        result = sched.run([too_wide, ok])
+        assert result.rejected == 1
+        assert result.completed == 1
+        assert result.requests[0].rejected
+
+    def test_prefill_only_request_completes_at_prefill(self, scheduler):
+        r = Request(0, 0.0, 64, 0)
+        result = scheduler.run([r])
+        stats = result.requests[0]
+        assert result.completed == 1
+        assert stats.ttft_s == pytest.approx(
+            scheduler.cost.prefill_s(64, 1)
+        )
+        assert stats.tpot_s == 0.0
+        assert result.generated_tokens == 0
+        assert result.generated_tokens_per_s == 0.0
+
+    def test_chunked_prefill_interleaves_decode(self, server, config):
+        chunked = RequestScheduler(
+            server, config,
+            policy=SchedulerPolicy(max_batch_size=4, chunked_prefill=True,
+                                   prefill_chunk=16),
+        )
+        whole = RequestScheduler(
+            server, config, policy=SchedulerPolicy(max_batch_size=4)
+        )
+        chunked.cost = whole.cost
+        # One long-prompt request arrives while a short one is decoding.
+        stream = [
+            Request(0, 0.0, 16, 24),
+            Request(1, 0.001, 64, 4),
+        ]
+        c = chunked.run(stream)
+        w = whole.run(stream)
+        assert c.completed == w.completed == 2
+        assert c.prefill_tokens == w.prefill_tokens == 80
+
+        def max_step_s(result):
+            times = [t for t, _ in result.occupancy_timeline]
+            return max(np.diff([0.0] + times))
+
+        # Chunking bounds the decode stall one long prompt can cause: no
+        # single step carries the whole 64-token prefill.
+        assert max_step_s(c) < max_step_s(w)
+
+    def test_batch_hint_occupies_slots_and_scales_tokens(self, server, config):
+        sched = RequestScheduler(
+            server, config, policy=SchedulerPolicy(max_batch_size=4)
+        )
+        result = sched.run([
+            Request(0, 0.0, 16, 4, batch=3),
+            Request(1, 0.0, 16, 4, batch=2),  # does not fit alongside (3+2>4)
+        ])
+        assert result.completed == 2
+        assert result.peak_batch_occupancy == 3
+        # 3 seqs x 4 tokens + 2 seqs x 4 tokens
+        assert result.generated_tokens == 20
+
+    def test_rerun_is_deterministic(self, scheduler):
+        stream, _ = _stream(scheduler, n=15, rho=0.7, seed=9)
+        a = scheduler.run(stream)
+        b = scheduler.run(stream)
+        assert a.makespan_s == b.makespan_s
+        assert a.sojourn_times() == b.sojourn_times()
+
+
+class TestSLOAndSweep:
+    def test_goodput_counts_only_slo_compliant(self, server, config):
+        sched = RequestScheduler(
+            server, config, policy=SchedulerPolicy(max_batch_size=8)
+        )
+        stream, service = _stream(sched, n=30, rho=1.2, seed=4)
+        loose = sched.run(stream)
+        assert loose.goodput_rps == pytest.approx(loose.throughput_rps)
+
+        tight = RequestScheduler(
+            server, config,
+            policy=SchedulerPolicy(max_batch_size=8,
+                                   slo_e2e_s=service * 1.01),
+        )
+        tight.cost = sched.cost
+        constrained = tight.run(stream)
+        assert constrained.slo_attained < constrained.completed
+        assert constrained.goodput_rps < constrained.throughput_rps
+
+    def test_load_sweep_latency_monotone_and_batching_wins(self, scheduler):
+        points = scheduler_load_sweep(
+            scheduler, utilizations=(0.5, 0.9, 1.3), num_requests=25,
+            prompt_len=64, generate_len=8, seed=6,
+        )
+        assert [p.target_utilization for p in points] == [0.5, 0.9, 1.3]
+        batched_p95 = [p.batched.e2e_p95_s for p in points]
+        assert batched_p95 == sorted(batched_p95)
+        # At the overloaded point the FIFO baseline has strictly worse P95.
+        assert points[-1].batched.e2e_p95_s < points[-1].fifo.e2e_p95_s
+
+
+class TestSchedulerTelemetry:
+    def test_counters_histograms_and_spans_recorded(self, server, config):
+        registry = obs.get_registry()
+        tracer = obs.get_tracer()
+        sched = RequestScheduler(
+            server, config, policy=SchedulerPolicy(max_batch_size=4)
+        )
+        stream, _ = _stream(sched, n=10, rho=0.9, seed=8)
+        before_steps = registry.counter("scheduler.steps").value
+        before_done = registry.counter("scheduler.requests_completed").value
+        result = sched.run(stream)
+        assert registry.counter("scheduler.steps").value - before_steps == (
+            result.steps
+        )
+        assert registry.counter(
+            "scheduler.requests_completed"
+        ).value - before_done == 10
+        assert registry.histogram("scheduler.ttft_s").count >= 10
+        assert registry.histogram("scheduler.tpot_s").count >= 10
+        names = [s.name for s in tracer.finished_spans()]
+        assert "scheduler.run" in names
+        assert "scheduler.step" in names
+
+    def test_spans_land_in_chrome_trace_export(self, server, config, tmp_path):
+        sched = RequestScheduler(server, config)
+        stream, _ = _stream(sched, n=5, rho=0.5, seed=13)
+        sched.run(stream)
+        out = tmp_path / "trace.json"
+        document = obs.write_chrome_trace(
+            str(out),
+            spans=obs.get_tracer().finished_spans(),
+            metrics=obs.get_registry().snapshot(),
+        )
+        names = {e.get("name") for e in document["traceEvents"]}
+        assert "scheduler.run" in names
+        assert "scheduler.step" in names
+
+
+class TestSchedulerResilience:
+    def test_degradation_accounted_at_batch_level(self, config):
+        manager = RecoveryManager(FaultInjector(FaultPlan(failed_ranks=(0,))))
+        resilient = GenerationServer(
+            get_platform("upmem"), wimpy_host(), resilience=manager
+        )
+        sched = RequestScheduler(
+            resilient, config, policy=SchedulerPolicy(max_batch_size=4)
+        )
+        stream, _ = _stream(sched, n=6, rho=0.8, seed=10)
+        result = sched.run(stream)
+        assert result.completed == 6
+        assert result.degradation is not None
+        assert result.degradation.degraded
+        assert result.degradation.remaps > 0
+        # The run closed its ledger scope: a sequential server request can
+        # open one again without tripping the interleaving guard.
+        report = resilient.run(config, prompt_len=16, generate_len=1)
+        assert report.degraded is not None
