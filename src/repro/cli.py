@@ -29,13 +29,21 @@ Subcommands mirror the offline workflow of paper Fig. 5:
   or a ``--scenario`` JSON file) and report how the retry → remap → host
   fallback ladder degraded each request, plus a functional parity check of
   the recovered kernel against the trusted host kernel.
+* ``bench`` — run the modeled/measured benchmark suites against the
+  persistent baseline store (``run`` appends, ``compare`` gates with
+  median+MAD regression detection and optional ``--json`` BENCH output,
+  ``list`` shows recorded histories).
 
 Observability flags: ``platforms``/``flops``/``compare`` take ``--json``
 for machine-readable output; ``tune``/``simulate``/``compare`` take
 ``--emit-trace PATH`` (Chrome-trace export of the run's spans, engine
 timelines, and micro-kernel events) and ``--metrics-json PATH`` (snapshot
 of the default :class:`~repro.obs.MetricsRegistry`); ``tune --progress N``
-prints search progress every N candidates.
+prints search progress every N candidates.  ``simulate --profile [TRACE]``
+prints the per-phase :class:`~repro.obs.BottleneckReport` and optionally
+writes a per-rank Chrome trace; ``compare --attribution`` and
+``serve-sim --attribution`` print phase attribution per engine / per
+request class.
 
 Run ``python -m repro <subcommand> --help`` for the options.
 """
@@ -82,7 +90,7 @@ def _print_json(payload) -> None:
     print(json.dumps(obs.to_jsonable(payload), indent=2, sort_keys=True))
 
 
-def _finish_telemetry(args, reports=(), kernel_traces=()) -> int:
+def _finish_telemetry(args, reports=(), kernel_traces=(), profiles=()) -> int:
     """Honor ``--emit-trace`` / ``--metrics-json`` at the end of a command.
 
     Returns a process exit code: the command's work already succeeded at
@@ -99,6 +107,7 @@ def _finish_telemetry(args, reports=(), kernel_traces=()) -> int:
                 spans=obs.get_tracer().finished_spans(),
                 reports=reports,
                 kernel_traces=kernel_traces,
+                profiles=profiles,
                 metrics=obs.get_registry().snapshot(),
             )
             print(
@@ -263,12 +272,28 @@ def cmd_simulate(args) -> int:
         ],
     ))
     print(f"PEs used: {report.num_pes}; analytical-model error: {error:.1%}")
+    if args.profile is not None:
+        print(report.bottleneck(platform=platform).render())
+        if args.profile != "-":
+            try:
+                document = obs.write_chrome_trace(
+                    args.profile, profiles=[report.profile]
+                )
+            except OSError as exc:
+                print(f"error: cannot write rank trace: {exc}", file=sys.stderr)
+                return 1
+            print(
+                f"per-rank chrome trace written to {args.profile} "
+                f"({len(document['traceEvents'])} events)",
+                file=sys.stderr,
+            )
     kernel_traces = []
     if args.emit_trace:
         trace = _maybe_trace_kernel(shape, mapping, platform)
         if trace is not None:
             kernel_traces.append(trace)
-    return _finish_telemetry(args, kernel_traces=kernel_traces)
+    profiles = [report.profile] if report.profile is not None else []
+    return _finish_telemetry(args, kernel_traces=kernel_traces, profiles=profiles)
 
 
 def cmd_flops(args) -> int:
@@ -468,6 +493,10 @@ def cmd_compare(args) -> int:
     else:
         print(f"{config.name}: batch {config.batch_size}, seq {config.seq_len}")
         print(format_table(["engine", "latency_s", "energy_kJ", "pim share"], rows))
+        if args.attribution:
+            for name, report in reports.items():
+                if report.phase_seconds:
+                    print(f"[{name}] {report.bottleneck().render()}")
 
     kernel_traces = []
     if args.emit_trace:
@@ -694,7 +723,23 @@ def cmd_serve_sim(args) -> int:
     scheduler = RequestScheduler(server, config, policy=policy)
     scheduler.cost = prescheduler.cost  # reuse the probe's tuned costs
 
-    rate = args.rate if args.rate else args.utilization / service_s
+    # --rate 0 must not silently fall back to --utilization (falsy-arg
+    # trap); resolve on presence, then validate both paths explicitly.
+    if args.rate is not None:
+        if args.rate <= 0:
+            print(f"error: --rate must be positive, got {args.rate}",
+                  file=sys.stderr)
+            return 2
+        rate = args.rate
+    else:
+        if args.utilization <= 0:
+            print(
+                f"error: --utilization must be positive, got "
+                f"{args.utilization}",
+                file=sys.stderr,
+            )
+            return 2
+        rate = args.utilization / service_s
     stream = poisson_requests(
         args.requests, rate,
         prompt_len=args.prompt_len, generate_len=args.generate_len,
@@ -746,6 +791,11 @@ def cmd_serve_sim(args) -> int:
     ))
     if result.degradation is not None and result.degradation.degraded:
         print(f"degradation (batch-level): {result.degradation.to_jsonable()}")
+    if args.attribution:
+        for request_class in ("prefill", "decode"):
+            attribution = result.phase_attribution(request_class)
+            if attribution.phase_seconds:
+                print(f"[{request_class}] {attribution.render()}")
     if fifo_result is not None:
         better_p95 = result.e2e_p95_s <= fifo_result.e2e_p95_s
         better_goodput = result.goodput_rps > fifo_result.goodput_rps
@@ -758,6 +808,195 @@ def cmd_serve_sim(args) -> int:
                if better_p95 and better_goodput else "")
         )
     return _finish_telemetry(args)
+
+
+# ----------------------------------------------------------------------
+# Benchmark suites feeding the persistent baseline store
+# ----------------------------------------------------------------------
+
+#: Default regression thresholds per suite kind: modeled benches are
+#: deterministic (any drift is a code change), measured kernel timings on
+#: shared CI runners are noisy.
+_BENCH_THRESHOLDS = {"modeled": 0.02, "measured": 0.5}
+
+
+def _bench_sim_kernel(platform_name: str):
+    """Modeled: tuned LUT kernel latency on the event-level simulator."""
+    platform = get_platform(platform_name)
+    shape = LUTShape(n=1024, h=256, f=512, v=4, ct=16)
+    mapping = AutoTuner(platform).tune(shape).mapping
+    report = PIMSimulator(platform).run(shape, mapping)
+    return report.total_s, {"shape": "n1024-h256-f512-v4-ct16"}
+
+
+def _bench_engine_bert(platform_name: str):
+    """Modeled: PIM-DL end-to-end BERT-base inference latency."""
+    from .baselines import wimpy_host
+    from .engine import PIMDLEngine
+
+    platform = get_platform(platform_name)
+    report = PIMDLEngine(platform, wimpy_host()).run(EVAL_MODELS["bert-base"])
+    return report.total_s, {"model": "bert-base"}
+
+
+def _measure_best(fn, repeats: int = 5) -> float:
+    import time
+
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bench_host_ccs(platform_name: str):
+    """Measured: this machine's host CCS kernel (seconds, best-of-N)."""
+    import numpy as np
+
+    from .kernels import CCSKernel
+
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(512, 256))
+    centroids = rng.normal(size=(64, 16, 4))
+    kernel = CCSKernel(dtype="float32")
+    kernel.prepare(centroids, version=0)
+    value = _measure_best(lambda: kernel.search(x, centroids, version=0))
+    return value, {"shape": "n512-h256-v4-ct16"}
+
+
+def _bench_host_lut(platform_name: str):
+    """Measured: this machine's host LUT gather+reduce kernel."""
+    import numpy as np
+
+    from .kernels import lut_gather_reduce
+
+    rng = np.random.default_rng(0)
+    indices = rng.integers(0, 16, size=(512, 64)).astype(np.int32)
+    lut = rng.normal(size=(64, 16, 256))
+    value = _measure_best(lambda: lut_gather_reduce(indices, lut))
+    return value, {"shape": "n512-cb64-f256-ct16"}
+
+
+#: bench id -> (suite kind, runner).  Ids are stable across commits — they
+#: key the store history.
+_BENCH_REGISTRY = {
+    "sim.lut-kernel": ("modeled", _bench_sim_kernel),
+    "engine.bert-base": ("modeled", _bench_engine_bert),
+    "kernels.host-ccs": ("measured", _bench_host_ccs),
+    "kernels.host-lut": ("measured", _bench_host_lut),
+}
+
+
+def _bench_specs(suite: str):
+    return [
+        (bench_id, kind, fn)
+        for bench_id, (kind, fn) in _BENCH_REGISTRY.items()
+        if suite == "all" or suite == kind
+    ]
+
+
+def cmd_bench(args) -> int:
+    """Record/compare benchmark results in the persistent baseline store."""
+    from .obs.baseline import (
+        BaselineStore,
+        current_git_sha,
+        detect_regression,
+        host_fingerprint,
+    )
+
+    store = BaselineStore(args.store)
+    sha = current_git_sha()
+
+    def fingerprint(kind: str) -> str:
+        # Modeled results depend only on the modeled platform; measured
+        # results additionally key on this machine (host_fingerprint folds
+        # the interpreter/arch in by itself).
+        return host_fingerprint({"platform": args.platform, "kind": kind})
+
+    if args.bench_command == "list":
+        pairs = store.bench_ids()
+        if not pairs:
+            print(f"no benchmark history in {args.store}")
+            return 0
+        rows = []
+        for bench_id, fp in pairs:
+            records = store.records(bench_id, fp)
+            rows.append([
+                bench_id, fp, len(records),
+                f"{records[-1].value:.6g} {records[-1].unit}" if records else "-",
+                records[-1].git_sha if records else "-",
+            ])
+        print(format_table(
+            ["bench", "fingerprint", "n", "latest", "sha"], rows
+        ))
+        return 0
+
+    specs = _bench_specs(args.suite)
+    if not specs:
+        print(f"error: no benchmarks in suite {args.suite!r}", file=sys.stderr)
+        return 2
+
+    results = []
+    for bench_id, kind, fn in specs:
+        value, meta = fn(args.platform)
+        meta = {**meta, "platform": args.platform, "suite": kind}
+        results.append((bench_id, kind, value, meta))
+
+    if args.bench_command == "run":
+        rows = []
+        for bench_id, kind, value, meta in results:
+            record = store.record(
+                bench_id, value, git_sha=sha,
+                fingerprint=fingerprint(kind), meta=meta,
+            )
+            rows.append([bench_id, kind, f"{record.value:.6g} s", record.git_sha])
+        print(format_table(["bench", "suite", "value", "sha"], rows))
+        print(f"{len(rows)} result(s) appended to {args.store}")
+        return 0
+
+    # bench compare
+    verdicts = []
+    for bench_id, kind, value, meta in results:
+        fp = fingerprint(kind)
+        baseline = store.baseline_values(bench_id, fp)
+        threshold = (
+            args.threshold
+            if args.threshold is not None
+            else _BENCH_THRESHOLDS[kind]
+        )
+        verdict = detect_regression(bench_id, value, baseline, threshold=threshold)
+        verdicts.append(verdict)
+        prefix = "warning" if verdict.status == "insufficient-baseline" else verdict.status
+        print(f"[{prefix}] {verdict.render()}")
+        if args.record:
+            store.record(
+                bench_id, value, git_sha=sha, fingerprint=fingerprint(kind),
+                meta=meta,
+            )
+    regressions = [v for v in verdicts if v.is_regression]
+    if args.json is not None:
+        path = args.json or f"BENCH_{sha}.json"
+        payload = {
+            "git_sha": sha,
+            "store": args.store,
+            "suite": args.suite,
+            "platform": args.platform,
+            "regressions": len(regressions),
+            "verdicts": [v.to_jsonable() for v in verdicts],
+        }
+        try:
+            obs.dump_json(payload, path)
+        except OSError as exc:
+            print(f"error: cannot write {path}: {exc}", file=sys.stderr)
+            return 1
+        print(f"comparison written to {path}", file=sys.stderr)
+    if regressions:
+        print(
+            f"{len(regressions)} regression(s) detected", file=sys.stderr
+        )
+        return 1
+    return 0
 
 
 def cmd_trace_export(args) -> int:
@@ -817,6 +1056,12 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--store", help="JSON mapping store to read")
     simulate.add_argument("--cache", metavar="DIR",
                           help="persistent mapping cache directory to read")
+    simulate.add_argument(
+        "--profile", nargs="?", const="-", default=None, metavar="TRACE",
+        help="print the per-phase bottleneck attribution; with a PATH, "
+             "also write the per-rank occupancy Chrome trace there "
+             "(per-rank lanes ride along in --emit-trace either way)",
+    )
     _add_telemetry_arguments(simulate)
 
     flops = sub.add_parser("flops", help="GEMM vs LUT-NN op counts (Fig. 3)")
@@ -839,6 +1084,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="host kernel row-block size for --measure-host")
     compare.add_argument("--json", action="store_true",
                          help="machine-readable output")
+    compare.add_argument("--attribution", action="store_true",
+                         help="print per-phase bottleneck attribution for "
+                              "each engine")
     _add_telemetry_arguments(compare)
 
     kernels = sub.add_parser(
@@ -956,6 +1204,9 @@ def build_parser() -> argparse.ArgumentParser:
                                 "single-server FIFO (batch-1) discipline")
     serve_sim.add_argument("--json", action="store_true",
                            help="machine-readable output")
+    serve_sim.add_argument("--attribution", action="store_true",
+                           help="print per-phase bottleneck attribution per "
+                                "request class (prefill / decode)")
     _add_telemetry_arguments(serve_sim)
 
     trace_export = sub.add_parser(
@@ -970,6 +1221,42 @@ def build_parser() -> argparse.ArgumentParser:
                               help="persistent mapping cache directory to read")
     trace_export.add_argument("--out", required=True, metavar="PATH",
                               help="output Chrome-trace JSON file")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run benchmarks against the persistent baseline store and "
+             "detect performance regressions",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_run = bench_sub.add_parser(
+        "run", help="run the suite and append results to the store"
+    )
+    bench_compare = bench_sub.add_parser(
+        "compare", help="run the suite and compare against recorded history"
+    )
+    bench_list = bench_sub.add_parser(
+        "list", help="show recorded benchmark histories"
+    )
+    for p in (bench_run, bench_compare, bench_list):
+        p.add_argument("--store", default=".bench-store", metavar="DIR",
+                       help="baseline store directory (default: .bench-store)")
+    for p in (bench_run, bench_compare):
+        p.add_argument("--suite", default="modeled",
+                       choices=["modeled", "measured", "all"],
+                       help="which benchmarks to run (default: modeled)")
+        p.add_argument("--platform", default="upmem",
+                       choices=sorted(PLATFORMS),
+                       help="modeled PIM platform (default: upmem)")
+    bench_compare.add_argument(
+        "--threshold", type=float, default=None, metavar="REL",
+        help="relative regression threshold override (default: 0.02 for "
+             "modeled, 0.5 for measured benchmarks)")
+    bench_compare.add_argument(
+        "--record", action="store_true",
+        help="also append the current results to the store after comparing")
+    bench_compare.add_argument(
+        "--json", nargs="?", const="", default=None, metavar="PATH",
+        help="write the comparison as JSON (default name: BENCH_<sha>.json)")
     return parser
 
 
@@ -983,6 +1270,7 @@ COMMANDS = {
     "faults": cmd_faults,
     "serve-sim": cmd_serve_sim,
     "trace-export": cmd_trace_export,
+    "bench": cmd_bench,
 }
 
 

@@ -15,8 +15,8 @@ decode bottleneck.  The engine reports per-token latency and tokens/s.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..baselines.roofline import RooflineDevice
 from ..core.codebook import LUTShape
@@ -41,6 +41,9 @@ class DecodeReport:
     linear_s: float
     attention_s: float
     other_s: float
+    #: Per-phase attribution of one token step; sums to
+    #: :attr:`token_latency_s` when populated (LUT decode fills it).
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def token_latency_s(self) -> float:
@@ -84,14 +87,21 @@ class GEMVDecodeEngine:
         for _, h, f in config.linear_layer_shapes():
             linear_s += linear_layer_on_pim(self.platform, batch_size, h, f).total
         linear_s *= config.num_layers
+        attention_s = _attention_decode_time(self.host, config, batch_size, context_len)
+        other_s = _elementwise_decode_time(self.host, config, batch_size)
         return DecodeReport(
             engine=f"pim-gemv[{self.platform.name}]",
             model=config.name,
             batch_size=batch_size,
             context_len=context_len,
             linear_s=linear_s,
-            attention_s=_attention_decode_time(self.host, config, batch_size, context_len),
-            other_s=_elementwise_decode_time(self.host, config, batch_size),
+            attention_s=attention_s,
+            other_s=other_s,
+            phase_seconds={
+                "gemm": linear_s,
+                "attention": attention_s,
+                "elementwise": other_s,
+            },
         )
 
 
@@ -136,6 +146,11 @@ class LUTDecodeEngine:
         if config.hidden_dim % self.v or config.ffn_dim % self.v:
             raise ValueError(f"model dims not divisible by V={self.v}")
         linear_s = 0.0
+        phases: Dict[str, float] = {}
+
+        def add(phase: str, seconds: float) -> None:
+            phases[phase] = phases.get(phase, 0.0) + seconds
+
         for name, h, f in config.linear_layer_shapes():
             shape = LUTShape(n=batch_size, h=h, f=f, v=self.v, ct=self.ct)
             if self.resilience is not None and self.resilience.active:
@@ -148,18 +163,33 @@ class LUTDecodeEngine:
                     op_name=f"decode/{name}",
                 )
                 linear_s += lut_s
+                add("lut", lut_s)
             else:
-                linear_s += self.tuner.tune(shape).latency.total
-            linear_s += self._ccs_time(batch_size, h)
+                lat = self.tuner.tune(shape).latency
+                linear_s += lat.total
+                add("distribution", lat.sub_index + lat.sub_lut)
+                add("dma", lat.kernel_transfer)
+                add("reduce", lat.kernel_reduce)
+                add("gather", lat.sub_output)
+                add("launch", lat.launch)
+            ccs_s = self._ccs_time(batch_size, h)
+            linear_s += ccs_s
+            add("ccs", ccs_s)
         linear_s *= config.num_layers
+        phases = {p: s * config.num_layers for p, s in phases.items()}
+        attention_s = _attention_decode_time(self.host, config, batch_size, context_len)
+        other_s = _elementwise_decode_time(self.host, config, batch_size)
+        phases["attention"] = attention_s
+        phases["elementwise"] = other_s
         return DecodeReport(
             engine=f"pim-dl-decode[{self.platform.name}, V={self.v}]",
             model=config.name,
             batch_size=batch_size,
             context_len=context_len,
             linear_s=linear_s,
-            attention_s=_attention_decode_time(self.host, config, batch_size, context_len),
-            other_s=_elementwise_decode_time(self.host, config, batch_size),
+            attention_s=attention_s,
+            other_s=other_s,
+            phase_seconds=phases,
         )
 
 
@@ -176,12 +206,19 @@ class HostDecodeEngine:
         for _, h, f in config.linear_layer_shapes():
             linear_s += self.device.gemm_time(batch_size, h, f)
         linear_s *= config.num_layers
+        attention_s = _attention_decode_time(self.device, config, batch_size, context_len)
+        other_s = _elementwise_decode_time(self.device, config, batch_size)
         return DecodeReport(
             engine=f"host-decode[{self.device.name}]",
             model=config.name,
             batch_size=batch_size,
             context_len=context_len,
             linear_s=linear_s,
-            attention_s=_attention_decode_time(self.device, config, batch_size, context_len),
-            other_s=_elementwise_decode_time(self.device, config, batch_size),
+            attention_s=attention_s,
+            other_s=other_s,
+            phase_seconds={
+                "gemm": linear_s,
+                "attention": attention_s,
+                "elementwise": other_s,
+            },
         )

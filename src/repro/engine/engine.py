@@ -31,10 +31,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle (resilience uses tuner)
     from ..resilience.recovery import RecoveryManager
 
 
-def _observe_op(report: EngineReport, op: OpLatency) -> None:
-    """Append ``op`` and record its modeled latency in the registry."""
+def _observe_op(report: EngineReport, op: OpLatency, phases=None) -> None:
+    """Append ``op``, record its latency, and attribute its phases.
+
+    ``phases`` maps phase name -> seconds for ops with a finer-grained
+    breakdown (the LUT op's analytical stages); by default the op's whole
+    latency lands on its category.
+    """
     obs.get_registry().histogram("engine.op_model_seconds").observe(op.seconds)
     report.ops.append(op)
+    if phases is None:
+        report.add_phase(op.category, op.seconds)
+    else:
+        for phase, seconds in phases.items():
+            report.add_phase(phase, seconds)
 
 
 def _finish_run(report: EngineReport, span) -> None:
@@ -228,6 +238,7 @@ class PIMDLEngine:
                     # The LUT op's costing span nests the tuner's own spans
                     # (and, under fault injection, the recovery ladder's).
                     shape = self.lut_shape(n, op.h, op.f)
+                    lut_phases = None
                     if self.resilience is not None and self.resilience.active:
                         with tracer.span(
                             f"op:{op.name}/LUT", engine=self.name, device="pim",
@@ -249,11 +260,22 @@ class PIMDLEngine:
                             f"op:{op.name}/LUT", engine=self.name, device="pim",
                             category="lut",
                         ) as sp:
-                            lut_seconds = self.tuner.tune(shape).latency.total
+                            lat = self.tuner.tune(shape).latency
+                            lut_seconds = lat.total
+                            # The analytical stages attribute the LUT op to
+                            # the same phases the simulator profiles.
+                            lut_phases = {
+                                "distribution": lat.sub_index + lat.sub_lut,
+                                "dma": lat.kernel_transfer,
+                                "reduce": lat.kernel_reduce,
+                                "gather": lat.sub_output,
+                                "launch": lat.launch,
+                            }
                             sp.set_attribute("model_seconds", lut_seconds)
                     _observe_op(
                         report,
                         OpLatency(f"{op.name}/LUT", device, "lut", lut_seconds),
+                        phases=lut_phases,
                     )
                 else:
                     with tracer.span(

@@ -28,10 +28,26 @@ class EngineReport:
     energy: EnergyReport = None
     #: Latency hidden by host/PIM pipelining (0 in the sequential system).
     overlap_hidden_s: float = 0.0
+    #: Per-phase attribution across all ops.  LUT ops contribute their
+    #: analytical breakdown (distribution/dma/reduce/gather/launch); host
+    #: ops contribute their category.  Sums to the op seconds, i.e. to
+    #: ``total_s + overlap_hidden_s``.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_s(self) -> float:
         return sum(op.seconds for op in self.ops) - self.overlap_hidden_s
+
+    def add_phase(self, phase: str, seconds: float) -> None:
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+
+    def bottleneck(self, top_k: int = 3):
+        """Attribution roll-up (see :class:`repro.obs.profiler.BottleneckReport`)."""
+        from ..obs.profiler import BottleneckReport
+
+        if not self.phase_seconds:
+            raise ValueError("engine run recorded no phase attribution")
+        return BottleneckReport.from_phases(self.phase_seconds)
 
     @property
     def host_s(self) -> float:
@@ -105,6 +121,7 @@ class EngineReport:
             "per_category_seconds": self.per_category_seconds(),
             "per_device_seconds": self.per_device_seconds(),
             "per_operator_seconds": self.per_operator(),
+            "phase_seconds": dict(self.phase_seconds),
             "energy_j": self.energy.total_j if self.energy is not None else None,
             "ops": [
                 {

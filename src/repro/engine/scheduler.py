@@ -36,12 +36,13 @@ interleave, which the ledger itself enforces).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .. import obs
+from ..obs.metrics import Histogram
 from ..resilience.recovery import DegradationSummary
 from ..workloads.configs import TransformerConfig
 from .queueing import generate_arrivals
@@ -189,6 +190,11 @@ class ScheduleResult:
     #: Run-level degradation slice when the server has an active
     #: RecoveryManager (batch-level accounting); None otherwise.
     degradation: Optional[DegradationSummary] = None
+    #: Modeled phase attribution of the busy time, keyed
+    #: ``"<request class>/<phase>"`` where the class is ``prefill`` or
+    #: ``decode`` — e.g. ``"decode/reduce"``.  Sums to ``busy_s`` when
+    #: the underlying engines report phases for every step.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def utilization(self) -> float:
@@ -234,6 +240,26 @@ class ScheduleResult:
         """End-to-end latencies of completed requests, in request order."""
         return [r.e2e_s for r in self.requests if not r.rejected]
 
+    def phase_attribution(self, request_class: Optional[str] = None):
+        """Bottleneck attribution of the busy time, per request class.
+
+        ``request_class`` restricts to ``"prefill"`` or ``"decode"``
+        (phase names lose their prefix); ``None`` aggregates both classes
+        into plain phase names.  Returns a
+        :class:`~repro.obs.profiler.BottleneckReport`.
+        """
+        from ..obs.profiler import BottleneckReport
+
+        phases: Dict[str, float] = {}
+        for key, seconds in self.phase_seconds.items():
+            cls, _, phase = key.partition("/")
+            if request_class is not None:
+                if cls != request_class:
+                    continue
+            phase = phase or cls
+            phases[phase] = phases.get(phase, 0.0) + seconds
+        return BottleneckReport.from_phases(phases)
+
     def to_jsonable(self) -> dict:
         return {
             "completed": self.completed,
@@ -255,6 +281,7 @@ class ScheduleResult:
                       "p99": self.e2e_p99_s, "mean": self.mean_e2e_s},
             "mean_batch_occupancy": self.mean_batch_occupancy,
             "peak_batch_occupancy": self.peak_batch_occupancy,
+            "phase_seconds": dict(self.phase_seconds),
             "policy": {
                 "max_batch_size": self.policy.max_batch_size,
                 "max_context_tokens": self.policy.max_context_tokens,
@@ -292,29 +319,56 @@ class EngineCostModel:
         self.context_bucket = context_bucket
         self._prefill_cache: Dict[Tuple[int, int], float] = {}
         self._decode_cache: Dict[Tuple[int, int], float] = {}
+        self._prefill_phases: Dict[Tuple[int, int], Dict[str, float]] = {}
+        self._decode_phases: Dict[Tuple[int, int], Dict[str, float]] = {}
 
     def prefill_s(self, tokens: int, batch: int = 1) -> float:
         """Cost of prefilling ``tokens`` prompt tokens of one request."""
         key = (tokens, batch)
         if key not in self._prefill_cache:
             shaped = self.config.with_(seq_len=tokens, batch_size=batch)
-            self._prefill_cache[key] = self.server.prefill_engine.run(shaped).total_s
+            report = self.server.prefill_engine.run(shaped)
+            self._prefill_cache[key] = report.total_s
+            self._prefill_phases[key] = dict(
+                getattr(report, "phase_seconds", {}) or {}
+            )
         return self._prefill_cache[key]
+
+    def prefill_phases(self, tokens: int, batch: int = 1) -> Dict[str, float]:
+        """Phase attribution of :meth:`prefill_s` for the same arguments."""
+        key = (tokens, batch)
+        if key not in self._prefill_phases:
+            self.prefill_s(tokens, batch)
+        return self._prefill_phases.get(key, {})
+
+    def _decode_key(self, batch_seqs: int, context_len: float) -> Tuple[int, int]:
+        bucket = int(np.ceil(max(context_len, 1.0) / self.context_bucket))
+        return (batch_seqs, bucket * self.context_bucket)
 
     def decode_step_s(self, batch_seqs: int, context_len: float) -> float:
         """Cost of one decode iteration for ``batch_seqs`` sequences.
 
         ``context_len`` is the batch's mean KV-cache length at this step.
         """
-        bucket = int(np.ceil(max(context_len, 1.0) / self.context_bucket))
-        bucket *= self.context_bucket
-        key = (batch_seqs, bucket)
+        key = self._decode_key(batch_seqs, context_len)
         if key not in self._decode_cache:
             report = self.server.decode_engine.run(
-                self.config, batch_size=batch_seqs, context_len=bucket
+                self.config, batch_size=key[0], context_len=key[1]
             )
             self._decode_cache[key] = report.token_latency_s
+            self._decode_phases[key] = dict(
+                getattr(report, "phase_seconds", {}) or {}
+            )
         return self._decode_cache[key]
+
+    def decode_step_phases(
+        self, batch_seqs: int, context_len: float
+    ) -> Dict[str, float]:
+        """Phase attribution of :meth:`decode_step_s` for the same arguments."""
+        key = self._decode_key(batch_seqs, context_len)
+        if key not in self._decode_phases:
+            self.decode_step_s(batch_seqs, context_len)
+        return self._decode_phases.get(key, {})
 
 
 @dataclass
@@ -432,6 +486,12 @@ class RequestScheduler:
         peak_occupancy = 0
         now = 0.0
         idx = 0
+        phase_totals: Dict[str, float] = {}
+
+        def add_phases(request_class: str, phases: Dict[str, float]) -> None:
+            for phase, seconds in phases.items():
+                key = f"{request_class}/{phase}"
+                phase_totals[key] = phase_totals.get(key, 0.0) + seconds
 
         def finish(flight: _InFlight, when: float) -> None:
             nonlocal generated_tokens
@@ -530,6 +590,10 @@ class RequestScheduler:
                             if policy.chunked_prefill:
                                 take = min(take, int(budget))
                             step_s += self.cost.prefill_s(take, f.request.batch)
+                            add_phases(
+                                "prefill",
+                                self.cost.prefill_phases(take, f.request.batch),
+                            )
                             f.prefilled += take
                             budget -= take
                             step_prefill += take * f.request.batch
@@ -542,6 +606,10 @@ class RequestScheduler:
                             )
                             step_s += self.cost.decode_step_s(
                                 seqs, total_ctx / seqs
+                            )
+                            add_phases(
+                                "decode",
+                                self.cost.decode_step_phases(seqs, total_ctx / seqs),
                             )
                         sp.set_attribute("batch_seqs", seqs)
                         sp.set_attribute("prefill_tokens", step_prefill)
@@ -604,7 +672,14 @@ class RequestScheduler:
         done = [s for s in stats.values() if not s.rejected]
 
         def pct(values: List[float], q: float) -> float:
-            return float(np.percentile(values, q)) if values else 0.0
+            # Retaining every sample keeps the percentile exact (identical
+            # to the order-statistic interpolation np.percentile computes).
+            if not values:
+                return 0.0
+            hist = Histogram("scheduler.pct", sample_capacity=len(values))
+            for v in values:
+                hist.observe(v)
+            return hist.percentile(q)
 
         ttfts = [s.ttft_s for s in done]
         tpots = [s.tpot_s for s in done if s.generate_len]
@@ -638,6 +713,7 @@ class RequestScheduler:
             occupancy_timeline=tuple(occupancy),
             requests=ordered_stats,
             degradation=degradation,
+            phase_seconds=phase_totals,
         )
 
 

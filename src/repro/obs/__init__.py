@@ -48,7 +48,29 @@ from .export import (
     write_chrome_trace,
     write_spans_jsonl,
 )
-from .bridge import kernel_trace_to_chrome_events, report_to_chrome_events
+from .bridge import (
+    kernel_trace_to_chrome_events,
+    profile_to_chrome_events,
+    report_to_chrome_events,
+)
+from .profiler import (
+    PHASE_ORDER,
+    BottleneckReport,
+    PhaseProfile,
+    PhaseSegment,
+    attribute_bottleneck,
+    build_rank_timelines,
+    sorted_phases,
+)
+from .baseline import (
+    BaselineStore,
+    BenchRecord,
+    RegressionVerdict,
+    current_git_sha,
+    detect_regression,
+    host_fingerprint,
+    robust_stats,
+)
 
 _default_registry = MetricsRegistry()
 _default_tracer = Tracer()
@@ -125,4 +147,19 @@ __all__ = [
     "write_chrome_trace",
     "report_to_chrome_events",
     "kernel_trace_to_chrome_events",
+    "profile_to_chrome_events",
+    "PHASE_ORDER",
+    "PhaseProfile",
+    "PhaseSegment",
+    "BottleneckReport",
+    "attribute_bottleneck",
+    "build_rank_timelines",
+    "sorted_phases",
+    "BaselineStore",
+    "BenchRecord",
+    "RegressionVerdict",
+    "robust_stats",
+    "detect_regression",
+    "host_fingerprint",
+    "current_git_sha",
 ]

@@ -1,0 +1,361 @@
+"""Persistent benchmark history and robust regression detection.
+
+Five perf-focused PRs produced numbers that evaporated at the end of every
+CI run.  This module is the missing memory: a content-addressed JSONL
+result store keyed by ``(benchmark id, platform fingerprint)`` — with the
+git sha recorded per entry — that the nightly benchmarks and the ``bench``
+CLI subcommand append to, plus a robust-statistics comparison (median +
+MAD, configurable relative threshold) that turns the history into a
+regression gate.
+
+Robustness over sensitivity: benchmark runs on shared CI machines are
+noisy, so a verdict is only "regression" when the current value is worse
+than the baseline median by more than *both* the relative threshold and a
+3-sigma band estimated from the median absolute deviation.  With fewer
+than two recorded baselines the comparison is declared
+``insufficient-baseline`` (warn-only), never a failure — a fresh store
+must not break CI.
+
+Everything here is stdlib-only; ``repro.obs`` stays import-free of the
+rest of the package.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform as _platform
+import re
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Consistency scale factor turning a MAD into a sigma estimate for
+#: normally distributed noise.
+MAD_TO_SIGMA = 1.4826
+
+#: MAD multiplier of the noise band a regression must exceed.
+NOISE_SIGMAS = 3.0
+
+_SLUG_RE = re.compile(r"[^a-zA-Z0-9_.-]+")
+
+
+def _slug(name: str) -> str:
+    return _SLUG_RE.sub("-", name).strip("-") or "bench"
+
+
+def host_fingerprint(extra: Optional[dict] = None) -> str:
+    """Stable short hash of the measuring platform.
+
+    Two results are only comparable when they came from the same kind of
+    machine; the fingerprint keys the store files so histories from
+    different runners never mix.  ``extra`` folds run configuration (e.g.
+    the modeled PIM platform name) into the key.
+    """
+    payload = {
+        "machine": _platform.machine(),
+        "system": _platform.system(),
+        "python": ".".join(map(str, sys.version_info[:2])),
+        "extra": extra or {},
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+    return digest[:12]
+
+
+def current_git_sha(repo_root: Optional[str] = None) -> str:
+    """Short sha of the current checkout; ``"unknown"`` outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One benchmark result at one commit on one platform."""
+
+    bench_id: str
+    value: float
+    unit: str = "s"
+    git_sha: str = "unknown"
+    fingerprint: str = ""
+    timestamp: float = 0.0
+    #: Free-form context (model, batch size, modeled platform, ...).
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def to_jsonable(self) -> dict:
+        return {
+            "bench_id": self.bench_id,
+            "value": self.value,
+            "unit": self.unit,
+            "git_sha": self.git_sha,
+            "fingerprint": self.fingerprint,
+            "timestamp": self.timestamp,
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: dict) -> "BenchRecord":
+        return cls(
+            bench_id=str(payload["bench_id"]),
+            value=float(payload["value"]),
+            unit=str(payload.get("unit", "s")),
+            git_sha=str(payload.get("git_sha", "unknown")),
+            fingerprint=str(payload.get("fingerprint", "")),
+            timestamp=float(payload.get("timestamp", 0.0)),
+            meta=dict(payload.get("meta", {})),
+        )
+
+
+class BaselineStore:
+    """Append-only JSONL store of :class:`BenchRecord` histories.
+
+    One file per ``(bench id, platform fingerprint)`` pair — the filename
+    is content-addressed from the pair, so concurrent benchmarks of
+    different ids never contend and histories from different machines
+    never mix.  Appends are single ``O_APPEND`` writes (atomic for lines
+    far below the pipe-buffer bound); reads are lenient, skipping
+    corrupt lines rather than failing the comparison that needs the rest.
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def path_for(self, bench_id: str, fingerprint: str) -> str:
+        return os.path.join(
+            self.root, f"{_slug(bench_id)}-{fingerprint or 'anyhost'}.jsonl"
+        )
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def append(self, record: BenchRecord) -> str:
+        """Append one record; returns the file it landed in."""
+        os.makedirs(self.root, exist_ok=True)
+        path = self.path_for(record.bench_id, record.fingerprint)
+        line = json.dumps(record.to_jsonable(), sort_keys=True) + "\n"
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode())
+        finally:
+            os.close(fd)
+        return path
+
+    def record(
+        self,
+        bench_id: str,
+        value: float,
+        unit: str = "s",
+        git_sha: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+        meta: Optional[dict] = None,
+    ) -> BenchRecord:
+        """Build a record with current sha/fingerprint/time and append it."""
+        rec = BenchRecord(
+            bench_id=bench_id,
+            value=float(value),
+            unit=unit,
+            git_sha=git_sha if git_sha is not None else current_git_sha(),
+            fingerprint=(
+                fingerprint if fingerprint is not None else host_fingerprint()
+            ),
+            timestamp=time.time(),
+            meta=dict(meta or {}),
+        )
+        self.append(rec)
+        return rec
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def records(
+        self, bench_id: str, fingerprint: str = ""
+    ) -> List[BenchRecord]:
+        """All recorded results for the pair, in append order."""
+        path = self.path_for(bench_id, fingerprint)
+        if not os.path.exists(path):
+            return []
+        out: List[BenchRecord] = []
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    out.append(BenchRecord.from_jsonable(json.loads(line)))
+                except (ValueError, KeyError, TypeError):
+                    continue  # lenient: skip corrupt lines
+        return out
+
+    def baseline_values(
+        self,
+        bench_id: str,
+        fingerprint: str = "",
+        exclude_sha: Optional[str] = None,
+    ) -> List[float]:
+        """Historical values to compare against.
+
+        ``exclude_sha`` drops results recorded at the current commit so a
+        re-run never dilutes its own baseline.
+        """
+        return [
+            r.value
+            for r in self.records(bench_id, fingerprint)
+            if exclude_sha is None or r.git_sha != exclude_sha
+        ]
+
+    def bench_ids(self) -> List[Tuple[str, str]]:
+        """All ``(bench_id, fingerprint)`` pairs with recorded history."""
+        if not os.path.isdir(self.root):
+            return []
+        pairs = set()
+        for name in os.listdir(self.root):
+            if not name.endswith(".jsonl"):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                with open(path) as fh:
+                    for line in fh:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            rec = BenchRecord.from_jsonable(json.loads(line))
+                        except (ValueError, KeyError, TypeError):
+                            continue
+                        pairs.add((rec.bench_id, rec.fingerprint))
+                        break
+            except OSError:
+                continue
+        return sorted(pairs)
+
+
+def robust_stats(values: Sequence[float]) -> Tuple[float, float]:
+    """``(median, median absolute deviation)`` of ``values``."""
+    if not values:
+        return (float("nan"), float("nan"))
+    mid = median(values)
+    mad = median(abs(v - mid) for v in values)
+    return (float(mid), float(mad))
+
+
+@dataclass(frozen=True)
+class RegressionVerdict:
+    """Outcome of comparing one current value against its history."""
+
+    bench_id: str
+    status: str  # "ok" | "regression" | "improvement" | "insufficient-baseline"
+    current: float
+    baseline_median: float
+    baseline_mad: float
+    baseline_count: int
+    threshold: float
+    #: Relative change vs. the baseline median (positive = slower when
+    #: lower is better).
+    delta_rel: float
+    unit: str = "s"
+
+    @property
+    def is_regression(self) -> bool:
+        return self.status == "regression"
+
+    def to_jsonable(self) -> dict:
+        return {
+            "bench_id": self.bench_id,
+            "status": self.status,
+            "current": self.current,
+            "baseline_median": self.baseline_median,
+            "baseline_mad": self.baseline_mad,
+            "baseline_count": self.baseline_count,
+            "threshold": self.threshold,
+            "delta_rel": self.delta_rel,
+            "unit": self.unit,
+        }
+
+    def render(self) -> str:
+        if self.status == "insufficient-baseline":
+            return (
+                f"{self.bench_id}: {self.status} "
+                f"({self.baseline_count} recorded, need 2) — "
+                f"current {self.current:.6g} {self.unit}"
+            )
+        return (
+            f"{self.bench_id}: {self.status} — current {self.current:.6g} "
+            f"{self.unit} vs median {self.baseline_median:.6g} "
+            f"({self.delta_rel:+.1%}, threshold {self.threshold:.0%}, "
+            f"n={self.baseline_count})"
+        )
+
+
+def detect_regression(
+    bench_id: str,
+    current: float,
+    baseline_values: Sequence[float],
+    threshold: float = 0.10,
+    lower_is_better: bool = True,
+    unit: str = "s",
+) -> RegressionVerdict:
+    """Compare ``current`` against the history with median + MAD.
+
+    A regression requires the current value to be worse than the baseline
+    median by more than ``max(threshold * |median|, 3 * 1.4826 * MAD)`` —
+    the relative threshold guards against tiny-but-consistent drift being
+    flagged on near-noiseless modeled benchmarks, while the MAD band
+    absorbs real measurement noise.  Fewer than two baselines yields
+    ``insufficient-baseline`` (never a failure).
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    values = list(baseline_values)
+    mid, mad = robust_stats(values)
+    if len(values) < 2:
+        return RegressionVerdict(
+            bench_id=bench_id,
+            status="insufficient-baseline",
+            current=float(current),
+            baseline_median=mid,
+            baseline_mad=mad,
+            baseline_count=len(values),
+            threshold=threshold,
+            delta_rel=0.0,
+            unit=unit,
+        )
+    delta = float(current) - mid
+    if not lower_is_better:
+        delta = -delta
+    delta_rel = delta / abs(mid) if mid else 0.0
+    band = max(threshold * abs(mid), NOISE_SIGMAS * MAD_TO_SIGMA * mad)
+    if delta > band:
+        status = "regression"
+    elif delta < -band:
+        status = "improvement"
+    else:
+        status = "ok"
+    return RegressionVerdict(
+        bench_id=bench_id,
+        status=status,
+        current=float(current),
+        baseline_median=mid,
+        baseline_mad=mad,
+        baseline_count=len(values),
+        threshold=threshold,
+        delta_rel=delta_rel,
+        unit=unit,
+    )

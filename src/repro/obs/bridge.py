@@ -107,3 +107,45 @@ def kernel_trace_to_chrome_events(trace, pid: int) -> List[dict]:
             }
         )
     return events
+
+
+def profile_to_chrome_events(profile, pid: int) -> List[dict]:
+    """Render a :class:`~repro.obs.profiler.PhaseProfile` as per-rank lanes.
+
+    Each rank used by the run gets its own row (``tid`` = rank id + 1)
+    carrying that rank's occupancy segments — serialized distribution
+    burst, parallel kernel window, serialized gather — so rank imbalance
+    is visible at a glance in Perfetto.
+    """
+    events: List[dict] = []
+    label = f"pim-ranks: {profile.label}" if profile.label else "pim-ranks"
+    process_metadata(pid, label, events)
+    for rank, segments in sorted(profile.rank_segments.items()):
+        tid = rank + 1
+        pes = (
+            profile.per_rank_active_pes[rank]
+            if rank < len(profile.per_rank_active_pes)
+            else 0
+        )
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+             "args": {"name": f"rank {rank} ({pes} PEs)"}}
+        )
+        for seg in segments:
+            events.append(
+                {
+                    "name": seg.phase,
+                    "cat": "pim-rank",
+                    "ph": "X",
+                    "ts": seg.start_s * _US,
+                    "dur": seg.duration_s * _US,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {
+                        "rank": rank,
+                        "active_pes": pes,
+                        "seconds": seg.duration_s,
+                    },
+                }
+            )
+    return events

@@ -17,7 +17,11 @@ import dataclasses
 import json
 from typing import IO, Iterable, List, Optional, Sequence, Union
 
-from .bridge import kernel_trace_to_chrome_events, report_to_chrome_events
+from .bridge import (
+    kernel_trace_to_chrome_events,
+    profile_to_chrome_events,
+    report_to_chrome_events,
+)
 from .tracing import Span
 
 
@@ -126,15 +130,17 @@ def build_chrome_trace(
     spans: Sequence[Span] = (),
     reports: Sequence = (),
     kernel_traces: Sequence = (),
+    profiles: Sequence = (),
     metrics: Optional[dict] = None,
     complete: bool = True,
 ) -> dict:
     """Assemble one Chrome-trace document from all telemetry sources.
 
-    ``reports`` are :class:`~repro.engine.report.EngineReport` objects and
-    ``kernel_traces`` are :class:`~repro.pim.trace.KernelTrace` objects;
-    each gets its own process id.  ``metrics`` (e.g. a registry snapshot)
-    rides along in ``otherData``.
+    ``reports`` are :class:`~repro.engine.report.EngineReport` objects,
+    ``kernel_traces`` are :class:`~repro.pim.trace.KernelTrace` objects,
+    and ``profiles`` are :class:`~repro.obs.profiler.PhaseProfile` objects
+    (rendered as per-rank occupancy lanes); each gets its own process id.
+    ``metrics`` (e.g. a registry snapshot) rides along in ``otherData``.
     """
     events: List[dict] = list(spans_to_chrome_events(spans, complete=complete))
     pid = WALL_PID + 1
@@ -143,6 +149,9 @@ def build_chrome_trace(
         pid += 1
     for trace in kernel_traces:
         events.extend(kernel_trace_to_chrome_events(trace, pid))
+        pid += 1
+    for profile in profiles:
+        events.extend(profile_to_chrome_events(profile, pid))
         pid += 1
     metadata = [e for e in events if e.get("ph") == "M"]
     timed = [e for e in events if e.get("ph") != "M"]
@@ -161,6 +170,7 @@ def write_chrome_trace(
     spans: Sequence[Span] = (),
     reports: Sequence = (),
     kernel_traces: Sequence = (),
+    profiles: Sequence = (),
     metrics: Optional[dict] = None,
     complete: bool = True,
 ) -> dict:
@@ -169,6 +179,7 @@ def write_chrome_trace(
         spans=spans,
         reports=reports,
         kernel_traces=kernel_traces,
+        profiles=profiles,
         metrics=metrics,
         complete=complete,
     )

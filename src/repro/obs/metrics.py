@@ -81,10 +81,14 @@ class Gauge:
 
 
 class Histogram:
-    """Fixed-bucket histogram with count/sum/min/max.
+    """Fixed-bucket histogram with count/sum/min/max and percentiles.
 
     ``buckets`` are ascending upper edges; an observation lands in the
     first bucket whose edge is >= the value, or in the overflow slot.
+    The first ``sample_capacity`` raw observations are additionally
+    retained so :meth:`percentile` is exact for runs that fit; beyond
+    that the samples are discarded and percentiles interpolate from the
+    bucket bounds.
     """
 
     kind = "histogram"
@@ -94,6 +98,7 @@ class Histogram:
         name: str,
         buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
         description: str = "",
+        sample_capacity: int = 2048,
     ):
         edges = tuple(float(b) for b in buckets)
         if not edges:
@@ -103,12 +108,14 @@ class Histogram:
         self.name = name
         self.description = description
         self.edges = edges
+        self.sample_capacity = max(0, int(sample_capacity))
         self._lock = threading.Lock()
         self._counts = [0] * (len(edges) + 1)  # +1 overflow
         self._count = 0
         self._sum = 0.0
         self._min: Optional[float] = None
         self._max: Optional[float] = None
+        self._samples: Optional[List[float]] = [] if self.sample_capacity else None
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -121,6 +128,13 @@ class Histogram:
                 self._min = value
             if self._max is None or value > self._max:
                 self._max = value
+            if self._samples is not None:
+                if len(self._samples) < self.sample_capacity:
+                    self._samples.append(value)
+                else:
+                    # Exactness is all-or-nothing: a partial sample set
+                    # would silently bias the tail percentiles.
+                    self._samples = None
 
     @property
     def count(self) -> int:
@@ -139,8 +153,57 @@ class Histogram:
         edges: List[Optional[float]] = list(self.edges) + [None]
         return list(zip(edges, self._counts))
 
+    @property
+    def samples_complete(self) -> bool:
+        """True while every observation so far is retained verbatim."""
+        return self._samples is not None
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) of the observed values.
+
+        Exact (linear interpolation between order statistics, matching
+        ``numpy.percentile``) while the retained samples cover every
+        observation; otherwise interpolated from the bucket bounds, with
+        the observed min/max tightening the two edge buckets.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return float("nan")
+            if self._samples is not None:
+                ordered = sorted(self._samples)
+                pos = (len(ordered) - 1) * q / 100.0
+                lo = int(pos)
+                hi = min(lo + 1, len(ordered) - 1)
+                frac = pos - lo
+                return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+            # Bucket interpolation: walk the cumulative distribution to the
+            # target rank, then place the value proportionally inside the
+            # bucket that crosses it.  The observed min/max tighten the
+            # first and last (overflow) buckets.
+            target = q / 100.0 * self._count
+            cumulative = 0
+            prev_edge: Optional[float] = None
+            for edge, count in zip(list(self.edges) + [None], self._counts):
+                if count:
+                    lo = prev_edge if prev_edge is not None else self._min
+                    hi = edge if edge is not None else self._max
+                    if self._min is not None:
+                        lo = max(lo, self._min) if lo is not None else self._min
+                    if self._max is not None:
+                        hi = min(hi, self._max) if hi is not None else self._max
+                    hi = max(hi, lo)
+                    if cumulative + count >= target:
+                        frac = (target - cumulative) / count
+                        return lo + (hi - lo) * frac
+                    cumulative += count
+                if edge is not None:
+                    prev_edge = edge
+            return float(self._max) if self._max is not None else float("nan")
+
     def snapshot(self) -> dict:
-        return {
+        snap = {
             "type": self.kind,
             "count": self._count,
             "sum": self._sum,
@@ -150,6 +213,42 @@ class Histogram:
                 {"le": edge, "count": count} for edge, count in self.bucket_counts()
             ],
         }
+        if self._samples is not None:
+            snap["samples"] = list(self._samples)
+        return snap
+
+    @classmethod
+    def from_snapshot(
+        cls, name: str, snap: dict, description: str = ""
+    ) -> "Histogram":
+        """Rebuild a histogram from its :meth:`snapshot` dict.
+
+        Percentiles of the round-tripped instrument match the original:
+        exactly when the snapshot carried the full sample set, and to the
+        same bucket interpolation otherwise.
+        """
+        if snap.get("type") != cls.kind:
+            raise ValueError(f"not a histogram snapshot: {snap.get('type')!r}")
+        buckets = snap.get("buckets", [])
+        edges = [b["le"] for b in buckets if b.get("le") is not None]
+        if not edges:
+            raise ValueError("snapshot has no bucket edges")
+        samples = snap.get("samples")
+        hist = cls(
+            name,
+            buckets=edges,
+            description=description,
+            sample_capacity=len(samples) if samples is not None else 0,
+        )
+        hist._counts = [int(b.get("count", 0)) for b in buckets]
+        if len(hist._counts) != len(edges) + 1:
+            hist._counts += [0] * (len(edges) + 1 - len(hist._counts))
+        hist._count = int(snap.get("count", 0))
+        hist._sum = float(snap.get("sum", 0.0))
+        hist._min = snap.get("min")
+        hist._max = snap.get("max")
+        hist._samples = [float(v) for v in samples] if samples is not None else None
+        return hist
 
 
 class Series:
@@ -229,9 +328,12 @@ class MetricsRegistry:
         name: str,
         buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
         description: str = "",
+        sample_capacity: int = 2048,
     ) -> Histogram:
         return self._get_or_create(
-            name, lambda: Histogram(name, buckets, description), "histogram"
+            name,
+            lambda: Histogram(name, buckets, description, sample_capacity),
+            "histogram",
         )
 
     def series(
@@ -289,6 +391,9 @@ class _NullInstrument:
 
     def observe(self, value: float) -> None:
         pass
+
+    def percentile(self, q: float) -> float:
+        return float("nan")
 
     def append(self, value: float) -> None:
         pass

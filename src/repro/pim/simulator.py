@@ -35,6 +35,7 @@ from ..mapping.space import (
     is_legal,
     num_pes_used,
 )
+from ..obs.profiler import PhaseProfile, build_rank_timelines
 from .platforms import PIMPlatform
 
 #: Fixed instruction overhead per micro-kernel loop iteration (branching,
@@ -73,10 +74,28 @@ class SimulationReport:
     #: unless a fault injector tampered with the functional execution.
     #: Integrity checks (:func:`repro.kernels.verify_lut`) run against it.
     device_lut: Optional[np.ndarray] = None
+    #: Per-phase / per-rank attribution of this run; its phase seconds
+    #: partition :attr:`total_s` exactly (see :meth:`bottleneck`).
+    profile: Optional[PhaseProfile] = None
 
     @property
     def total_s(self) -> float:
         return self.distribution_s + self.kernel_s + self.gather_s + self.launch_s
+
+    def bottleneck(self, platform: Optional[PIMPlatform] = None, top_k: int = 3):
+        """Attribution roll-up of this run (see :mod:`repro.obs.profiler`)."""
+        from ..obs.profiler import attribute_bottleneck
+
+        if self.profile is None:
+            raise ValueError("simulation ran without a phase profile")
+        return attribute_bottleneck(
+            self.profile,
+            platform=platform,
+            shape=self.shape,
+            mapping=self.mapping,
+            dma_bytes=self.event_counts.get("dma_bytes"),
+            top_k=top_k,
+        )
 
 
 class PIMSimulator:
@@ -132,7 +151,10 @@ class PIMSimulator:
     # Per-PE micro kernel
     # ------------------------------------------------------------------
     def _micro_kernel_time(
-        self, shape: LUTShape, mapping: Mapping
+        self,
+        shape: LUTShape,
+        mapping: Mapping,
+        phases: Optional[Dict[str, float]] = None,
     ) -> Tuple[float, Dict[str, int]]:
         platform = self.platform
         local = platform.local_memory
@@ -159,9 +181,13 @@ class PIMSimulator:
         mtile_output = _align(mapping.n_m_tile * mapping.f_m_tile * OUTPUT_BYTES)
 
         # Static LUT staging happens once, before the loop nest.
+        static_stage_cost = 0.0
+        static_stage_bytes = 0.0
         if mapping.load_scheme == "static":
             lut_total = shape.cb * shape.ct * mapping.f_s_tile * LUT_BYTES
-            time_s += local.latency(_align(lut_total), min(lut_total, 2048))
+            static_stage_cost = local.latency(_align(lut_total), min(lut_total, 2048))
+            static_stage_bytes = _align(lut_total)
+            time_s += static_stage_cost
             counts["lut_loads"] += int(np.ceil(lut_total / 2048))
 
         # Per-tile event costs, applied whenever the resident tile changes.
@@ -188,18 +214,20 @@ class PIMSimulator:
             # Parallel read slots hide part of the per-access setup.
             lut_tile_cost = chunks_per_tile * local.latency(chunk, chunk)
         else:
+            chunk = 0.0
             chunks_per_tile = 0
             lut_tile_cost = 0.0
 
+        lookup_per_tile = compute.lookup_time(mapping.n_m_tile * mapping.cb_m_tile)
+        if mapping.load_scheme == "fine":
+            extra_chunks = max(int(np.ceil(mapping.f_m_tile / mapping.f_load_tile)) - 1, 0)
+            lookup_per_tile += compute.lookup_time(
+                mapping.n_m_tile * mapping.cb_m_tile * extra_chunks
+            )
         reduce_per_tile = compute.add_time(
             mapping.n_m_tile * mapping.cb_m_tile * mapping.f_m_tile
         )
-        reduce_per_tile += compute.lookup_time(mapping.n_m_tile * mapping.cb_m_tile)
-        if mapping.load_scheme == "fine":
-            extra_chunks = max(int(np.ceil(mapping.f_m_tile / mapping.f_load_tile)) - 1, 0)
-            reduce_per_tile += compute.lookup_time(
-                mapping.n_m_tile * mapping.cb_m_tile * extra_chunks
-            )
+        reduce_per_tile += lookup_per_tile
         loop_overhead = LOOP_OVERHEAD_CYCLES / compute.frequency_hz
 
         if total_tiles <= MAX_EXPLICIT_TILES:
@@ -231,6 +259,35 @@ class PIMSimulator:
                 chunks_per_tile,
                 reduce_per_tile,
                 loop_overhead,
+            )
+
+        if phases is not None:
+            # Analytical re-attribution of the accumulated kernel time.  Each
+            # component is reconstructed from the exact event counts, and the
+            # reduce phase is the residual, so the partition sums to ``time_s``
+            # exactly (no float drift against the walk above).
+            lut_dma_s = static_stage_cost
+            lut_dma_bytes = static_stage_bytes
+            if chunks_per_tile:
+                visits = counts["lut_loads"] // chunks_per_tile
+                lut_dma_s = visits * lut_tile_cost
+                lut_dma_bytes = counts["lut_loads"] * chunk
+            dma_s = (
+                counts["index_loads"] * index_load_cost
+                + counts["output_loads"] * output_load_cost
+                + counts["output_stores"] * output_store_cost
+                + lut_dma_s
+            )
+            overhead_s = counts["tiles"] * loop_overhead
+            lookup_s = counts["tiles"] * lookup_per_tile
+            phases["dma"] = dma_s
+            phases["lookup"] = lookup_s
+            phases["overhead"] = overhead_s
+            phases["reduce"] = time_s - dma_s - lookup_s - overhead_s
+            counts["dma_bytes"] = int(
+                counts["index_loads"] * mtile_index
+                + (counts["output_loads"] + counts["output_stores"]) * mtile_output
+                + lut_dma_bytes
             )
         return time_s, counts
 
@@ -409,13 +466,22 @@ class PIMSimulator:
             injector.check_launch(self.platform)
             injector.check_transfer()
         distribution = self._distribution_time(shape, mapping)
-        kernel, counts = self._micro_kernel_time(shape, mapping)
+        kernel_phases: Dict[str, float] = {}
+        kernel, counts = self._micro_kernel_time(shape, mapping, phases=kernel_phases)
         if faulting:
             slowdown = injector.straggler_slowdown()
             if slowdown > 1.0:
                 # The launch is synchronous: the host waits for the
                 # slowest PE, so one straggler stretches the whole phase.
                 kernel *= slowdown
+                for key in ("dma", "lookup", "overhead"):
+                    kernel_phases[key] *= slowdown
+                # Keep the partition exact under the (float) scaling.
+                kernel_phases["reduce"] = kernel - (
+                    kernel_phases["dma"]
+                    + kernel_phases["lookup"]
+                    + kernel_phases["overhead"]
+                )
                 faults += ("straggler",)
                 injector.record("straggler", factor=slowdown)
         gather = self._gather_time(shape, mapping)
@@ -427,10 +493,29 @@ class PIMSimulator:
                 device_lut = exec_lut
                 faults += ("lut_bit_flips",)
             output = self._execute(shape, mapping, np.asarray(indices), exec_lut)
+        n_pes = num_pes_used(shape, mapping)
+        profile = PhaseProfile(
+            phase_seconds={
+                "distribution": distribution,
+                "dma": kernel_phases.get("dma", 0.0),
+                "lookup": kernel_phases.get("lookup", 0.0),
+                "reduce": kernel_phases.get("reduce", kernel),
+                "overhead": kernel_phases.get("overhead", 0.0),
+                "gather": gather,
+                "launch": self.platform.kernel_launch_s,
+            },
+            label=f"{self.platform.name}:{shape.n}x{shape.h}x{shape.f}",
+        )
+        build_rank_timelines(
+            profile,
+            num_ranks=self.platform.ranks,
+            pes_per_rank=self.platform.pes_per_rank,
+            active_pes=n_pes,
+        )
         return SimulationReport(
             shape=shape,
             mapping=mapping,
-            num_pes=num_pes_used(shape, mapping),
+            num_pes=n_pes,
             distribution_s=distribution,
             kernel_s=kernel,
             gather_s=gather,
@@ -439,4 +524,5 @@ class PIMSimulator:
             output=output,
             faults=faults,
             device_lut=device_lut,
+            profile=profile,
         )

@@ -39,7 +39,9 @@ def _run_commands(job):
 
 class TestWorkflowFile:
     def test_parses_and_has_expected_jobs(self, workflow):
-        assert set(workflow["jobs"]) == {"tests", "lint", "slow-benchmarks"}
+        assert set(workflow["jobs"]) == {
+            "tests", "lint", "slow-benchmarks", "nightly-bench",
+        }
 
     def test_push_and_pr_trigger_tier1(self, workflow):
         triggers = _triggers(workflow)
@@ -92,6 +94,26 @@ class TestWorkflowFile:
         runs = " ".join(_run_commands(workflow["jobs"]["slow-benchmarks"]))
         assert "-m slow" in runs
         assert "benchmarks" in runs
+
+    def test_nightly_bench_is_nightly_or_manual_only(self, workflow):
+        condition = workflow["jobs"]["nightly-bench"]["if"]
+        assert "schedule" in condition and "workflow_dispatch" in condition
+
+    def test_nightly_bench_gates_compares_and_records(self, workflow):
+        runs = " ".join(_run_commands(workflow["jobs"]["nightly-bench"]))
+        # The regression gate compares BEFORE recording, then appends
+        # tonight's results; the comparison is exported as JSON.
+        assert "bench compare" in runs
+        assert "--record" in runs
+        assert "--json" in runs
+
+    def test_nightly_bench_persists_store_and_uploads_comparison(self, workflow):
+        steps = workflow["jobs"]["nightly-bench"]["steps"]
+        caches = [s for s in steps if "actions/cache" in str(s.get("uses", ""))]
+        assert caches and caches[0]["with"]["path"] == ".bench-store"
+        assert "restore-keys" in caches[0]["with"]
+        uploads = [s for s in steps if "upload-artifact" in str(s.get("uses", ""))]
+        assert uploads and uploads[0]["with"]["path"] == "BENCH_*.json"
 
 
 class TestLintConfig:

@@ -89,6 +89,51 @@ class TestTelemetryFlags:
         assert document["otherData"]["metrics"]["engine.runs"]["value"] == 4
 
 
+class TestProfileFlag:
+    def test_simulate_profile_prints_bottleneck(self, capsys):
+        assert main(["simulate", *SHAPE_ARGS, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck:" in out
+        assert "reduce" in out
+
+    def test_simulate_profile_writes_per_rank_trace(self, capsys, tmp_path):
+        """Acceptance: --profile emits a per-rank Chrome trace plus a
+        BottleneckReport whose phases sum to the simulated total."""
+        trace_path = str(tmp_path / "ranks.json")
+        assert main(["simulate", *SHAPE_ARGS, "--profile", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck:" in out
+        with open(trace_path) as fh:
+            document = json.load(fh)
+        rank_events = [
+            e for e in document["traceEvents"] if e.get("cat") == "pim-rank"
+        ]
+        assert rank_events
+        assert all(e["ph"] == "X" for e in rank_events)
+
+    def test_compare_attribution_per_engine(self, capsys):
+        assert main(["compare", "--model", "bert-base", "--attribution"]) == 0
+        out = capsys.readouterr().out
+        assert "[pim-dl" in out
+        assert out.count("bottleneck:") >= 2  # every engine with phases
+
+
+class TestServeSimRateValidation:
+    ARGS = ["serve-sim", "--model", "bert-base", "--requests", "2"]
+
+    def test_zero_rate_rejected(self, capsys):
+        assert main([*self.ARGS, "--rate", "0"]) == 2
+        assert "--rate must be positive" in capsys.readouterr().err
+
+    def test_negative_rate_rejected(self, capsys):
+        assert main([*self.ARGS, "--rate", "-3"]) == 2
+        assert "--rate must be positive" in capsys.readouterr().err
+
+    def test_zero_utilization_rejected(self, capsys):
+        assert main([*self.ARGS, "--utilization", "0"]) == 2
+        assert "--utilization must be positive" in capsys.readouterr().err
+
+
 class TestTraceExport:
     def test_trace_export_writes_loadable_file(self, capsys, tmp_path):
         out = str(tmp_path / "kernel.json")

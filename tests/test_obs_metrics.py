@@ -89,6 +89,68 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("h", buckets=[1.0, 1.0])
 
+    def test_percentile_exact_matches_numpy(self):
+        np = pytest.importorskip("numpy")
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(size=200)
+        hist = Histogram("h", buckets=(0.1, 1.0, 10.0))
+        for v in values:
+            hist.observe(float(v))
+        assert hist.samples_complete
+        for q in (0, 25, 50, 90, 95, 99, 100):
+            assert hist.percentile(q) == pytest.approx(
+                float(np.percentile(values, q)), rel=1e-12
+            )
+
+    def test_percentile_bucket_interpolation_after_overflow(self):
+        hist = Histogram("h", buckets=(1.0, 2.0, 4.0), sample_capacity=4)
+        for v in (0.5, 1.5, 1.5, 2.5, 3.5, 3.5):
+            hist.observe(v)
+        # Capacity exceeded: exactness is all-or-nothing.
+        assert not hist.samples_complete
+        p50 = hist.percentile(50)
+        assert 1.0 <= p50 <= 2.0  # falls in the (1, 2] bucket
+        # Extremes clamp to the observed min/max, not bucket edges.
+        assert hist.percentile(0) >= 0.5
+        assert hist.percentile(100) <= 3.5
+
+    def test_percentile_validation_and_empty(self):
+        hist = Histogram("h", buckets=(1.0,))
+        assert hist.percentile(50) != hist.percentile(50)  # NaN
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(-1)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_zero_capacity_always_interpolates(self):
+        hist = Histogram("h", buckets=(1.0, 2.0), sample_capacity=0)
+        hist.observe(0.5)
+        hist.observe(1.5)
+        assert not hist.samples_complete
+        assert 0.5 <= hist.percentile(50) <= 2.0
+
+    def test_snapshot_round_trip_preserves_percentiles(self):
+        hist = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 2.5, 3.0, 5.0):
+            hist.observe(v)
+        snap = hist.snapshot()
+        assert snap["samples"] == [0.5, 1.5, 2.5, 3.0, 5.0]
+        back = Histogram.from_snapshot("h", snap)
+        for q in (0, 50, 95, 100):
+            assert back.percentile(q) == hist.percentile(q)
+        assert back.snapshot() == snap
+
+    def test_snapshot_round_trip_without_samples(self):
+        hist = Histogram("h", buckets=(1.0, 2.0), sample_capacity=1)
+        hist.observe(0.5)
+        hist.observe(1.5)  # overflows capacity; samples dropped
+        snap = hist.snapshot()
+        assert "samples" not in snap
+        back = Histogram.from_snapshot("h", snap)
+        assert not back.samples_complete
+        assert back.snapshot() == snap
+
     def test_default_time_buckets_are_ascending(self):
         edges = obs.DEFAULT_TIME_BUCKETS
         assert list(edges) == sorted(edges)

@@ -18,7 +18,7 @@ from repro.obs import (
 from repro.core import LUTShape
 from repro.engine.report import EngineReport, OpLatency
 from repro.mapping import AutoTuner
-from repro.pim import get_platform, trace_kernel
+from repro.pim import PIMSimulator, get_platform, trace_kernel
 
 
 @pytest.fixture()
@@ -204,6 +204,71 @@ class TestChromeTraceDocument:
         document = build_chrome_trace()
         assert document["traceEvents"] == []
         json.dumps(document)
+
+    def test_mixed_sources_with_per_rank_lanes(self, tracer, tmp_path):
+        """Satellite: wall spans + engine timeline + kernel trace + per-rank
+        profile lanes coexist in one Perfetto-valid document."""
+        platform = get_platform("upmem")
+        shape = LUTShape(n=512, h=64, f=128, v=4, ct=8)
+        mapping = AutoTuner(platform).tune(shape).mapping
+        trace = trace_kernel(shape, mapping, platform)
+        sim_report = PIMSimulator(platform).run(shape, mapping)
+        engine_report = EngineReport(engine="e", model="m")
+        engine_report.ops = [OpLatency("a", "host", "gemm", 1.0)]
+
+        path = str(tmp_path / "mixed.json")
+        document = write_chrome_trace(
+            path,
+            spans=make_spans(tracer),
+            reports=[engine_report],
+            kernel_traces=[trace],
+            profiles=[sim_report.profile],
+        )
+        with open(path) as fh:
+            assert json.load(fh) == document
+
+        events = document["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        timed = [e for e in events if e["ph"] != "M"]
+
+        # Perfetto-valid: metadata first, then ts-sorted timed events with
+        # the required keys and non-negative durations.
+        assert events[: len(metadata)] == metadata
+        assert [e["ts"] for e in timed] == sorted(e["ts"] for e in timed)
+        for e in timed:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(e)
+            if e["ph"] == "X":
+                assert e["dur"] >= 0
+
+        # Each source owns a distinct pid; within a pid, (tid, lane) rows
+        # never collide across sources.
+        assert len({e["pid"] for e in timed}) == 4
+        rank_lanes = [e for e in timed if e.get("cat") == "pim-rank"]
+        assert rank_lanes
+        (rank_pid,) = {e["pid"] for e in rank_lanes}
+        assert all(
+            e["pid"] == rank_pid for e in timed if e.get("cat") == "pim-rank"
+        )
+        assert all(
+            e["pid"] != rank_pid for e in timed if e.get("cat") != "pim-rank"
+        )
+
+        # Per-rank lanes: one thread per used rank, named in metadata.
+        used_ranks = set(sim_report.profile.rank_segments)
+        lane_tids = {e["tid"] for e in rank_lanes}
+        assert lane_tids == {rank + 1 for rank in used_ranks}
+        thread_names = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in metadata
+            if e["name"] == "thread_name"
+        }
+        for tid in lane_tids:
+            assert "rank" in thread_names[(rank_pid, tid)]
+        # The rank timeline spans the kernel's modeled duration.
+        end = max(e["ts"] + e["dur"] for e in rank_lanes)
+        assert end / 1e6 == pytest.approx(
+            sim_report.total_s - sim_report.launch_s
+        )
 
 
 class TestToJsonable:
