@@ -1,0 +1,122 @@
+"""Extension experiment — cluster goodput scaling and shard tradeoff.
+
+The replication-vs-shard sweep the cluster ROADMAP item asks for: the
+same seeded Poisson stream is served by 1/2/4 replicas, unsharded and
+layer-sharded, from comfortable load to past one replica's capacity.
+Replication must recover SLO goodput at overload — the nightly gate
+pins >= 1.8x goodput at 2 replicas vs 1 — while sharding charges the
+inter-node activation transfers and trades per-request latency.
+
+Results are recorded through the persistent ``BaselineStore`` (same
+store the ``repro bench`` CLI uses) so the scaling ratio has history and
+regressions in the cluster layer surface as baseline deviations.
+
+Marked ``slow``: the sweep simulates thousands of requests across 18
+cluster cells, so it lands in the nightly job with the other sweeps.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.baselines import wimpy_host
+from repro.cluster import cluster_load_sweep
+from repro.engine import (GenerationServer, Request, RequestScheduler,
+                          SchedulerPolicy)
+from repro.obs import BaselineStore
+from repro.pim import get_platform
+from repro.workloads import opt_style
+
+pytestmark = pytest.mark.slow
+
+#: Goodput at 2 replicas must be at least this multiple of 1 replica's
+#: at overload; queue overflow and SLO misses crush the single replica.
+SCALING_GATE = 1.8
+
+
+def test_ext_cluster_scaling(benchmark, report, tmp_path):
+    config = opt_style(256, seq_len=64, batch_size=1).with_(num_layers=4)
+    server = GenerationServer(get_platform("upmem"), wimpy_host())
+    probe = Request(request_id=-1, arrival_s=0.0, prompt_len=64,
+                    generate_len=16)
+    service_s = RequestScheduler(server, config).fifo_service_time(probe)
+    policy = SchedulerPolicy(
+        max_batch_size=4,
+        max_queue_len=16,
+        slo_ttft_s=3 * service_s,
+        slo_e2e_s=3 * service_s,
+    )
+
+    def run():
+        return cluster_load_sweep(
+            server, config,
+            replica_counts=(1, 2, 4),
+            shard_counts=(1, 2),
+            routers=("round-robin",),
+            utilizations=(0.8, 1.5, 3.0),
+            num_requests=200,
+            prompt_len=64,
+            generate_len=16,
+            policy=policy,
+            seed=7,
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = []
+    for p in points:
+        r = p.result
+        table.append([
+            f"{p.target_utilization:.1f}", p.replicas, p.shards,
+            r.completed, r.rejected,
+            f"{r.e2e_p50_s * 1e3:.0f}/{r.e2e_p95_s * 1e3:.0f}",
+            f"{r.throughput_rps:.2f}", f"{r.goodput_rps:.2f}",
+        ])
+    report(
+        "ext_cluster_scaling",
+        format_table(
+            ["rho(1 replica)", "replicas", "shards", "done", "rej",
+             "e2e ms p50/p95", "req/s", "goodput"],
+            table,
+        ),
+    )
+
+    def goodput(rho, replicas, shards):
+        for p in points:
+            if (p.target_utilization == rho and p.replicas == replicas
+                    and p.shards == shards):
+                return p.result.goodput_rps
+        raise AssertionError(f"missing cell rho={rho} n={replicas}")
+
+    # The gate: at overload, doubling replicas at least 1.8x's goodput.
+    ratio = goodput(3.0, 2, 1) / goodput(3.0, 1, 1)
+    assert ratio >= SCALING_GATE, (
+        f"2-replica goodput scaling {ratio:.2f}x below the "
+        f"{SCALING_GATE}x gate at overload"
+    )
+    # Goodput is monotone in replication at every load and shard count.
+    for rho in (0.8, 1.5, 3.0):
+        for shards in (1, 2):
+            series = [goodput(rho, n, shards) for n in (1, 2, 4)]
+            assert series == sorted(series), (rho, shards, series)
+    # Sharding charges real transfer time: never faster end-to-end than
+    # the unsharded replica on the same stream at comfortable load.
+    p50_unsharded = next(
+        p.result.e2e_p50_s for p in points
+        if p.target_utilization == 0.8 and p.replicas == 1 and p.shards == 1)
+    p50_sharded = next(
+        p.result.e2e_p50_s for p in points
+        if p.target_utilization == 0.8 and p.replicas == 1 and p.shards == 2)
+    assert p50_sharded >= p50_unsharded
+
+    # Record the scaling history through the baseline store.
+    store = BaselineStore(".bench-store")
+    store.record(
+        "cluster.goodput_scaling_2v1", ratio, unit="x",
+        meta={
+            "rho": 3.0,
+            "goodput_1": goodput(3.0, 1, 1),
+            "goodput_2": goodput(3.0, 2, 1),
+            "goodput_4": goodput(3.0, 4, 1),
+            "requests": 200,
+        },
+    )

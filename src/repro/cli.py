@@ -90,7 +90,9 @@ def _print_json(payload) -> None:
     print(json.dumps(obs.to_jsonable(payload), indent=2, sort_keys=True))
 
 
-def _finish_telemetry(args, reports=(), kernel_traces=(), profiles=()) -> int:
+def _finish_telemetry(
+    args, reports=(), kernel_traces=(), profiles=(), clusters=()
+) -> int:
     """Honor ``--emit-trace`` / ``--metrics-json`` at the end of a command.
 
     Returns a process exit code: the command's work already succeeded at
@@ -108,6 +110,7 @@ def _finish_telemetry(args, reports=(), kernel_traces=(), profiles=()) -> int:
                 reports=reports,
                 kernel_traces=kernel_traces,
                 profiles=profiles,
+                clusters=clusters,
                 metrics=obs.get_registry().snapshot(),
             )
             print(
@@ -810,6 +813,241 @@ def cmd_serve_sim(args) -> int:
     return _finish_telemetry(args)
 
 
+def _csv_ints(text: str, flag: str) -> List[int]:
+    try:
+        values = [int(v) for v in text.split(",") if v.strip()]
+    except ValueError:
+        raise ValueError(f"{flag} expects comma-separated integers, got {text!r}")
+    if not values:
+        raise ValueError(f"{flag} must name at least one value")
+    return values
+
+
+def _csv_floats(text: str, flag: str) -> List[float]:
+    try:
+        values = [float(v) for v in text.split(",") if v.strip()]
+    except ValueError:
+        raise ValueError(f"{flag} expects comma-separated numbers, got {text!r}")
+    if not values:
+        raise ValueError(f"{flag} must name at least one value")
+    return values
+
+
+def cmd_serve_cluster(args) -> int:
+    """Cluster-scale serving: replicated/sharded scheduling with routing."""
+    from .baselines import wimpy_host
+    from .cluster import (ROUTER_POLICIES, ClusterScheduler, ReplicaFailure,
+                          cluster_load_sweep, failures_from_fault_plan)
+    from .engine import (GenerationServer, Request, RequestScheduler,
+                         SchedulerPolicy, poisson_requests)
+    from .resilience import FaultPlan
+
+    config = EVAL_MODELS[args.model]
+    if args.layers:
+        config = config.with_(num_layers=args.layers)
+    platform = get_platform(args.platform)
+    server = GenerationServer(
+        platform, wimpy_host(), v=args.v, ct=args.ct, lut_nn=not args.native,
+    )
+
+    try:
+        replica_counts = _csv_ints(args.replicas, "--replicas")
+        shard_counts = _csv_ints(args.shards, "--shards")
+        utilizations = _csv_floats(args.utilization, "--utilization")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    routers = [r.strip() for r in args.routers.split(",") if r.strip()]
+    unknown = [r for r in routers if r not in ROUTER_POLICIES]
+    if unknown or not routers:
+        known = ", ".join(sorted(ROUTER_POLICIES))
+        print(f"error: unknown routing policy {unknown or args.routers!r} "
+              f"(known: {known})", file=sys.stderr)
+        return 2
+
+    probe = Request(
+        request_id=-1, arrival_s=0.0, prompt_len=args.prompt_len,
+        generate_len=args.generate_len, batch=args.batch,
+    )
+    # SLO defaults mirror serve-sim: 2.5x the unloaded single-replica
+    # request, so goodput is comparable between the two commands.
+    prescheduler = RequestScheduler(server, config)
+    service_s = prescheduler.fifo_service_time(probe)
+    unloaded_ttft_s = prescheduler.cost.prefill_s(args.prompt_len, args.batch)
+    slo_ttft_s = args.slo_ttft_ms / 1e3 if args.slo_ttft_ms else 2.5 * unloaded_ttft_s
+    slo_e2e_s = args.slo_e2e_ms / 1e3 if args.slo_e2e_ms else 2.5 * service_s
+    policy = SchedulerPolicy(
+        max_batch_size=args.max_batch,
+        max_context_tokens=args.max_context_tokens,
+        max_queue_len=args.queue_cap,
+        chunked_prefill=args.chunked_prefill,
+        prefill_chunk=args.prefill_chunk,
+        slo_ttft_s=slo_ttft_s,
+        slo_e2e_s=slo_e2e_s,
+    )
+
+    if args.sweep:
+        if args.rate is not None:
+            print("error: --sweep derives rates from --utilization; "
+                  "--rate is single-run only", file=sys.stderr)
+            return 2
+        points = cluster_load_sweep(
+            server, config,
+            replica_counts=replica_counts,
+            shard_counts=shard_counts,
+            routers=routers,
+            utilizations=utilizations,
+            num_requests=args.requests,
+            prompt_len=args.prompt_len,
+            generate_len=args.generate_len,
+            batch=args.batch,
+            policy=policy,
+            arrivals=args.arrivals,
+            seed=args.seed,
+            sessions=args.sessions,
+        )
+        if args.json:
+            _print_json({
+                "model": config.name,
+                "platform": args.platform,
+                "fifo_service_time_s": service_s,
+                "slo": {"ttft_s": slo_ttft_s, "e2e_s": slo_e2e_s},
+                "points": [p.to_jsonable() for p in points],
+            })
+            return _finish_telemetry(args, clusters=[p.result for p in points])
+        print(
+            f"{config.name} on {args.platform}: {args.requests} requests per "
+            f"cell ({args.arrivals} arrivals), prompt {args.prompt_len}, "
+            f"generate {args.generate_len}; rho normalized to one unsharded "
+            f"replica's FIFO rate ({1.0 / service_s:.2f} req/s)"
+        )
+        rows = []
+        for p in points:
+            r = p.result
+            rows.append([
+                f"{p.target_utilization:.2f}", p.replicas, p.shards, p.router,
+                r.completed, r.rejected, r.shed, r.failovers,
+                f"{r.e2e_p50_s * 1e3:.1f}/{r.e2e_p95_s * 1e3:.1f}",
+                f"{r.throughput_rps:.2f}", f"{r.goodput_rps:.2f}",
+            ])
+        print(format_table(
+            ["rho", "replicas", "shards", "router", "done", "rej", "shed",
+             "failover", "e2e ms p50/95", "req/s", "goodput"],
+            rows,
+        ))
+        return _finish_telemetry(args, clusters=[p.result for p in points])
+
+    # Single-run mode: one cell, optionally with replica failures.
+    if len(replica_counts) > 1 or len(shard_counts) > 1 or len(routers) > 1 \
+            or len(utilizations) > 1:
+        print("error: multiple --replicas/--shards/--routers/--utilization "
+              "values need --sweep", file=sys.stderr)
+        return 2
+    replicas, shards, router = replica_counts[0], shard_counts[0], routers[0]
+
+    failures = []
+    for spec in args.fail or ():
+        try:
+            rep_text, _, at_text = spec.partition("@")
+            failures.append(ReplicaFailure(int(rep_text), float(at_text)))
+        except ValueError:
+            print(f"error: --fail expects REPLICA@SECONDS, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+    if args.fail_ranks:
+        if args.fail_at is None:
+            print("error: --fail-ranks needs --fail-at", file=sys.stderr)
+            return 2
+        try:
+            ranks = _csv_ints(args.fail_ranks, "--fail-ranks")
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        plan = FaultPlan(seed=args.seed, failed_ranks=tuple(ranks))
+        failures.extend(
+            failures_from_fault_plan(plan, args.fail_at, platform.ranks)
+        )
+
+    if args.rate is not None:
+        if args.rate <= 0:
+            print(f"error: --rate must be positive, got {args.rate}",
+                  file=sys.stderr)
+            return 2
+        rate = args.rate
+    else:
+        if utilizations[0] <= 0:
+            print(f"error: --utilization must be positive, got "
+                  f"{utilizations[0]}", file=sys.stderr)
+            return 2
+        rate = utilizations[0] / service_s
+
+    stream = poisson_requests(
+        args.requests, rate,
+        prompt_len=args.prompt_len, generate_len=args.generate_len,
+        batch=args.batch, arrivals=args.arrivals, seed=args.seed,
+        sessions=args.sessions,
+    )
+    try:
+        cluster = ClusterScheduler(
+            server, config, replicas=replicas, shards=shards, policy=policy,
+            router=router, failures=failures, seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = cluster.run(stream)
+
+    if args.json:
+        _print_json({
+            "model": config.name,
+            "platform": args.platform,
+            "arrival_rate_rps": rate,
+            "fifo_service_time_s": service_s,
+            "slo": {"ttft_s": slo_ttft_s, "e2e_s": slo_e2e_s},
+            "cluster": result.to_jsonable(),
+        })
+        return _finish_telemetry(args, clusters=[result])
+
+    print(
+        f"{config.name} on {args.platform}: {replicas}x replicas, "
+        f"{shards}x shards, {router} routing; {args.requests} requests "
+        f"({args.arrivals} arrivals, {rate:.2f} req/s)"
+    )
+    print(
+        f"cluster: {result.completed} done, {result.rejected} rejected, "
+        f"{result.shed} shed, {result.failovers} failovers; goodput "
+        f"{result.goodput_rps:.2f} req/s, e2e p50/p95 "
+        f"{result.e2e_p50_s * 1e3:.1f}/{result.e2e_p95_s * 1e3:.1f} ms, "
+        f"utilization {result.utilization:.2f}"
+    )
+    rows = []
+    for rep, res in enumerate(result.replica_results):
+        failed_at = result.replica_failed_at[rep]
+        rows.append([
+            f"replica {rep}",
+            result.replica_routed[rep],
+            res.completed,
+            res.rejected,
+            result.replica_max_queue_depth[rep],
+            f"{failed_at:.3f}" if failed_at is not None else "-",
+            f"{res.e2e_p95_s * 1e3:.1f}",
+            f"{res.goodput_rps:.2f}",
+        ])
+    print(format_table(
+        ["replica", "routed", "done", "rej", "max depth", "failed @s",
+         "e2e ms p95", "goodput"],
+        rows,
+    ))
+    if result.degradation is not None and result.degradation.degraded:
+        print(f"degradation (cluster scope): "
+              f"{result.degradation.to_jsonable()}")
+    if args.attribution:
+        attribution = result.phase_attribution()
+        if attribution.phase_seconds:
+            print(f"[cluster] {attribution.render()}")
+    return _finish_telemetry(args, clusters=[result])
+
+
 # ----------------------------------------------------------------------
 # Benchmark suites feeding the persistent baseline store
 # ----------------------------------------------------------------------
@@ -1209,6 +1447,95 @@ def build_parser() -> argparse.ArgumentParser:
                                 "request class (prefill / decode)")
     _add_telemetry_arguments(serve_sim)
 
+    serve_cluster = sub.add_parser(
+        "serve-cluster",
+        help="cluster-scale serving simulation: replicated/sharded "
+             "scheduling with pluggable routing and replica failover",
+    )
+    serve_cluster.add_argument("--model", default="bert-base",
+                               choices=sorted(EVAL_MODELS))
+    serve_cluster.add_argument("--platform", default="upmem",
+                               choices=sorted(PLATFORMS))
+    serve_cluster.add_argument("--v", type=int, default=4)
+    serve_cluster.add_argument("--ct", type=int, default=16)
+    serve_cluster.add_argument("--layers", type=int, default=None, metavar="N",
+                               help="override the model's layer count")
+    serve_cluster.add_argument("--native", action="store_true",
+                               help="serve on the native GEMM/GEMV engines "
+                                    "instead of LUT-NN")
+    serve_cluster.add_argument("--replicas", default="2", metavar="N[,N...]",
+                               help="replica count (comma list with --sweep)")
+    serve_cluster.add_argument("--shards", default="1", metavar="N[,N...]",
+                               help="layer shards per replica (comma list "
+                                    "with --sweep)")
+    serve_cluster.add_argument("--routers", default="round-robin",
+                               metavar="POLICY[,POLICY...]",
+                               help="routing policy: round-robin, "
+                                    "least-loaded, p2c, session-affinity "
+                                    "(comma list with --sweep)")
+    serve_cluster.add_argument("--requests", type=int, default=128,
+                               metavar="N")
+    serve_cluster.add_argument("--prompt-len", type=int, default=128,
+                               metavar="N")
+    serve_cluster.add_argument("--generate-len", type=int, default=32,
+                               metavar="N")
+    serve_cluster.add_argument("--batch", type=int, default=1, metavar="N",
+                               help="sequences bundled per request")
+    serve_cluster.add_argument("--sessions", type=int, default=None,
+                               metavar="N",
+                               help="tag requests with N client sessions "
+                                    "(for session-affinity routing)")
+    serve_cluster.add_argument("--arrivals", choices=["poisson", "uniform"],
+                               default="poisson")
+    serve_cluster.add_argument("--seed", type=int, default=0)
+    serve_cluster.add_argument("--rate", type=float, default=None,
+                               metavar="RPS",
+                               help="offered arrival rate (single run only; "
+                                    "default derives from --utilization)")
+    serve_cluster.add_argument("--utilization", default="0.8",
+                               metavar="RHO[,RHO...]",
+                               help="offered load vs ONE unsharded replica's "
+                                    "FIFO rate; >1 overloads a single "
+                                    "replica (comma list with --sweep)")
+    serve_cluster.add_argument("--sweep", action="store_true",
+                               help="sweep replicas x shards x routers x "
+                                    "utilization on identical streams")
+    serve_cluster.add_argument("--max-batch", type=int, default=8,
+                               metavar="N")
+    serve_cluster.add_argument("--max-context-tokens", type=int,
+                               default=1 << 20, metavar="N")
+    serve_cluster.add_argument("--queue-cap", type=int, default=1024,
+                               metavar="N",
+                               help="per-replica wait queue; overflow rejects")
+    serve_cluster.add_argument("--chunked-prefill", action="store_true")
+    serve_cluster.add_argument("--prefill-chunk", type=int, default=128,
+                               metavar="N")
+    serve_cluster.add_argument("--slo-ttft-ms", type=float, default=None,
+                               metavar="MS",
+                               help="TTFT SLO (default: 2.5x unloaded "
+                                    "prefill)")
+    serve_cluster.add_argument("--slo-e2e-ms", type=float, default=None,
+                               metavar="MS",
+                               help="end-to-end SLO (default: 2.5x unloaded "
+                                    "request)")
+    serve_cluster.add_argument("--fail", action="append", metavar="R@T",
+                               help="kill replica R at T seconds "
+                                    "(repeatable)")
+    serve_cluster.add_argument("--fail-ranks", default=None,
+                               metavar="RANK[,RANK...]",
+                               help="device-level fault plan: failed DRAM "
+                                    "ranks, mapped to replica kills via the "
+                                    "platform's ranks-per-replica")
+    serve_cluster.add_argument("--fail-at", type=float, default=None,
+                               metavar="S",
+                               help="failure instant for --fail-ranks")
+    serve_cluster.add_argument("--json", action="store_true",
+                               help="machine-readable output")
+    serve_cluster.add_argument("--attribution", action="store_true",
+                               help="print cluster-level bottleneck "
+                                    "attribution")
+    _add_telemetry_arguments(serve_cluster)
+
     trace_export = sub.add_parser(
         "trace-export",
         help="tune + simulate one shape and write a Chrome-trace file",
@@ -1269,6 +1596,7 @@ COMMANDS = {
     "kernels": cmd_kernels,
     "faults": cmd_faults,
     "serve-sim": cmd_serve_sim,
+    "serve-cluster": cmd_serve_cluster,
     "trace-export": cmd_trace_export,
     "bench": cmd_bench,
 }

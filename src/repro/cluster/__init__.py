@@ -1,0 +1,48 @@
+"""Cluster-scale serving: replicated/sharded scheduling over DIMM pools.
+
+Composes N single-node :class:`~repro.engine.scheduler.RequestScheduler`
+replicas behind pluggable routing policies, with layer-wise model
+sharding (explicit inter-node activation transfers) and replica
+failover.  See :mod:`repro.cluster.scheduler` for the simulation model.
+"""
+
+from .routing import (
+    ROUTER_POLICIES,
+    LeastLoadedRouter,
+    PowerOfTwoRouter,
+    ReplicaLoad,
+    RoundRobinRouter,
+    Router,
+    SessionAffinityRouter,
+    make_router,
+)
+from .scheduler import (
+    ClusterRequestStats,
+    ClusterResult,
+    ClusterScheduler,
+    ClusterSweepPoint,
+    ReplicaFailure,
+    cluster_load_sweep,
+    failures_from_fault_plan,
+)
+from .sharding import ShardedCostModel, ShardPlan
+
+__all__ = [
+    "ROUTER_POLICIES",
+    "Router",
+    "ReplicaLoad",
+    "RoundRobinRouter",
+    "LeastLoadedRouter",
+    "PowerOfTwoRouter",
+    "SessionAffinityRouter",
+    "make_router",
+    "ClusterRequestStats",
+    "ClusterResult",
+    "ClusterScheduler",
+    "ClusterSweepPoint",
+    "ReplicaFailure",
+    "cluster_load_sweep",
+    "failures_from_fault_plan",
+    "ShardPlan",
+    "ShardedCostModel",
+]

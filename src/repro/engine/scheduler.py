@@ -56,6 +56,11 @@ class Request:
     ``batch`` is the request's batch hint: the number of sequences it
     bundles (a client-side batched call).  It occupies ``batch`` slots of
     the running batch and generates ``batch * generate_len`` tokens.
+
+    ``session`` is an optional client-session tag.  The single-node
+    scheduler ignores it; the cluster router's session-affinity policy
+    (:mod:`repro.cluster.routing`) keeps requests of one session on one
+    replica.
     """
 
     request_id: int
@@ -63,6 +68,7 @@ class Request:
     prompt_len: int
     generate_len: int
     batch: int = 1
+    session: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0:
@@ -414,11 +420,15 @@ class RequestScheduler:
         config: TransformerConfig,
         policy: Optional[SchedulerPolicy] = None,
         context_bucket: int = 32,
+        name: Optional[str] = None,
     ):
         self.server = server
         self.config = config
         self.policy = policy or SchedulerPolicy()
         self.cost = EngineCostModel(server, config, context_bucket=context_bucket)
+        #: Distinguishes this scheduler's ledger scope (and spans) when
+        #: several schedulers — e.g. cluster replicas — share one server.
+        self.name = name
 
     # ------------------------------------------------------------------
     # Admission policy
@@ -471,7 +481,10 @@ class RequestScheduler:
         scope = None
         if self.server.resilience is not None and self.server.resilience.active:
             ledger = self.server.resilience.ledger
-            scope = ledger.open_request_scope("scheduler.run")
+            owner = (
+                f"scheduler.run[{self.name}]" if self.name else "scheduler.run"
+            )
+            scope = ledger.open_request_scope(owner)
 
         waiting: deque = deque()
         running: List[_InFlight] = []
@@ -725,13 +738,19 @@ def poisson_requests(
     batch: int = 1,
     arrivals: str = "poisson",
     seed: int = 0,
+    sessions: Optional[int] = None,
 ) -> List[Request]:
     """A request stream with Poisson (or uniform) arrivals.
 
     ``prompt_len`` / ``generate_len`` may be single values or sequences to
     sample from uniformly (seeded; the arrival stream uses the same seed,
     so a stream is fully reproducible from ``(seed, rate, n)``).
+    ``sessions`` tags each request with a session id drawn uniformly from
+    ``range(sessions)`` (seeded) for the cluster's session-affinity
+    routing; ``None`` leaves requests sessionless.
     """
+    if sessions is not None and sessions <= 0:
+        raise ValueError("sessions must be positive when given")
     times = generate_arrivals(arrival_rate_rps, num_requests, arrivals, seed)
     rng = np.random.default_rng(seed + 1)
 
@@ -745,6 +764,11 @@ def poisson_requests(
 
     prompts = draw(prompt_len)
     gens = draw(generate_len)
+    tags = (
+        [int(s) for s in rng.integers(0, sessions, size=num_requests)]
+        if sessions is not None
+        else [None] * num_requests
+    )
     return [
         Request(
             request_id=i,
@@ -752,6 +776,7 @@ def poisson_requests(
             prompt_len=prompts[i],
             generate_len=gens[i],
             batch=batch,
+            session=tags[i],
         )
         for i in range(num_requests)
     ]

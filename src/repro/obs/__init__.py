@@ -49,6 +49,7 @@ from .export import (
     write_spans_jsonl,
 )
 from .bridge import (
+    cluster_to_chrome_events,
     kernel_trace_to_chrome_events,
     profile_to_chrome_events,
     report_to_chrome_events,
@@ -148,6 +149,7 @@ __all__ = [
     "report_to_chrome_events",
     "kernel_trace_to_chrome_events",
     "profile_to_chrome_events",
+    "cluster_to_chrome_events",
     "PHASE_ORDER",
     "PhaseProfile",
     "PhaseSegment",

@@ -109,6 +109,76 @@ def kernel_trace_to_chrome_events(trace, pid: int) -> List[dict]:
     return events
 
 
+def cluster_to_chrome_events(result, pid: int) -> List[dict]:
+    """Render a :class:`~repro.cluster.scheduler.ClusterResult` as replica lanes.
+
+    Each replica gets its own row (``tid`` = replica id + 1) carrying one
+    ``X`` event per request it completed (admission to finish, on the
+    simulated clock), so load balance — and the hole a failed replica
+    leaves — is visible at a glance.  Replica failures land as instant
+    events on the failed lane; shed requests land on a trailing
+    ``router`` lane.
+    """
+    events: List[dict] = []
+    label = (
+        f"cluster: {result.replicas}x replicas, {result.shards}x shards, "
+        f"{result.router}"
+    )
+    process_metadata(pid, label, events)
+    router_tid = result.replicas + 1
+    for replica in range(result.replicas):
+        failed_at = result.replica_failed_at[replica]
+        name = f"replica {replica}"
+        if failed_at is not None:
+            name += f" (failed @ {failed_at:.3g}s)"
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": pid,
+             "tid": replica + 1, "args": {"name": name}}
+        )
+        if failed_at is not None:
+            events.append(
+                {"name": "replica_failed", "cat": "cluster", "ph": "i",
+                 "ts": failed_at * _US, "pid": pid, "tid": replica + 1,
+                 "s": "t", "args": {"replica": replica}}
+            )
+    events.append(
+        {"name": "thread_name", "ph": "M", "pid": pid, "tid": router_tid,
+         "args": {"name": "router (shed)"}}
+    )
+    for c in result.requests:
+        s = c.stats
+        if c.replica < 0:
+            events.append(
+                {"name": f"shed req {s.request_id}", "cat": "cluster",
+                 "ph": "i", "ts": s.arrival_s * _US, "pid": pid,
+                 "tid": router_tid, "s": "t",
+                 "args": {"request_id": s.request_id}}
+            )
+            continue
+        if s.rejected:
+            continue
+        events.append(
+            {
+                "name": f"req {s.request_id}",
+                "cat": "cluster",
+                "ph": "X",
+                "ts": s.admitted_s * _US,
+                "dur": (s.finished_s - s.admitted_s) * _US,
+                "pid": pid,
+                "tid": c.replica + 1,
+                "args": {
+                    "request_id": s.request_id,
+                    "replica": c.replica,
+                    "failovers": c.failovers,
+                    "prompt_len": s.prompt_len,
+                    "generate_len": s.generate_len,
+                    "e2e_s": s.e2e_s,
+                },
+            }
+        )
+    return events
+
+
 def profile_to_chrome_events(profile, pid: int) -> List[dict]:
     """Render a :class:`~repro.obs.profiler.PhaseProfile` as per-rank lanes.
 

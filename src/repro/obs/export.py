@@ -18,6 +18,7 @@ import json
 from typing import IO, Iterable, List, Optional, Sequence, Union
 
 from .bridge import (
+    cluster_to_chrome_events,
     kernel_trace_to_chrome_events,
     profile_to_chrome_events,
     report_to_chrome_events,
@@ -131,6 +132,7 @@ def build_chrome_trace(
     reports: Sequence = (),
     kernel_traces: Sequence = (),
     profiles: Sequence = (),
+    clusters: Sequence = (),
     metrics: Optional[dict] = None,
     complete: bool = True,
 ) -> dict:
@@ -138,8 +140,10 @@ def build_chrome_trace(
 
     ``reports`` are :class:`~repro.engine.report.EngineReport` objects,
     ``kernel_traces`` are :class:`~repro.pim.trace.KernelTrace` objects,
-    and ``profiles`` are :class:`~repro.obs.profiler.PhaseProfile` objects
-    (rendered as per-rank occupancy lanes); each gets its own process id.
+    ``profiles`` are :class:`~repro.obs.profiler.PhaseProfile` objects
+    (rendered as per-rank occupancy lanes), and ``clusters`` are
+    :class:`~repro.cluster.scheduler.ClusterResult` objects (rendered as
+    per-replica request lanes); each gets its own process id.
     ``metrics`` (e.g. a registry snapshot) rides along in ``otherData``.
     """
     events: List[dict] = list(spans_to_chrome_events(spans, complete=complete))
@@ -152,6 +156,9 @@ def build_chrome_trace(
         pid += 1
     for profile in profiles:
         events.extend(profile_to_chrome_events(profile, pid))
+        pid += 1
+    for cluster in clusters:
+        events.extend(cluster_to_chrome_events(cluster, pid))
         pid += 1
     metadata = [e for e in events if e.get("ph") == "M"]
     timed = [e for e in events if e.get("ph") != "M"]
@@ -171,6 +178,7 @@ def write_chrome_trace(
     reports: Sequence = (),
     kernel_traces: Sequence = (),
     profiles: Sequence = (),
+    clusters: Sequence = (),
     metrics: Optional[dict] = None,
     complete: bool = True,
 ) -> dict:
@@ -180,6 +188,7 @@ def write_chrome_trace(
         reports=reports,
         kernel_traces=kernel_traces,
         profiles=profiles,
+        clusters=clusters,
         metrics=metrics,
         complete=complete,
     )

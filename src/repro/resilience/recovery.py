@@ -110,56 +110,56 @@ class DegradationLedger:
     recovery_s: float = 0.0
     fallback_layers: List[str] = field(default_factory=list)
     events: List[Dict[str, object]] = field(default_factory=list)
-    #: Open per-request attribution scope (owner tag, starting summary,
-    #: fallback-layer index) — at most one at a time, enforced.
-    _scope_owner: Optional[str] = field(default=None, init=False, repr=False)
-    _scope_start: Optional[DegradationSummary] = field(
-        default=None, init=False, repr=False
+    #: Open attribution scopes, keyed by owner name: each maps to its
+    #: opening snapshot and fallback-layer index.  Scopes with distinct
+    #: owners may be open concurrently (one per cluster replica, or a
+    #: cluster-level scope enclosing per-replica ones); re-opening an
+    #: owner that is already open is the genuine single-node ambiguity
+    #: and still raises.
+    _scopes: Dict[str, Tuple[DegradationSummary, int]] = field(
+        default_factory=dict, init=False, repr=False
     )
-    _scope_layer_base: int = field(default=0, init=False, repr=False)
 
     def note(self, kind: str, **detail: object) -> None:
         self.events.append({"kind": kind, **detail})
         obs.get_registry().counter(f"resilience.{kind}").inc()
 
     def open_request_scope(self, owner: str = "request") -> str:
-        """Begin attributing ledger growth to one request.
+        """Begin attributing ledger growth to one named scope.
 
-        Per-request attribution slices the ledger between two snapshots,
-        which is only sound while exactly one request runs at a time.  The
-        ledger enforces that: opening a scope while another is open raises,
-        so interleaved callers (e.g. a continuous-batching scheduler that
-        drives the engines directly) must account at the batch level
-        instead of nesting ``GenerationServer.run`` calls.
+        Attribution slices the ledger between two snapshots, so a scope's
+        slice covers *everything* that landed while it was open.  That is
+        exact for scopes that do not overlap in wall-clock time (one
+        request at a time, or cluster replicas simulated one after the
+        other on a shared ledger) and deliberately inclusive for nested
+        scopes (a cluster-level scope's slice contains its replicas').
+        Only re-opening an owner that is already open raises — two
+        attribution windows under one name cannot be told apart.
         """
-        if self._scope_owner is not None:
+        if owner in self._scopes:
             raise RuntimeError(
                 f"degradation ledger already has an open request scope "
-                f"({self._scope_owner!r}); per-request attribution assumes "
-                f"strictly sequential requests — interleaved requests must "
-                f"account degradation at the batch level"
+                f"({owner!r}); concurrent scopes must use distinct owner "
+                f"names (e.g. one per cluster replica) so their slices "
+                f"stay attributable"
             )
-        self._scope_owner = owner
-        self._scope_start = self.summary()
-        self._scope_layer_base = len(self.fallback_layers)
+        self._scopes[owner] = (self.summary(), len(self.fallback_layers))
         return owner
 
     def close_request_scope(self, owner: str) -> DegradationSummary:
-        """End the open scope and return its slice of the ledger.
+        """End the named scope and return its slice of the ledger.
 
         The ``fallback_layers`` slice is taken by index from the scope's
         opening snapshot, so it contains exactly the layers appended while
         the scope was open.
         """
-        if self._scope_owner != owner:
+        if owner not in self._scopes:
+            open_names = ", ".join(repr(o) for o in sorted(self._scopes)) or "none"
             raise RuntimeError(
                 f"closing request scope {owner!r} but the open scope is "
-                f"{self._scope_owner!r}"
+                f"{open_names}"
             )
-        before = self._scope_start
-        base = self._scope_layer_base
-        self._scope_owner = None
-        self._scope_start = None
+        before, base = self._scopes.pop(owner)
         after = self.summary()
         return DegradationSummary(
             retries=after.retries - before.retries,

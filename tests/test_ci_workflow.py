@@ -61,6 +61,11 @@ class TestWorkflowFile:
         runs = " ".join(_run_commands(workflow["jobs"]["tests"]))
         assert "tests/test_scheduler.py" in runs
 
+    def test_tests_job_runs_cluster_suite(self, workflow):
+        """The cluster serving module is an explicit tier-1 member."""
+        runs = " ".join(_run_commands(workflow["jobs"]["tests"]))
+        assert "tests/test_cluster.py" in runs
+
     def test_tests_job_python_matrix(self, workflow):
         versions = workflow["jobs"]["tests"]["strategy"]["matrix"]["python-version"]
         assert "3.10" in versions and "3.12" in versions
@@ -106,6 +111,10 @@ class TestWorkflowFile:
         assert "bench compare" in runs
         assert "--record" in runs
         assert "--json" in runs
+
+    def test_nightly_bench_runs_cluster_scaling_gate(self, workflow):
+        runs = " ".join(_run_commands(workflow["jobs"]["nightly-bench"]))
+        assert "benchmarks/test_ext_cluster_scaling.py" in runs
 
     def test_nightly_bench_persists_store_and_uploads_comparison(self, workflow):
         steps = workflow["jobs"]["nightly-bench"]["steps"]

@@ -116,14 +116,31 @@ class TestLedgerRequestScope:
         assert sliced.fallbacks == 2
         assert sliced.fallback_layers == ("a", "b")
 
-    def test_concurrent_scopes_rejected(self):
+    def test_same_owner_concurrent_scope_rejected(self):
         ledger = DegradationLedger()
         ledger.open_request_scope("r1")
         with pytest.raises(RuntimeError, match="open request scope"):
-            ledger.open_request_scope("r2")
+            ledger.open_request_scope("r1")
         ledger.close_request_scope("r1")
-        # After closing, a new scope opens cleanly.
-        ledger.close_request_scope(ledger.open_request_scope("r3"))
+        # After closing, the same owner opens cleanly again.
+        ledger.close_request_scope(ledger.open_request_scope("r1"))
+
+    def test_distinct_owners_may_overlap_and_slice_independently(self):
+        """Per-replica scopes on one shared ledger (the cluster wiring)."""
+        ledger = DegradationLedger()
+        ledger.open_request_scope("replica0")
+        ledger.fallbacks += 1
+        ledger.fallback_layers.append("a")
+        ledger.open_request_scope("replica1")
+        ledger.fallbacks += 1
+        ledger.fallback_layers.append("b")
+        first = ledger.close_request_scope("replica0")
+        second = ledger.close_request_scope("replica1")
+        # replica0's window saw both events; replica1 only the second.
+        assert first.fallbacks == 2
+        assert first.fallback_layers == ("a", "b")
+        assert second.fallbacks == 1
+        assert second.fallback_layers == ("b",)
 
     def test_mismatched_close_rejected(self):
         ledger = DegradationLedger()
@@ -131,16 +148,20 @@ class TestLedgerRequestScope:
         with pytest.raises(RuntimeError, match="r2"):
             ledger.close_request_scope("r2")
 
-    def test_interleaved_server_requests_rejected(self, config):
+    def test_server_request_inside_foreign_scope_now_succeeds(self, config):
+        """Regression for the single-node scope assumption: a request on a
+        shared ledger no longer trips over another owner's open scope."""
         manager = RecoveryManager(FaultInjector(FaultPlan(failed_ranks=(0,))))
         resilient = GenerationServer(
             get_platform("upmem"), wimpy_host(), resilience=manager
         )
-        manager.ledger.open_request_scope("other-request")
-        with pytest.raises(RuntimeError, match="open request scope"):
-            resilient.run(config, prompt_len=16, generate_len=1)
-        manager.ledger.close_request_scope("other-request")
-        # The failed attempt must not have leaked a scope.
+        outer = manager.ledger.open_request_scope("other-request")
+        report = resilient.run(config, prompt_len=16, generate_len=1)
+        assert report.degraded is not None
+        outer_slice = manager.ledger.close_request_scope(outer)
+        # The enclosing scope's slice contains the request's degradation.
+        assert outer_slice.remaps >= report.degraded.remaps
+        # No scope leaked: a sequential request still works.
         report = resilient.run(config, prompt_len=16, generate_len=1)
         assert report.degraded is not None
 
