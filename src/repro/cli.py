@@ -9,13 +9,17 @@ Subcommands mirror the offline workflow of paper Fig. 5:
   search across worker processes with bit-identical results;
 * ``simulate`` — run the event-level simulator for a shape (tuned or with
   explicit mapping parameters) and print the latency breakdown;
+  ``--overlap`` double-buffers the micro-kernel loop so tile transfers
+  overlap the previous tile's lookup/reduce;
 * ``flops`` — op-count / reduction analytics for a GEMM shape (Fig. 3);
 * ``compare`` — end-to-end engine comparison for a named model (Fig. 10);
   ``--measure-host`` times this machine's real CCS kernel and substitutes
   it for the host roofline;
 * ``kernels`` — benchmark + parity-check the :mod:`repro.kernels` host
   kernels (``--dtype``, ``--block-rows``, ``--int8``) against the frozen
-  pre-kernel references;
+  pre-kernel references; ``--search [--schedule-cache DIR]`` instead runs
+  the measured kernel-schedule search (block sizes, gather strategy) and
+  persists the winner;
 * ``trace-export`` — tune + simulate one shape and write the telemetry as
   a Chrome-trace file (viewable in Perfetto / ``chrome://tracing``);
 * ``serve-sim`` — discrete-event continuous-batching serving simulation
@@ -259,8 +263,8 @@ def cmd_simulate(args) -> int:
     if mapping is None:
         cache = MappingCache(args.cache) if args.cache else None
         mapping = AutoTuner(platform, cache=cache).tune(shape).mapping
-    report = PIMSimulator(platform).run(shape, mapping)
-    estimate = estimate_latency(shape, mapping, platform)
+    report = PIMSimulator(platform).run(shape, mapping, overlap=args.overlap)
+    estimate = estimate_latency(shape, mapping, platform, overlap=args.overlap)
     error = abs(estimate.total - report.total_s) / report.total_s
     print(format_table(
         ["stage", "simulated_ms", "model_ms"],
@@ -275,6 +279,12 @@ def cmd_simulate(args) -> int:
         ],
     ))
     print(f"PEs used: {report.num_pes}; analytical-model error: {error:.1%}")
+    if args.overlap:
+        print(
+            f"pipelined overlap hid {report.overlap_hidden_s * 1e3:.3f} ms "
+            f"(simulated) / {estimate.overlap_hidden * 1e3:.3f} ms (model) "
+            f"of transfer"
+        )
     if args.profile is not None:
         print(report.bottleneck(platform=platform).render())
         if args.profile != "-":
@@ -337,6 +347,50 @@ def _resolve_cli_dtype(dtype: str):
     return None if dtype == "auto" else dtype
 
 
+def _kernels_search(args) -> int:
+    """``kernels --search``: measured host kernel-schedule search."""
+    import numpy as np
+
+    from .kernels import KernelScheduleCache, search_kernel_schedule
+
+    cache = (
+        KernelScheduleCache(args.schedule_cache) if args.schedule_cache else None
+    )
+    schedule = search_kernel_schedule(
+        n=args.n, h=args.h, f=args.f, v=args.v, ct=args.ct,
+        dtype=_resolve_cli_dtype(args.dtype) or "float32",
+        repeats=args.repeats,
+        rng=np.random.default_rng(args.seed),
+        cache=cache,
+    )
+    if args.json:
+        _print_json(schedule.to_jsonable())
+        return _finish_telemetry(args)
+    source = (
+        f"cache {args.schedule_cache} (search skipped)"
+        if schedule.candidates_evaluated == 0
+        else f"measured search ({schedule.candidates_evaluated} candidates)"
+    )
+    print(format_table(
+        ["parameter", "value"],
+        [
+            ["workload (N,H,F,V,CT)",
+             f"({args.n}, {args.h}, {args.f}, {args.v}, {args.ct})"],
+            ["dtype", schedule.dtype],
+            ["ccs block_rows", schedule.ccs_block_rows],
+            ["gather block_rows", schedule.gather_block_rows],
+            ["gather strategy", schedule.gather_strategy],
+            ["ccs / gather time",
+             f"{schedule.ccs_seconds * 1e3:.3f} / "
+             f"{schedule.gather_seconds * 1e3:.3f} ms"],
+            ["default-schedule time", f"{schedule.baseline_seconds * 1e3:.3f} ms"],
+            ["speedup vs default", f"{schedule.speedup_vs_default:.2f}x"],
+            ["schedule source", source],
+        ],
+    ))
+    return _finish_telemetry(args)
+
+
 def cmd_kernels(args) -> int:
     """Benchmark + parity-check the host kernels against the references."""
     import time
@@ -354,6 +408,12 @@ def cmd_kernels(args) -> int:
     if args.h % args.v:
         print(f"error: H={args.h} not divisible by V={args.v}", file=sys.stderr)
         return 2
+    if args.block_rows is not None and args.block_rows <= 0:
+        print(f"error: --block-rows must be positive, got {args.block_rows}",
+              file=sys.stderr)
+        return 2
+    if args.search:
+        return _kernels_search(args)
     rng = np.random.default_rng(args.seed)
     dtype = _resolve_cli_dtype(args.dtype)
     x = rng.normal(size=(args.n, args.h))
@@ -447,6 +507,12 @@ def cmd_compare(args) -> int:
     config = EVAL_MODELS[args.model]
     platform = get_platform(args.platform)
     host = wimpy_host()
+    # Validate before any kernel construction so a bad flag is a clean
+    # usage error (exit 2), not a CCSKernel traceback.
+    if args.block_rows is not None and args.block_rows <= 0:
+        print(f"error: --block-rows must be positive, got {args.block_rows}",
+              file=sys.stderr)
+        return 2
     profile = None
     if args.measure_host:
         from .kernels import measure_host_kernels
@@ -466,7 +532,8 @@ def cmd_compare(args) -> int:
             file=sys.stderr,
         )
     pimdl = PIMDLEngine(
-        platform, host, v=args.v, ct=args.ct, host_kernel_profile=profile
+        platform, host, v=args.v, ct=args.ct, host_kernel_profile=profile,
+        overlap=args.overlap,
     )
     engines = {
         "cpu-fp32": HostEngine(cpu_server_fp32()),
@@ -496,6 +563,9 @@ def cmd_compare(args) -> int:
     else:
         print(f"{config.name}: batch {config.batch_size}, seq {config.seq_len}")
         print(format_table(["engine", "latency_s", "energy_kJ", "pim share"], rows))
+        if args.overlap:
+            hidden = reports[f"pim-dl (V={args.v},CT={args.ct})"].overlap_hidden_s
+            print(f"pim-dl pipelined overlap hid {hidden:.3f} s of transfer")
         if args.attribution:
             for name, report in reports.items():
                 if report.phase_seconds:
@@ -1077,6 +1147,42 @@ def _bench_engine_bert(platform_name: str):
     return report.total_s, {"model": "bert-base"}
 
 
+def _bench_sim_overlap_bert(platform_name: str):
+    """Modeled: double-buffered simulator latency on a transfer-bound
+    BERT-base layer mapping (the tentpole overlap pipeline under gate)."""
+    platform = get_platform(platform_name)
+    shape = LUTShape(n=128, h=768, f=768, v=4, ct=16)
+    # Fixed multi-tile coarse-load mapping (not the tuned one, which is
+    # single-tile and leaves nothing to overlap) so the bench pins the
+    # pipelined path's latency, not the tuner's choice.
+    mapping = Mapping(
+        n_s_tile=64, f_s_tile=4, n_m_tile=4, f_m_tile=1, cb_m_tile=16,
+        traversal=("n", "cb", "f"), load_scheme="coarse",
+        cb_load_tile=8, f_load_tile=1,
+    )
+    report = PIMSimulator(platform).run(shape, mapping, overlap=True)
+    return report.total_s, {
+        "shape": "n128-h768-f768-v4-ct16",
+        "overlap_hidden_s": float(report.overlap_hidden_s),
+    }
+
+
+def _bench_schedule_search(platform_name: str):
+    """Measured: cold host kernel-schedule search (winner's total time)."""
+    import numpy as np
+
+    from .kernels import search_kernel_schedule
+
+    schedule = search_kernel_schedule(
+        n=256, h=256, f=256, v=4, ct=16,
+        repeats=3, rng=np.random.default_rng(0), cache=None,
+    )
+    return schedule.total_seconds, {
+        "shape": "n256-h256-f256-v4-ct16",
+        "speedup_vs_default": schedule.speedup_vs_default,
+    }
+
+
 def _measure_best(fn, repeats: int = 5) -> float:
     import time
 
@@ -1121,8 +1227,10 @@ def _bench_host_lut(platform_name: str):
 _BENCH_REGISTRY = {
     "sim.lut-kernel": ("modeled", _bench_sim_kernel),
     "engine.bert-base": ("modeled", _bench_engine_bert),
+    "sim.overlap-bert-base": ("modeled", _bench_sim_overlap_bert),
     "kernels.host-ccs": ("measured", _bench_host_ccs),
     "kernels.host-lut": ("measured", _bench_host_lut),
+    "kernels.schedule-search": ("measured", _bench_schedule_search),
 }
 
 
@@ -1295,6 +1403,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--cache", metavar="DIR",
                           help="persistent mapping cache directory to read")
     simulate.add_argument(
+        "--overlap", action="store_true",
+        help="double-buffer the micro-kernel loop: tile i+1's transfer "
+             "overlaps tile i's lookup/reduce",
+    )
+    simulate.add_argument(
         "--profile", nargs="?", const="-", default=None, metavar="TRACE",
         help="print the per-phase bottleneck attribution; with a PATH, "
              "also write the per-rank occupancy Chrome trace there "
@@ -1320,6 +1433,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="host kernel compute dtype for --measure-host")
     compare.add_argument("--block-rows", type=int, default=None, metavar="N",
                          help="host kernel row-block size for --measure-host")
+    compare.add_argument("--overlap", action="store_true",
+                         help="run the PIM-DL engine with the double-"
+                              "buffered host<->PIM overlap pipeline")
     compare.add_argument("--json", action="store_true",
                          help="machine-readable output")
     compare.add_argument("--attribution", action="store_true",
@@ -1341,6 +1457,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also benchmark the fused INT8 lookup path")
     kernels.add_argument("--repeats", type=int, default=3,
                          help="best-of-N timing repeats")
+    kernels.add_argument("--search", action="store_true",
+                         help="search the measured kernel schedule (block "
+                              "sizes, gather strategy) for this shape "
+                              "instead of the parity benchmark")
+    kernels.add_argument("--schedule-cache", metavar="DIR",
+                         help="persistent kernel-schedule cache directory "
+                              "for --search (hit skips all measurements)")
     kernels.add_argument("--seed", type=int, default=0)
     kernels.add_argument("--json", action="store_true",
                          help="machine-readable output")

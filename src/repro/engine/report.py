@@ -47,7 +47,9 @@ class EngineReport:
 
         if not self.phase_seconds:
             raise ValueError("engine run recorded no phase attribution")
-        return BottleneckReport.from_phases(self.phase_seconds)
+        return BottleneckReport.from_phases(
+            self.phase_seconds, overlap_hidden_s=self.overlap_hidden_s
+        )
 
     @property
     def host_s(self) -> float:

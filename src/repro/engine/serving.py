@@ -23,6 +23,7 @@ from .. import obs
 from ..baselines.roofline import RooflineDevice
 from ..core.codebook import LUTShape
 from ..kernels import HostKernelProfile
+from ..kernels.schedule import KernelScheduleCache
 from ..mapping.store import MappingCache
 from ..mapping.tuner import AutoTuner, TuningResult, model_lut_shapes
 from ..pim.platforms import PIMPlatform
@@ -124,6 +125,17 @@ class GenerationServer:
         manager's fault plan (retry → remap → host fallback) and each
         :class:`ServingReport` carries the ``degraded`` summary of what
         the ladder did.  ``None`` (default) serves fault-free.
+    overlap:
+        Double-buffer the LUT micro-kernel loop in both phases: the
+        transfer of tile *i+1* overlaps the lookup/reduce of tile *i*,
+        so the reports charge only the exposed transfer time.
+    schedule_cache:
+        A :class:`~repro.kernels.KernelScheduleCache` (or a directory
+        path for one).  :meth:`warmup` then searches the host-kernel
+        schedule (block sizes, gather strategy) for the serving batch
+        shape and persists the winner; when no ``host_kernel_profile``
+        was given, the winning schedule's measured throughput becomes
+        the engines' host kernel model.
     """
 
     def __init__(
@@ -137,15 +149,21 @@ class GenerationServer:
         tune_jobs: int = 1,
         host_kernel_profile: Optional[HostKernelProfile] = None,
         resilience: Optional[RecoveryManager] = None,
+        overlap: bool = False,
+        schedule_cache: Optional[Union[KernelScheduleCache, str]] = None,
     ):
         self.platform = platform
         self.host = host
         self.v = v
         self.ct = ct
         self.lut_nn = lut_nn
+        self.overlap = overlap
         if isinstance(mapping_cache, str):
             mapping_cache = MappingCache(mapping_cache)
         self.mapping_cache = mapping_cache
+        if isinstance(schedule_cache, str):
+            schedule_cache = KernelScheduleCache(schedule_cache)
+        self.schedule_cache = schedule_cache
         self.resilience = resilience if lut_nn else None
         if lut_nn:
             # Prefill follows the PIMDLEngine default (LUTs resident only on
@@ -160,9 +178,11 @@ class GenerationServer:
                     amortize_lut_distribution=prefill_amortize,
                     jobs=tune_jobs,
                     cache=mapping_cache,
+                    schedule_cache=self.schedule_cache,
                 ),
                 host_kernel_profile=host_kernel_profile,
                 resilience=self.resilience,
+                overlap=overlap,
             )
             self._decode = LUTDecodeEngine(
                 platform, host, v=v, ct=ct,
@@ -171,9 +191,11 @@ class GenerationServer:
                     amortize_lut_distribution=True,
                     jobs=tune_jobs,
                     cache=mapping_cache,
+                    schedule_cache=self.schedule_cache,
                 ),
                 host_kernel_profile=host_kernel_profile,
                 resilience=self.resilience,
+                overlap=overlap,
             )
         else:
             self._prefill = GEMMPIMEngine(platform, host)
@@ -195,6 +217,13 @@ class GenerationServer:
         With a populated ``mapping_cache`` this loads mappings instead of
         searching (zero candidates evaluated); on a cold cache it runs the
         searches once — with ``tune_jobs`` workers — and persists them.
+
+        When a ``schedule_cache`` is configured, the warmup also searches
+        the host-kernel schedule for the first prefill shape (persisted
+        the same way); if the server was built without an explicit
+        ``host_kernel_profile``, the winning schedule's measured
+        throughput is installed on both engines.
+
         Returns the tuned results by shape; a no-op for native serving.
         """
         if not self.lut_nn:
@@ -205,17 +234,23 @@ class GenerationServer:
         with obs.get_tracer().span(
             "serving.warmup", engine=self.name, model=config.name
         ) as span:
-            tuned.update(
-                self._prefill.tuner.tune_many(
-                    model_lut_shapes(prefill_config, v=self.v, ct=self.ct)
-                )
-            )
+            prefill_shapes = model_lut_shapes(prefill_config, v=self.v, ct=self.ct)
+            tuned.update(self._prefill.tuner.tune_many(prefill_shapes))
             decode_shapes = [
                 LUTShape(n=batch_size, h=h, f=f, v=self.v, ct=self.ct)
                 for _, h, f in config.linear_layer_shapes()
             ]
             tuned.update(self._decode.tuner.tune_many(decode_shapes))
             span.set_attribute("shapes", len(tuned))
+            if self.schedule_cache is not None and prefill_shapes:
+                schedule = self._prefill.tuner.warm_host_schedule(prefill_shapes[0])
+                span.set_attribute(
+                    "schedule_speedup", schedule.speedup_vs_default
+                )
+                if self._prefill.host_kernel_profile is None:
+                    profile = schedule.to_profile()
+                    self._prefill.host_kernel_profile = profile
+                    self._decode.host_kernel_profile = profile
         obs.get_registry().counter("serving.warmup_shapes").inc(len(tuned))
         return tuned
 

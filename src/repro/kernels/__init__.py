@@ -36,6 +36,11 @@ from .lut import (
     lut_gather_reduce_quantized,
 )
 from .profile import HostKernelProfile, measure_host_kernels
+from .schedule import (
+    KernelSchedule,
+    KernelScheduleCache,
+    search_kernel_schedule,
+)
 
 __all__ = [
     "CCSKernel",
@@ -49,4 +54,7 @@ __all__ = [
     "lut_gather_reduce_quantized",
     "HostKernelProfile",
     "measure_host_kernels",
+    "KernelSchedule",
+    "KernelScheduleCache",
+    "search_kernel_schedule",
 ]

@@ -195,6 +195,29 @@ class CCSKernel:
     # ------------------------------------------------------------------
     # Kernels
     # ------------------------------------------------------------------
+    def _apply_blocked(self, x: np.ndarray, prep: PreparedCentroids, emit) -> None:
+        """Blocked batched-GEMM score computation shared by both kernels.
+
+        Walks ``x`` in ``block_rows`` chunks, builds the ``(CB, nb, CT)``
+        score tensor ``||c||^2 - 2 a.c`` for each, and hands it to
+        ``emit(start, stop, sub, scores)`` — the only part where
+        :meth:`search` (argmin) and :meth:`squared_distances` (add
+        ``||a||^2``, keep values) differ.  ``scores`` is block-private, so
+        ``emit`` may mutate it in place.
+        """
+        dt = prep.dtype
+        n = x.shape[0]
+        for start in range(0, n, self.block_rows):
+            stop = min(start + self.block_rows, n)
+            # Contiguous cast only when the dtype actually changes.
+            xb = np.ascontiguousarray(x[start:stop], dtype=dt)
+            sub = xb.reshape(stop - start, prep.cb, prep.v).transpose(1, 0, 2)
+            # One batched BLAS matmul: (CB, nb, V) @ (CB, V, CT).
+            scores = np.matmul(sub, prep.cents_t)
+            scores *= -2.0
+            scores += prep.c_sq
+            emit(start, stop, sub, scores)
+
     def search(
         self,
         x: np.ndarray,
@@ -214,17 +237,12 @@ class CCSKernel:
             )
         n = x.shape[0]
         out = np.empty((n, prep.cb), dtype=np.int32)
-        for start in range(0, n, self.block_rows):
-            stop = min(start + self.block_rows, n)
-            # Contiguous cast only when the dtype actually changes.
-            xb = np.ascontiguousarray(x[start:stop], dtype=dt)
-            sub = xb.reshape(stop - start, prep.cb, prep.v).transpose(1, 0, 2)
-            # One batched BLAS matmul: (CB, nb, V) @ (CB, V, CT).
-            scores = np.matmul(sub, prep.cents_t)
-            # argmin(||a||^2 - 2 a.c + ||c||^2) == argmin(||c||^2 - 2 a.c).
-            scores *= -2.0
-            scores += prep.c_sq
+
+        # argmin(||a||^2 - 2 a.c + ||c||^2) == argmin(||c||^2 - 2 a.c).
+        def emit(start, stop, sub, scores):
             out[start:stop] = scores.argmin(axis=2).T
+
+        self._apply_blocked(x, prep, emit)
         self.stats["searches"] += 1
         registry = obs.get_registry()
         registry.counter("kernels.ccs.searches").inc()
@@ -254,14 +272,11 @@ class CCSKernel:
             )
         n = x.shape[0]
         out = np.empty((n, prep.cb, prep.ct), dtype=dt)
-        for start in range(0, n, self.block_rows):
-            stop = min(start + self.block_rows, n)
-            xb = np.ascontiguousarray(x[start:stop], dtype=dt)
-            sub = xb.reshape(stop - start, prep.cb, prep.v).transpose(1, 0, 2)
-            scores = np.matmul(sub, prep.cents_t)
-            scores *= -2.0
-            scores += prep.c_sq
+
+        def emit(start, stop, sub, scores):
             scores += np.sum(sub * sub, axis=-1, dtype=dt)[:, :, None]
             out[start:stop] = scores.transpose(1, 0, 2)
+
+        self._apply_blocked(x, prep, emit)
         obs.get_registry().counter("kernels.ccs.rows").inc(n)
         return out

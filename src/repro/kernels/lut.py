@@ -41,6 +41,25 @@ from .ccs import DEFAULT_BLOCK_ROWS
 #: beyond this the per-codebook accumulation path wins on memory traffic.
 _GATHER_BUDGET_BYTES = 8 << 20
 
+#: Valid gather strategies: ``auto`` picks by working-set size (the
+#: heuristic above); ``flat``/``per-codebook`` force one path — used by the
+#: measured schedule search to replace the heuristic with a decision
+#: actually timed on this machine.
+GATHER_STRATEGIES = ("auto", "flat", "per-codebook")
+
+
+def _flat_row_budget(strategy: str, n: int, row_bytes: int) -> int:
+    """Rows per block the flat gather may take under ``strategy``."""
+    if strategy not in GATHER_STRATEGIES:
+        raise ValueError(
+            f"unknown gather strategy {strategy!r}; choose from {GATHER_STRATEGIES}"
+        )
+    if strategy == "flat":
+        return n if n > 0 else 1
+    if strategy == "per-codebook":
+        return 0
+    return max(1, _GATHER_BUDGET_BYTES // max(row_bytes, 1))
+
 
 def gather_offsets(cb: int, ct: int) -> np.ndarray:
     """(1, CB) int64 row offsets of each codebook in the flat (CB*CT, F) view."""
@@ -77,6 +96,7 @@ def lut_gather_reduce(
     lut: np.ndarray,
     offsets: Optional[np.ndarray] = None,
     block_rows: Optional[int] = None,
+    strategy: str = "auto",
 ) -> np.ndarray:
     """Fused table lookup + accumulate: ``out[n] = sum_cb lut[cb, idx[n, cb]]``.
 
@@ -86,6 +106,9 @@ def lut_gather_reduce(
     lut: (CB, CT, F) pre-computed tables (any float dtype).
     offsets: optional precomputed :func:`gather_offsets` (cached per layer).
     block_rows: rows per block; bounds the (nb, CB, F) gather working set.
+    strategy: ``"auto"`` (working-set heuristic), ``"flat"``, or
+        ``"per-codebook"`` — force a gather path, e.g. from a measured
+        :class:`~repro.kernels.schedule.KernelSchedule`.
 
     Raises
     ------
@@ -102,7 +125,7 @@ def lut_gather_reduce(
     lut2d = lut.reshape(cb * ct, f)
     n = unsigned.shape[0]
     block = int(block_rows or DEFAULT_BLOCK_ROWS)
-    flat_rows = max(1, _GATHER_BUDGET_BYTES // max(cb * f * lut.itemsize, 1))
+    flat_rows = _flat_row_budget(strategy, n, cb * f * lut.itemsize)
     out = np.empty((n, f), dtype=lut.dtype)
     if cb == 0:
         out.fill(0)
@@ -131,6 +154,7 @@ def lut_gather_reduce_quantized(
     qlut,
     offsets: Optional[np.ndarray] = None,
     block_rows: Optional[int] = None,
+    strategy: str = "auto",
 ) -> np.ndarray:
     """Fused INT8 lookup + accumulate against a :class:`QuantizedLUT`.
 
@@ -157,7 +181,7 @@ def lut_gather_reduce_quantized(
     block = int(block_rows or DEFAULT_BLOCK_ROWS)
     # The int8 gather intermediate is 1 byte/element, so the flat strategy
     # holds much longer than in the float kernel.
-    flat_rows = max(1, _GATHER_BUDGET_BYTES // max(cb * f, 1))
+    flat_rows = _flat_row_budget(strategy, n, cb * f)
     out = np.empty((n, f), dtype=np.float64)
     if cb == 0:
         out.fill(0)

@@ -49,6 +49,8 @@ class HostKernelProfile:
     ccs_ops_per_s: float
     gather_elements_per_s: float
     measured_shape: Tuple[int, int, int, int, int]
+    #: min-of-k repetitions each timing took (1 = a single, noisy sample).
+    repeats: int = 1
 
     def ccs_time(self, n: int, h: int, ct: int) -> float:
         """Modeled CCS seconds for an (N, H) x CT workload."""
@@ -59,7 +61,16 @@ class HostKernelProfile:
         return float(n) * cb * f / self.gather_elements_per_s
 
 
-def _best_seconds(fn, repeats: int) -> float:
+def _best_seconds(fn, repeats: int, warmup: int = 1) -> float:
+    """Min-of-``repeats`` wall time of ``fn()`` after ``warmup`` calls.
+
+    The minimum is the standard noise-robust estimator for CPU
+    micro-benchmarks (any deviation above it is interference, not the
+    kernel); the warmup calls take the one-time costs — page faults on
+    fresh output buffers, BLAS thread-pool spin-up — out of every sample.
+    """
+    for _ in range(max(0, warmup)):
+        fn()
     best = float("inf")
     for _ in range(max(1, repeats)):
         start = time.perf_counter()
@@ -76,14 +87,15 @@ def measure_host_kernels(
     ct: int = 16,
     dtype: str = "float32",
     block_rows: Optional[int] = None,
-    repeats: int = 3,
+    repeats: int = 5,
     rng: Optional[np.random.Generator] = None,
 ) -> HostKernelProfile:
     """Measure CCS + gather-reduce throughput on one representative shape.
 
     Defaults to the BERT-base eval shape (N=128, H=768, CT=16).  Returns
-    the best-of-``repeats`` effective throughputs; constant preparation is
-    excluded (warm cache), matching steady-state serving.
+    the best-of-``repeats`` effective throughputs after one warmup call
+    per kernel; constant preparation is excluded (warm cache), matching
+    steady-state serving.
     """
     if h % v:
         raise ValueError(f"H={h} not divisible by V={v}")
@@ -116,6 +128,7 @@ def measure_host_kernels(
         ccs_ops_per_s=3.0 * n * h * ct / max(ccs_s, 1e-12),
         gather_elements_per_s=float(n) * cb * f / max(gather_s, 1e-12),
         measured_shape=(n, h, f, v, ct),
+        repeats=max(1, repeats),
     )
     registry = obs.get_registry()
     registry.gauge("kernels.profile.ccs_ops_per_s").set(profile.ccs_ops_per_s)

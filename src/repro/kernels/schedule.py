@@ -1,0 +1,338 @@
+"""Measured host kernel-schedule search + persistent schedule cache.
+
+``CCSKernel``'s ``DEFAULT_BLOCK_ROWS`` and the gather kernels'
+flat-vs-per-codebook working-set threshold are hand-tuned heuristics — good
+defaults for the machine they were derived on, but exactly the kind of
+constant a searched schedule beats (ATiM shows the same for in-DRAM
+schedules).  This module replaces them with a *measured* per-(shape, dtype,
+CT) search:
+
+* :func:`search_kernel_schedule` times every candidate ``block_rows`` for
+  the CCS kernel and every ``(block_rows, strategy)`` pair for the gather
+  kernel on real data, min-of-k per candidate, and returns the fastest
+  combination as a :class:`KernelSchedule`.  The hand-tuned default
+  configuration is always one of the candidates and its timing is recorded
+  as ``baseline_seconds``, so the winner is *structurally* never slower
+  than the default under the same measurement.
+* :class:`KernelScheduleCache` persists schedules content-addressed by
+  (shape, dtype, host fingerprint, format version) — the same
+  atomic-write / lenient-read machinery as
+  :class:`repro.mapping.store.MappingCache`, self-contained here because
+  ``repro.kernels`` depends only on numpy and :mod:`repro.obs`.  A cache
+  hit returns the stored schedule with zero candidates re-measured.
+
+:class:`~repro.mapping.tuner.AutoTuner` and
+``GenerationServer.warmup()`` warm-start from the cache so serving pays
+the search once per machine.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import warnings
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from .. import obs
+from ..obs.baseline import host_fingerprint
+from .ccs import CCSKernel, DEFAULT_BLOCK_ROWS
+from .lut import lut_gather_reduce
+from .profile import HostKernelProfile, _best_seconds
+
+#: Cache entries from other format versions are ignored (never deleted).
+FORMAT_VERSION = 1
+
+#: Row-block candidates the search times (the hand-tuned default is always
+#: added, so the baseline configuration is itself a candidate).
+DEFAULT_BLOCK_ROWS_CANDIDATES: Tuple[int, ...] = (256, 1024, 4096, 16384)
+
+#: Gather strategies the search forces (``auto`` — the heuristic — is the
+#: baseline configuration).
+_SEARCHED_STRATEGIES: Tuple[str, ...] = ("flat", "per-codebook")
+
+
+@dataclass(frozen=True)
+class KernelSchedule:
+    """The measured-fastest host kernel configuration for one shape.
+
+    ``ccs_seconds``/``gather_seconds`` are the winner's min-of-k timings;
+    ``baseline_seconds`` is the hand-tuned default configuration timed in
+    the same session (``speedup_vs_default >= 1.0`` by construction).
+    ``candidates_evaluated`` is 0 when the schedule came from a cache hit.
+    """
+
+    dtype: str
+    ccs_block_rows: int
+    gather_block_rows: int
+    gather_strategy: str
+    ccs_seconds: float
+    gather_seconds: float
+    baseline_seconds: float
+    shape: Tuple[int, int, int, int, int]
+    repeats: int = 1
+    candidates_evaluated: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.ccs_seconds + self.gather_seconds
+
+    @property
+    def speedup_vs_default(self) -> float:
+        if self.total_seconds <= 0:
+            return 1.0
+        return self.baseline_seconds / self.total_seconds
+
+    def to_profile(self) -> HostKernelProfile:
+        """Express the winner as the engines' :class:`HostKernelProfile`."""
+        n, h, f, v, ct = self.shape
+        cb = h // v
+        return HostKernelProfile(
+            dtype=self.dtype,
+            block_rows=self.ccs_block_rows,
+            ccs_ops_per_s=3.0 * n * h * ct / max(self.ccs_seconds, 1e-12),
+            gather_elements_per_s=float(n) * cb * f
+            / max(self.gather_seconds, 1e-12),
+            measured_shape=self.shape,
+            repeats=self.repeats,
+        )
+
+    def to_jsonable(self) -> dict:
+        return {
+            "dtype": self.dtype,
+            "ccs_block_rows": self.ccs_block_rows,
+            "gather_block_rows": self.gather_block_rows,
+            "gather_strategy": self.gather_strategy,
+            "ccs_seconds": self.ccs_seconds,
+            "gather_seconds": self.gather_seconds,
+            "baseline_seconds": self.baseline_seconds,
+            "shape": list(self.shape),
+            "repeats": self.repeats,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "KernelSchedule":
+        return cls(
+            dtype=str(data["dtype"]),
+            ccs_block_rows=int(data["ccs_block_rows"]),
+            gather_block_rows=int(data["gather_block_rows"]),
+            gather_strategy=str(data["gather_strategy"]),
+            ccs_seconds=float(data["ccs_seconds"]),
+            gather_seconds=float(data["gather_seconds"]),
+            baseline_seconds=float(data["baseline_seconds"]),
+            shape=tuple(int(x) for x in data["shape"]),
+            repeats=int(data.get("repeats", 1)),
+            candidates_evaluated=0,
+        )
+
+
+def _atomic_write_json(path: str, payload: dict) -> None:
+    """Write-then-rename so readers never observe a torn entry."""
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _shape_key(n: int, h: int, f: int, v: int, ct: int) -> str:
+    return f"n{n}_h{h}_f{f}_v{v}_ct{ct}"
+
+
+class KernelScheduleCache:
+    """Directory cache of measured :class:`KernelSchedule` entries.
+
+    One JSON file per (shape, dtype), named
+    ``v{FORMAT_VERSION}-{host_fp}-{shape_key}-{dtype}.json``.  Measured
+    timings are only meaningful on the machine that produced them, so the
+    key is the *host* fingerprint (:func:`repro.obs.baseline.host_fingerprint`),
+    not a platform model fingerprint.  Reads are lenient: a corrupt, stale,
+    or foreign entry is rejected with a :class:`RuntimeWarning` and treated
+    as a miss, never an error.
+    """
+
+    def __init__(self, root: str, fingerprint: Optional[str] = None):
+        self.root = root
+        self.fingerprint = fingerprint or host_fingerprint(
+            {"kind": "kernel-schedule"}
+        )
+
+    def entry_path(self, n: int, h: int, f: int, v: int, ct: int, dtype: str) -> str:
+        name = (
+            f"v{FORMAT_VERSION}-{self.fingerprint}-"
+            f"{_shape_key(n, h, f, v, ct)}-{dtype}.json"
+        )
+        return os.path.join(self.root, name)
+
+    @staticmethod
+    def _reject(path: str, reason: str) -> None:
+        warnings.warn(
+            f"ignoring kernel-schedule cache entry {path}: {reason}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        obs.get_registry().counter("kernel_schedule_cache.rejected").inc()
+
+    def get(
+        self, n: int, h: int, f: int, v: int, ct: int, dtype: str
+    ) -> Optional[KernelSchedule]:
+        path = self.entry_path(n, h, f, v, ct, dtype)
+        registry = obs.get_registry()
+        try:
+            with open(path) as fh:
+                entry = json.load(fh)
+        except FileNotFoundError:
+            registry.counter("kernel_schedule_cache.misses").inc()
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            self._reject(path, f"unreadable ({exc})")
+            registry.counter("kernel_schedule_cache.misses").inc()
+            return None
+        try:
+            if entry.get("format_version") != FORMAT_VERSION:
+                raise ValueError("format version mismatch")
+            if entry.get("fingerprint") != self.fingerprint:
+                raise ValueError("host fingerprint mismatch")
+            schedule = KernelSchedule.from_dict(entry["schedule"])
+            if schedule.shape != (n, h, f, v, ct) or schedule.dtype != dtype:
+                raise ValueError("shape/dtype mismatch")
+        except (KeyError, TypeError, ValueError) as exc:
+            self._reject(path, str(exc))
+            registry.counter("kernel_schedule_cache.misses").inc()
+            return None
+        registry.counter("kernel_schedule_cache.hits").inc()
+        return schedule
+
+    def put(self, schedule: KernelSchedule) -> str:
+        n, h, f, v, ct = schedule.shape
+        path = self.entry_path(n, h, f, v, ct, schedule.dtype)
+        _atomic_write_json(
+            path,
+            {
+                "format_version": FORMAT_VERSION,
+                "fingerprint": self.fingerprint,
+                "schedule": schedule.to_jsonable(),
+            },
+        )
+        obs.get_registry().counter("kernel_schedule_cache.writes").inc()
+        return path
+
+
+def search_kernel_schedule(
+    n: int = 128,
+    h: int = 768,
+    f: int = 768,
+    v: int = 4,
+    ct: int = 16,
+    dtype: str = "float32",
+    block_rows_candidates: Optional[Iterable[int]] = None,
+    repeats: int = 3,
+    rng: Optional[np.random.Generator] = None,
+    cache: Optional[KernelScheduleCache] = None,
+) -> KernelSchedule:
+    """Measure every candidate host-kernel configuration; return the winner.
+
+    The hand-tuned default (``DEFAULT_BLOCK_ROWS`` rows, ``auto`` gather
+    strategy) is always among the candidates and its timing becomes
+    ``baseline_seconds`` — the winner's ``speedup_vs_default`` is therefore
+    >= 1.0 by construction, not by luck against re-measurement noise.
+
+    With ``cache``, a valid stored schedule is returned immediately
+    (``candidates_evaluated == 0``) and a fresh search result is written
+    back for the next caller.
+    """
+    if h % v:
+        raise ValueError(f"H={h} not divisible by V={v}")
+    dtype = str(np.dtype(dtype))
+    if cache is not None:
+        hit = cache.get(n, h, f, v, ct, dtype)
+        if hit is not None:
+            return hit
+
+    rng = rng or np.random.default_rng(0)
+    cb = h // v
+    x = rng.normal(size=(n, h))
+    centroids = rng.normal(size=(cb, ct, v))
+    lut = rng.normal(size=(cb, ct, f)).astype(dtype)
+
+    blocks = sorted(
+        set(int(b) for b in (block_rows_candidates or DEFAULT_BLOCK_ROWS_CANDIDATES))
+        | {DEFAULT_BLOCK_ROWS}
+    )
+    if any(b <= 0 for b in blocks):
+        raise ValueError("block_rows candidates must be positive")
+
+    registry = obs.get_registry()
+    candidates = 0
+    with obs.get_tracer().span(
+        "kernels.schedule_search", n=n, h=h, f=f, v=v, ct=ct, dtype=dtype
+    ) as span:
+        # --- CCS: block_rows search -----------------------------------
+        ccs_results = {}
+        indices = None
+        for block in blocks:
+            kernel = CCSKernel(dtype=dtype, block_rows=block)
+            kernel.prepare(centroids, version=0)
+            if indices is None:
+                indices = kernel.search(x, centroids, version=0)
+            ccs_results[block] = _best_seconds(
+                lambda: kernel.search(x, centroids, version=0), repeats
+            )
+            candidates += 1
+        ccs_block = min(ccs_results, key=lambda b: (ccs_results[b], b))
+
+        # --- Gather: (block_rows, strategy) search --------------------
+        baseline_gather_key = (DEFAULT_BLOCK_ROWS, "auto")
+        gather_grid = [
+            (block, strategy)
+            for block in blocks
+            for strategy in _SEARCHED_STRATEGIES
+        ] + [baseline_gather_key]
+        gather_results = {}
+        for block, strategy in gather_grid:
+            gather_results[(block, strategy)] = _best_seconds(
+                lambda: lut_gather_reduce(
+                    indices, lut, block_rows=block, strategy=strategy
+                ),
+                repeats,
+            )
+            candidates += 1
+        gather_block, gather_strategy = min(
+            gather_results, key=lambda k: (gather_results[k], k)
+        )
+
+        baseline = ccs_results[DEFAULT_BLOCK_ROWS] + gather_results[baseline_gather_key]
+        schedule = KernelSchedule(
+            dtype=dtype,
+            ccs_block_rows=ccs_block,
+            gather_block_rows=gather_block,
+            gather_strategy=gather_strategy,
+            ccs_seconds=ccs_results[ccs_block],
+            gather_seconds=gather_results[(gather_block, gather_strategy)],
+            baseline_seconds=baseline,
+            shape=(n, h, f, v, ct),
+            repeats=max(1, repeats),
+            candidates_evaluated=candidates,
+        )
+        span.set_attribute("candidates", candidates)
+        span.set_attribute("speedup_vs_default", schedule.speedup_vs_default)
+
+    registry.counter("kernel_schedule.searches").inc()
+    registry.counter("kernel_schedule.candidates").inc(candidates)
+    registry.gauge("kernel_schedule.speedup_vs_default").set(
+        schedule.speedup_vs_default
+    )
+    if cache is not None:
+        cache.put(schedule)
+    return schedule

@@ -16,7 +16,7 @@ re-measures against our simulator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -46,6 +46,10 @@ class LatencyBreakdown:
     kernel_transfer: float
     kernel_reduce: float
     launch: float
+    #: Transfer seconds hidden under reduce by the double-buffered pipeline
+    #: (0.0 in the sequential model).  ``kernel_transfer`` always reports the
+    #: *full* transfer work; the wall-clock view subtracts this.
+    overlap_hidden: float = 0.0
 
     @property
     def sub_lut_partition(self) -> float:
@@ -54,8 +58,13 @@ class LatencyBreakdown:
 
     @property
     def micro_kernel(self) -> float:
-        """t_micro-kernel of paper Eq. 6."""
-        return self.kernel_transfer + self.kernel_reduce
+        """Wall-clock t_micro-kernel (paper Eq. 6, minus pipelined overlap)."""
+        return self.kernel_transfer + self.kernel_reduce - self.overlap_hidden
+
+    @property
+    def exposed_transfer(self) -> float:
+        """Kernel transfer time still on the critical path under overlap."""
+        return self.kernel_transfer - self.overlap_hidden
 
     @property
     def total(self) -> float:
@@ -91,12 +100,42 @@ def _load_count(traversal, trips: Dict[str, int], deps) -> int:
     return count
 
 
+def pipeline_overlap_hidden(
+    shape: LUTShape, mapping: Mapping, breakdown: LatencyBreakdown
+) -> float:
+    """Transfer seconds hidden by double-buffering the micro-kernel loop.
+
+    With ``T`` uniform m-tiles, per-tile transfer ``tt`` and per-tile reduce
+    ``tc``, the pipelined loop takes ``tt + (T-1)*max(tt, tc) + tc`` instead
+    of ``T*(tt + tc)`` — the fill/drain stages stay exposed, so the hidden
+    time is ``(T-1)/T * min(total_transfer, total_reduce)``.  Always
+    ``0 <= hidden < kernel_transfer`` (strictly, unless both are zero).
+    """
+    trips = _loop_trips(shape, mapping)
+    tiles = trips["n"] * trips["f"] * trips["cb"]
+    if tiles <= 1:
+        return 0.0
+    frac = (tiles - 1) / tiles
+    return frac * min(breakdown.kernel_transfer, breakdown.kernel_reduce)
+
+
+def with_overlap(
+    shape: LUTShape, mapping: Mapping, breakdown: LatencyBreakdown
+) -> LatencyBreakdown:
+    """Re-express ``breakdown`` under the double-buffered pipeline model."""
+    hidden = pipeline_overlap_hidden(shape, mapping, breakdown)
+    if hidden <= 0.0:
+        return breakdown
+    return replace(breakdown, overlap_hidden=hidden)
+
+
 def estimate_latency(
     shape: LUTShape,
     mapping: Mapping,
     platform: PIMPlatform,
     amortize_lut_distribution: bool = False,
     fault_injector=None,
+    overlap: bool = False,
 ) -> LatencyBreakdown:
     """Closed-form latency of one LUT kernel under ``mapping``.
 
@@ -112,6 +151,13 @@ def estimate_latency(
         (dead ranks/PEs removed — the mapping must be legal there, i.e.
         already remapped) and the micro-kernel terms are stretched by the
         straggler slowdown.  An inactive injector changes nothing.
+    overlap:
+        When True, model the micro-kernel loop as a double-buffered
+        pipeline: the transfer of m-tile ``i+1`` overlaps the reduce of
+        m-tile ``i``, each stage bounded by ``max(transfer, compute)`` plus
+        fill/drain.  The hidden time lands in
+        :attr:`LatencyBreakdown.overlap_hidden`; with ``overlap=False`` the
+        result is bit-identical to the sequential model.
     """
     straggler = 1.0
     if fault_injector is not None and fault_injector.active:
@@ -191,7 +237,7 @@ def estimate_latency(
         chunks_per_lookup = max(mapping.f_s_tile // mapping.f_load_tile, 1)
         t_reduce += platform.compute.lookup_time(lookup_count * (chunks_per_lookup - 1))
 
-    return LatencyBreakdown(
+    breakdown = LatencyBreakdown(
         sub_index=t_sub_index,
         sub_lut=t_sub_lut,
         sub_output=t_sub_output,
@@ -199,6 +245,9 @@ def estimate_latency(
         kernel_reduce=t_reduce * straggler,
         launch=platform.kernel_launch_s,
     )
+    if overlap:
+        breakdown = with_overlap(shape, mapping, breakdown)
+    return breakdown
 
 
 def search_micro_kernels(

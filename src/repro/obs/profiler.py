@@ -89,6 +89,11 @@ class PhaseProfile:
         default_factory=dict
     )
     label: str = ""
+    #: Transfer seconds hidden under compute by pipelined double-buffering.
+    #: Informational: ``phase_seconds`` already reports *exposed* time (so
+    #: the exact partition of ``total_s`` is preserved); the sequential
+    #: dma cost is ``phase_seconds["dma"] + overlap_hidden_s``.
+    overlap_hidden_s: float = 0.0
 
     @property
     def total_s(self) -> float:
@@ -183,6 +188,7 @@ class PhaseProfile:
         for profile in profiles:
             for phase, seconds in profile.phase_seconds.items():
                 merged.add_phase(phase, seconds)
+            merged.overlap_hidden_s += profile.overlap_hidden_s
             if profile.per_rank_busy_s:
                 if len(busy) < len(profile.per_rank_busy_s):
                     busy += [0.0] * (len(profile.per_rank_busy_s) - len(busy))
@@ -208,6 +214,7 @@ class PhaseProfile:
             "per_rank_active_pes": list(self.per_rank_active_pes),
             "pes_per_rank": self.pes_per_rank,
             "imbalance_index": self.imbalance_index,
+            "overlap_hidden_s": self.overlap_hidden_s,
             "rank_segments": {
                 str(rank): [
                     {"start_s": s.start_s, "end_s": s.end_s, "phase": s.phase}
@@ -297,6 +304,9 @@ class BottleneckReport:
     utilization: Dict[str, float] = field(default_factory=dict)
     imbalance_index: float = 0.0
     top_ranks: Tuple[Tuple[int, float], ...] = ()
+    #: Transfer seconds pipelining hid under compute (phase seconds report
+    #: exposed time; the sequential transfer cost adds this back).
+    overlap_hidden_s: float = 0.0
 
     @classmethod
     def from_phases(
@@ -305,6 +315,7 @@ class BottleneckReport:
         utilization: Optional[Dict[str, float]] = None,
         imbalance_index: float = 0.0,
         top_ranks: Sequence[Tuple[int, float]] = (),
+        overlap_hidden_s: float = 0.0,
     ) -> "BottleneckReport":
         total = sum(phase_seconds.values())
         shares = (
@@ -328,6 +339,7 @@ class BottleneckReport:
             utilization=dict(utilization or {}),
             imbalance_index=imbalance_index,
             top_ranks=tuple(top_ranks),
+            overlap_hidden_s=overlap_hidden_s,
         )
 
     def to_jsonable(self) -> dict:
@@ -340,6 +352,7 @@ class BottleneckReport:
             "utilization": dict(sorted_phases(self.utilization)),
             "imbalance_index": self.imbalance_index,
             "top_ranks": [[rank, load] for rank, load in self.top_ranks],
+            "overlap_hidden_s": self.overlap_hidden_s,
         }
 
     def render(self) -> str:
@@ -354,6 +367,17 @@ class BottleneckReport:
             util_txt = f"  util {util:6.1%}" if util is not None else ""
             lines.append(
                 f"  {phase:>13} {seconds * 1e3:10.4f} ms  {share:6.1%}{util_txt}"
+            )
+        if self.overlap_hidden_s > 0:
+            exposed = self.phase_seconds.get("dma", 0.0)
+            sequential = exposed + self.overlap_hidden_s
+            hidden_share = (
+                self.overlap_hidden_s / sequential if sequential > 0 else 0.0
+            )
+            lines.append(
+                f"  pipelining hid {self.overlap_hidden_s * 1e3:.4f} ms of "
+                f"transfer ({hidden_share:.1%} of sequential dma); "
+                f"exposed {exposed * 1e3:.4f} ms"
             )
         if self.top_ranks:
             ranked = ", ".join(
@@ -422,4 +446,5 @@ def attribute_bottleneck(
         utilization=utilization,
         imbalance_index=profile.imbalance_index,
         top_ranks=profile.top_ranks(top_k),
+        overlap_hidden_s=profile.overlap_hidden_s,
     )

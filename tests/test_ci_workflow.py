@@ -66,6 +66,20 @@ class TestWorkflowFile:
         runs = " ".join(_run_commands(workflow["jobs"]["tests"]))
         assert "tests/test_cluster.py" in runs
 
+    def test_tests_job_runs_overlap_and_schedule_suites(self, workflow):
+        """The overlap pipeline + schedule cache are explicit tier-1 members."""
+        runs = " ".join(_run_commands(workflow["jobs"]["tests"]))
+        assert "tests/test_overlap.py" in runs
+        assert "tests/test_kernel_schedule.py" in runs
+
+    def test_overlap_and_schedule_benches_registered(self):
+        """The nightly `bench` suites carry the new ids (modeled overlap
+        flows through `bench compare --suite modeled` automatically)."""
+        from repro.cli import _BENCH_REGISTRY
+
+        assert _BENCH_REGISTRY["sim.overlap-bert-base"][0] == "modeled"
+        assert _BENCH_REGISTRY["kernels.schedule-search"][0] == "measured"
+
     def test_tests_job_python_matrix(self, workflow):
         versions = workflow["jobs"]["tests"]["strategy"]["matrix"]["python-version"]
         assert "3.10" in versions and "3.12" in versions
