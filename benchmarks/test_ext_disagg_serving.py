@@ -1,0 +1,132 @@
+"""Extension experiment — disaggregated vs colocated serving goodput.
+
+The prefill/decode pool split the PIM-DL placement argument implies:
+bandwidth-bound decode stays on the PIM engine while prompt prefill runs
+on a separate pool, joined by an explicit KV-cache migration.  The same
+seeded decode-heavy Poisson stream is served under every placement
+policy from comfortable load to past the colocated engine's capacity.
+The nightly gate pins the headline claim: at overload (rho >= 1.2) the
+disaggregated pool retains at least as much SLO goodput as the colocated
+baseline — whole-prompt prefills stall every decoding sequence on the
+single engine, and the split removes exactly that stall — while the
+hybrid policy never loses to either pure policy on the same streams.
+
+Results are recorded through the persistent ``BaselineStore`` (bench id
+``sched.disagg-bert-base``) so the overload goodput ratio has history
+and regressions in the disaggregation layer surface as baseline
+deviations.
+
+Marked ``slow``: the sweep simulates placement x load cells on the
+BERT-base cost model, so it lands in the nightly job with the other
+sweeps.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.baselines import wimpy_host
+from repro.engine import (DisaggScheduler, GenerationServer, Request,
+                          SchedulerPolicy, disagg_load_sweep)
+from repro.obs import BaselineStore
+from repro.pim import get_platform
+from repro.workloads import bert_base
+
+pytestmark = pytest.mark.slow
+
+#: Disaggregated goodput at overload must be at least this multiple of
+#: colocated goodput on the identical decode-heavy stream.
+OVERLOAD_GATE = 1.0
+
+
+def test_ext_disagg_serving(benchmark, report, tmp_path):
+    config = bert_base().with_(num_layers=2)
+    server = GenerationServer(get_platform("upmem"), wimpy_host())
+    probe = Request(request_id=-1, arrival_s=0.0, prompt_len=128,
+                    generate_len=64)
+    shared = DisaggScheduler(server, config, placement="colocated")
+    service_s = shared.fifo_service_time(probe)
+    policy = SchedulerPolicy(
+        slo_ttft_s=2.5 * shared.cost.prefill_s(128, 1),
+        slo_e2e_s=2.5 * service_s,
+    )
+
+    def run():
+        return disagg_load_sweep(
+            server, config,
+            placements=("colocated", "disaggregated", "hybrid"),
+            utilizations=(0.8, 1.2, 1.6),
+            num_requests=96,
+            prompt_len=128,
+            generate_len=64,  # decode-heavy: 64 decode steps per prompt
+            policy=policy,
+            seed=0,
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = []
+    for p in points:
+        r = p.result
+        table.append([
+            f"{p.target_utilization:.1f}", p.placement,
+            r.completed, r.rejected, r.kv_transfers,
+            f"{r.ttft_p50_s * 1e3:.0f}/{r.ttft_p95_s * 1e3:.0f}",
+            f"{r.e2e_p50_s * 1e3:.0f}/{r.e2e_p95_s * 1e3:.0f}",
+            f"{r.throughput_rps:.2f}", f"{r.goodput_rps:.2f}",
+        ])
+    report(
+        "ext_disagg_serving",
+        format_table(
+            ["rho(colocated)", "placement", "done", "rej", "kv xfer",
+             "ttft ms p50/p95", "e2e ms p50/p95", "req/s", "goodput"],
+            table,
+        ),
+    )
+
+    def cell(rho, placement):
+        for p in points:
+            if p.target_utilization == rho and p.placement == placement:
+                return p.result
+        raise AssertionError(f"missing cell rho={rho} placement={placement}")
+
+    # Every cell's phase attribution partitions its busy seconds exactly.
+    for p in points:
+        assert sum(p.result.phase_seconds.values()) == pytest.approx(
+            p.result.busy_s, abs=1e-9
+        )
+
+    # The gate: at overload, disaggregation retains at least colocated
+    # goodput on the identical decode-heavy stream.
+    for rho in (1.2, 1.6):
+        co = cell(rho, "colocated").goodput_rps
+        dis = cell(rho, "disaggregated").goodput_rps
+        assert dis >= co * OVERLOAD_GATE, (
+            f"disaggregated goodput {dis:.3f} below colocated {co:.3f} "
+            f"at rho={rho}"
+        )
+    # And strictly better at the deepest overload: the whole point.
+    assert cell(1.6, "disaggregated").goodput_rps > \
+        cell(1.6, "colocated").goodput_rps
+    # Hybrid never loses to either pure policy on the same streams.
+    for rho in (0.8, 1.2, 1.6):
+        hy = cell(rho, "hybrid").goodput_rps
+        assert hy >= cell(rho, "colocated").goodput_rps - 1e-9, rho
+        assert hy >= cell(rho, "disaggregated").goodput_rps - 1e-9, rho
+
+    # Record the overload ratio through the baseline store.
+    ratio = (
+        cell(1.6, "disaggregated").goodput_rps
+        / cell(1.6, "colocated").goodput_rps
+    )
+    store = BaselineStore(".bench-store")
+    store.record(
+        "sched.disagg-bert-base", ratio, unit="x",
+        meta={
+            "rho": 1.6,
+            "goodput_colocated": cell(1.6, "colocated").goodput_rps,
+            "goodput_disaggregated": cell(1.6, "disaggregated").goodput_rps,
+            "goodput_hybrid": cell(1.6, "hybrid").goodput_rps,
+            "kv_transfers": cell(1.6, "disaggregated").kv_transfers,
+            "requests": 96,
+        },
+    )

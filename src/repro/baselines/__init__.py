@@ -5,6 +5,7 @@ from .roofline import (
     a2_gpu,
     cpu_server_fp32,
     cpu_server_int8,
+    prefill_host,
     v100_gpu,
     wimpy_host,
 )
@@ -13,6 +14,7 @@ __all__ = [
     "RooflineDevice",
     "cpu_server_fp32",
     "cpu_server_int8",
+    "prefill_host",
     "wimpy_host",
     "v100_gpu",
     "a2_gpu",

@@ -111,6 +111,29 @@ def cpu_server_int8() -> RooflineDevice:
     )
 
 
+def prefill_host() -> RooflineDevice:
+    """A compute-configured prefill device for disaggregated serving.
+
+    The prefill pool of a disaggregated deployment
+    (:class:`~repro.engine.disagg.DisaggScheduler`) wants the opposite
+    balance from the PIM decode pool: batched prompt GEMMs are
+    compute-dense, so this device models the serving host with *all four*
+    DDR4 channels per socket carrying conventional DIMMs (no PIM-DIMMs
+    stealing slots as in :func:`wimpy_host`) and INT8 GEMM kernels at the
+    :func:`cpu_server_int8` calibration — the Cho et al. split of keeping
+    compute-bound phases near the host while the memory-side accelerator
+    owns the bandwidth-bound ones.
+    """
+    int8 = cpu_server_int8()
+    return RooflineDevice(
+        name="Prefill host (2x Xeon Gold 5218, 8ch DDR4)",
+        peak_flops=int8.peak_flops,
+        mem_bandwidth=int8.mem_bandwidth,
+        op_overhead_s=int8.op_overhead_s,
+        power_w=int8.power_w,
+    )
+
+
 def wimpy_host() -> RooflineDevice:
     """The Xeon 4210 host that drives the UPMEM DIMMs (paper Table 3).
 

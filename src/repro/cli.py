@@ -95,7 +95,7 @@ def _print_json(payload) -> None:
 
 
 def _finish_telemetry(
-    args, reports=(), kernel_traces=(), profiles=(), clusters=()
+    args, reports=(), kernel_traces=(), profiles=(), clusters=(), schedules=()
 ) -> int:
     """Honor ``--emit-trace`` / ``--metrics-json`` at the end of a command.
 
@@ -115,6 +115,7 @@ def _finish_telemetry(
                 kernel_traces=kernel_traces,
                 profiles=profiles,
                 clusters=clusters,
+                schedules=schedules,
                 metrics=obs.get_registry().snapshot(),
             )
             print(
@@ -961,21 +962,27 @@ def cmd_serve_cluster(args) -> int:
             print("error: --sweep derives rates from --utilization; "
                   "--rate is single-run only", file=sys.stderr)
             return 2
-        points = cluster_load_sweep(
-            server, config,
-            replica_counts=replica_counts,
-            shard_counts=shard_counts,
-            routers=routers,
-            utilizations=utilizations,
-            num_requests=args.requests,
-            prompt_len=args.prompt_len,
-            generate_len=args.generate_len,
-            batch=args.batch,
-            policy=policy,
-            arrivals=args.arrivals,
-            seed=args.seed,
-            sessions=args.sessions,
-        )
+        try:
+            points = cluster_load_sweep(
+                server, config,
+                replica_counts=replica_counts,
+                shard_counts=shard_counts,
+                routers=routers,
+                utilizations=utilizations,
+                num_requests=args.requests,
+                prompt_len=args.prompt_len,
+                generate_len=args.generate_len,
+                batch=args.batch,
+                policy=policy,
+                arrivals=args.arrivals,
+                seed=args.seed,
+                sessions=args.sessions,
+            )
+        except ValueError as exc:
+            # e.g. a non-positive --utilization cell: the sweep validates
+            # every value upfront before simulating anything.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         if args.json:
             _print_json({
                 "model": config.name,
@@ -1116,6 +1123,209 @@ def cmd_serve_cluster(args) -> int:
         if attribution.phase_seconds:
             print(f"[cluster] {attribution.render()}")
     return _finish_telemetry(args, clusters=[result])
+
+
+def cmd_serve_disagg(args) -> int:
+    """Disaggregated prefill/decode serving: placement-policy comparison."""
+    from .baselines import prefill_host, wimpy_host
+    from .engine import (PLACEMENT_POLICIES, DisaggScheduler, GenerationServer,
+                         HostPrefillPool, Request, SchedulerPolicy,
+                         disagg_load_sweep, poisson_requests)
+
+    config = EVAL_MODELS[args.model]
+    if args.layers:
+        config = config.with_(num_layers=args.layers)
+    server = GenerationServer(
+        get_platform(args.platform), wimpy_host(), v=args.v, ct=args.ct,
+        lut_nn=not args.native,
+    )
+    prefill_server = None
+    if args.prefill_device == "host":
+        prefill_server = HostPrefillPool(prefill_host())
+
+    try:
+        placements = [
+            p.strip() for p in args.placement.split(",") if p.strip()
+        ]
+    except AttributeError:
+        placements = []
+    unknown = [p for p in placements if p not in PLACEMENT_POLICIES]
+    if unknown or not placements:
+        known = ", ".join(sorted(PLACEMENT_POLICIES))
+        print(f"error: unknown placement policy {unknown or args.placement!r} "
+              f"(known: {known})", file=sys.stderr)
+        return 2
+
+    probe = Request(
+        request_id=-1, arrival_s=0.0, prompt_len=args.prompt_len,
+        generate_len=args.generate_len, batch=args.batch,
+    )
+    # SLO defaults mirror serve-sim (2.5x the unloaded colocated request),
+    # so goodput is comparable across the three commands.
+    prescheduler = DisaggScheduler(
+        server, config, placement="colocated", prefill_server=prefill_server,
+    )
+    service_s = prescheduler.fifo_service_time(probe)
+    unloaded_ttft_s = prescheduler.cost.prefill_s(args.prompt_len, args.batch)
+    slo_ttft_s = args.slo_ttft_ms / 1e3 if args.slo_ttft_ms else 2.5 * unloaded_ttft_s
+    slo_e2e_s = args.slo_e2e_ms / 1e3 if args.slo_e2e_ms else 2.5 * service_s
+    policy = SchedulerPolicy(
+        max_batch_size=args.max_batch,
+        max_context_tokens=args.max_context_tokens,
+        max_queue_len=args.queue_cap,
+        chunked_prefill=args.chunked_prefill,
+        prefill_chunk=args.prefill_chunk,
+        slo_ttft_s=slo_ttft_s,
+        slo_e2e_s=slo_e2e_s,
+    )
+
+    if args.sweep:
+        if args.rate is not None:
+            print("error: --sweep derives rates from --utilization; "
+                  "--rate is single-run only", file=sys.stderr)
+            return 2
+        try:
+            utilizations = _csv_floats(args.utilization, "--utilization")
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        try:
+            points = disagg_load_sweep(
+                server, config,
+                placements=placements,
+                utilizations=utilizations,
+                num_requests=args.requests,
+                prompt_len=args.prompt_len,
+                generate_len=args.generate_len,
+                batch=args.batch,
+                policy=policy,
+                prefill_server=prefill_server,
+                arrivals=args.arrivals,
+                seed=args.seed,
+            )
+        except ValueError as exc:
+            # e.g. a non-positive --utilization cell: the sweep validates
+            # every value upfront before simulating anything.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            _print_json({
+                "model": config.name,
+                "platform": args.platform,
+                "prefill_device": args.prefill_device,
+                "fifo_service_time_s": service_s,
+                "slo": {"ttft_s": slo_ttft_s, "e2e_s": slo_e2e_s},
+                "points": [p.to_jsonable() for p in points],
+            })
+            return _finish_telemetry(
+                args, schedules=[p.result for p in points]
+            )
+        print(
+            f"{config.name} on {args.platform}: {args.requests} requests per "
+            f"cell ({args.arrivals} arrivals), prompt {args.prompt_len}, "
+            f"generate {args.generate_len}, prefill pool on "
+            f"{args.prefill_device}; rho normalized to the colocated FIFO "
+            f"rate ({1.0 / service_s:.2f} req/s)"
+        )
+        rows = []
+        for p in points:
+            r = p.result
+            rows.append([
+                f"{p.target_utilization:.2f}", p.placement,
+                r.completed, r.rejected, r.kv_transfers,
+                f"{r.ttft_p50_s * 1e3:.1f}/{r.ttft_p95_s * 1e3:.1f}",
+                f"{r.e2e_p50_s * 1e3:.1f}/{r.e2e_p95_s * 1e3:.1f}",
+                f"{r.throughput_rps:.2f}", f"{r.goodput_rps:.2f}",
+            ])
+        print(format_table(
+            ["rho", "placement", "done", "rej", "kv xfer",
+             "ttft ms p50/95", "e2e ms p50/95", "req/s", "goodput"],
+            rows,
+        ))
+        return _finish_telemetry(args, schedules=[p.result for p in points])
+
+    # Single-run mode: one placement policy at one load level.
+    if len(placements) > 1:
+        print("error: multiple --placement values need --sweep",
+              file=sys.stderr)
+        return 2
+    if args.rate is not None:
+        if args.rate <= 0:
+            print(f"error: --rate must be positive, got {args.rate}",
+                  file=sys.stderr)
+            return 2
+        rate = args.rate
+    else:
+        try:
+            utilizations = _csv_floats(args.utilization, "--utilization")
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if len(utilizations) > 1:
+            print("error: multiple --utilization values need --sweep",
+                  file=sys.stderr)
+            return 2
+        if utilizations[0] <= 0:
+            print(f"error: --utilization must be positive, got "
+                  f"{utilizations[0]}", file=sys.stderr)
+            return 2
+        rate = utilizations[0] / service_s
+
+    scheduler = DisaggScheduler(
+        server, config, policy=policy, placement=placements[0],
+        prefill_server=prefill_server,
+    )
+    scheduler.cost = prescheduler.cost  # reuse the probe's tuned costs
+    if prefill_server is None:
+        scheduler.prefill_cost = prescheduler.cost
+    else:
+        scheduler.prefill_cost = prescheduler.prefill_cost
+    stream = poisson_requests(
+        args.requests, rate,
+        prompt_len=args.prompt_len, generate_len=args.generate_len,
+        batch=args.batch, arrivals=args.arrivals, seed=args.seed,
+    )
+    result = scheduler.run(stream)
+
+    if args.json:
+        _print_json({
+            "model": config.name,
+            "platform": args.platform,
+            "prefill_device": args.prefill_device,
+            "arrival_rate_rps": rate,
+            "fifo_service_time_s": service_s,
+            "slo": {"ttft_s": slo_ttft_s, "e2e_s": slo_e2e_s},
+            "kv_transfer": scheduler.kv.to_jsonable(),
+            "schedule": result.to_jsonable(),
+        })
+        return _finish_telemetry(args, schedules=[result])
+
+    print(
+        f"{config.name} on {args.platform}: {placements[0]} placement, "
+        f"prefill pool on {args.prefill_device}; {args.requests} requests "
+        f"({args.arrivals} arrivals, {rate:.2f} req/s), prompt "
+        f"{args.prompt_len}, generate {args.generate_len}"
+    )
+    print(format_table(
+        ["placement", "done", "rej",
+         "ttft ms p50/95/99", "tpot ms p50/95/99", "e2e ms p50/95/99",
+         "req/s", "goodput", "occupancy"],
+        [_scheduler_row(placements[0], result)],
+    ))
+    print(
+        f"pools: prefill busy {result.prefill_pool_busy_s * 1e3:.1f} ms, "
+        f"decode busy {result.decode_pool_busy_s * 1e3:.1f} ms, "
+        f"{result.kv_transfers} KV migrations "
+        f"({result.kv_transfer_s * 1e3:.2f} ms)"
+    )
+    if result.degradation is not None and result.degradation.degraded:
+        print(f"degradation (batch-level): {result.degradation.to_jsonable()}")
+    if args.attribution:
+        for request_class in ("prefill", "decode", "kv_transfer"):
+            attribution = result.phase_attribution(request_class)
+            if attribution.phase_seconds:
+                print(f"[{request_class}] {attribution.render()}")
+    return _finish_telemetry(args, schedules=[result])
 
 
 # ----------------------------------------------------------------------
@@ -1659,6 +1869,84 @@ def build_parser() -> argparse.ArgumentParser:
                                     "attribution")
     _add_telemetry_arguments(serve_cluster)
 
+    serve_disagg = sub.add_parser(
+        "serve-disagg",
+        help="disaggregated prefill/decode serving: separate prefill and "
+             "decode pools joined by a KV-transfer cost, with pluggable "
+             "placement policies",
+    )
+    serve_disagg.add_argument("--model", default="bert-base",
+                              choices=sorted(EVAL_MODELS))
+    serve_disagg.add_argument("--platform", default="upmem",
+                              choices=sorted(PLATFORMS))
+    serve_disagg.add_argument("--v", type=int, default=4)
+    serve_disagg.add_argument("--ct", type=int, default=16)
+    serve_disagg.add_argument("--layers", type=int, default=None, metavar="N",
+                              help="override the model's layer count")
+    serve_disagg.add_argument("--native", action="store_true",
+                              help="serve on the native GEMM/GEMV engines "
+                                   "instead of LUT-NN")
+    serve_disagg.add_argument("--placement",
+                              default="colocated,disaggregated,hybrid",
+                              metavar="POLICY[,POLICY...]",
+                              help="placement policy: colocated, "
+                                   "disaggregated, hybrid (comma list with "
+                                   "--sweep)")
+    serve_disagg.add_argument("--prefill-device", choices=["pim", "host"],
+                              default="pim",
+                              help="prefill pool hardware: a second PIM "
+                                   "engine or the compute-configured host "
+                                   "roofline")
+    serve_disagg.add_argument("--requests", type=int, default=96, metavar="N")
+    serve_disagg.add_argument("--prompt-len", type=int, default=128,
+                              metavar="N")
+    serve_disagg.add_argument("--generate-len", type=int, default=64,
+                              metavar="N",
+                              help="decode-heavy default: goodput under "
+                                   "overload is decode-bound")
+    serve_disagg.add_argument("--batch", type=int, default=1, metavar="N",
+                              help="sequences bundled per request")
+    serve_disagg.add_argument("--arrivals", choices=["poisson", "uniform"],
+                              default="poisson")
+    serve_disagg.add_argument("--seed", type=int, default=0)
+    serve_disagg.add_argument("--rate", type=float, default=None,
+                              metavar="RPS",
+                              help="offered arrival rate (single run only; "
+                                   "default derives from --utilization)")
+    serve_disagg.add_argument("--utilization", default="0.8,1.2,1.6",
+                              metavar="RHO[,RHO...]",
+                              help="offered load vs the colocated FIFO "
+                                   "rate; >1 overloads the colocated "
+                                   "engine (comma list with --sweep)")
+    serve_disagg.add_argument("--sweep", action="store_true",
+                              help="sweep placement x utilization on "
+                                   "identical seeded streams and SLOs")
+    serve_disagg.add_argument("--max-batch", type=int, default=8,
+                              metavar="N")
+    serve_disagg.add_argument("--max-context-tokens", type=int,
+                              default=1 << 20, metavar="N")
+    serve_disagg.add_argument("--queue-cap", type=int, default=1024,
+                              metavar="N",
+                              help="bounded wait queue; overflow rejects")
+    serve_disagg.add_argument("--chunked-prefill", action="store_true")
+    serve_disagg.add_argument("--prefill-chunk", type=int, default=128,
+                              metavar="N")
+    serve_disagg.add_argument("--slo-ttft-ms", type=float, default=None,
+                              metavar="MS",
+                              help="TTFT SLO (default: 2.5x unloaded "
+                                   "prefill)")
+    serve_disagg.add_argument("--slo-e2e-ms", type=float, default=None,
+                              metavar="MS",
+                              help="end-to-end SLO (default: 2.5x unloaded "
+                                   "request)")
+    serve_disagg.add_argument("--json", action="store_true",
+                              help="machine-readable output")
+    serve_disagg.add_argument("--attribution", action="store_true",
+                              help="print per-phase bottleneck attribution "
+                                   "per request class (prefill / decode / "
+                                   "kv_transfer)")
+    _add_telemetry_arguments(serve_disagg)
+
     trace_export = sub.add_parser(
         "trace-export",
         help="tune + simulate one shape and write a Chrome-trace file",
@@ -1720,6 +2008,7 @@ COMMANDS = {
     "faults": cmd_faults,
     "serve-sim": cmd_serve_sim,
     "serve-cluster": cmd_serve_cluster,
+    "serve-disagg": cmd_serve_disagg,
     "trace-export": cmd_trace_export,
     "bench": cmd_bench,
 }

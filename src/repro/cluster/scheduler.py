@@ -309,6 +309,13 @@ class ClusterScheduler:
     sequence of :class:`ReplicaFailure` (build them from a
     :class:`~repro.resilience.faults.FaultPlan` with
     :func:`failures_from_fault_plan`).
+
+    ``placement`` switches every replica from a single-engine
+    :class:`~repro.engine.scheduler.RequestScheduler` to a two-pool
+    :class:`~repro.engine.disagg.DisaggScheduler` under that placement
+    policy; ``prefill_server`` / ``kv_transfer`` configure each replica's
+    prefill pool and KV-migration cost (replicas stay homogeneous and
+    share both memoized cost models).
     """
 
     def __init__(
@@ -325,6 +332,9 @@ class ClusterScheduler:
         failures: Sequence[ReplicaFailure] = (),
         seed: int = 0,
         cost_model: Optional[EngineCostModel] = None,
+        placement: Optional[str] = None,
+        prefill_server=None,
+        kv_transfer=None,
     ):
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
@@ -371,16 +381,39 @@ class ClusterScheduler:
                 server, config, context_bucket=context_bucket
             )
 
+        self.placement = placement
         self.schedulers: List[RequestScheduler] = []
+        prefill_cost = None
         for r in range(replicas):
-            sched = RequestScheduler(
-                server,
-                config,
-                policy=self.policy,
-                context_bucket=context_bucket,
-                name=f"replica{r}",
-            )
-            sched.cost = self.cost  # share the memoized engine costs
+            if placement is not None:
+                from ..engine.disagg import DisaggScheduler
+
+                sched = DisaggScheduler(
+                    server,
+                    config,
+                    policy=self.policy,
+                    placement=placement,
+                    prefill_server=prefill_server,
+                    kv_transfer=kv_transfer,
+                    context_bucket=context_bucket,
+                    name=f"replica{r}",
+                )
+                sched.cost = self.cost  # share the memoized engine costs
+                if prefill_server is None:
+                    sched.prefill_cost = self.cost
+                elif prefill_cost is None:
+                    prefill_cost = sched.prefill_cost
+                else:
+                    sched.prefill_cost = prefill_cost
+            else:
+                sched = RequestScheduler(
+                    server,
+                    config,
+                    policy=self.policy,
+                    context_bucket=context_bucket,
+                    name=f"replica{r}",
+                )
+                sched.cost = self.cost  # share the memoized engine costs
             self.schedulers.append(sched)
 
     # ------------------------------------------------------------------
@@ -705,6 +738,13 @@ def cluster_load_sweep(
     latency for pool capacity.  Every cell at one load level consumes the
     *identical* seeded stream, so cells are directly comparable.
     """
+    # Validate the whole sweep before simulating anything, with the
+    # explicit non-positive check (never truthiness — 0.0 is an error, not
+    # "use a default"): the same convention `serve-sim` applies to
+    # --rate/--utilization.
+    for rho in utilizations:
+        if rho <= 0.0:
+            raise ValueError(f"utilizations must be positive, got {rho}")
     probe = Request(
         request_id=-1,
         arrival_s=0.0,

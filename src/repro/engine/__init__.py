@@ -1,7 +1,12 @@
 """PIM-DL inference engine and comparison engines."""
 
 from .decode import (DecodeReport, GEMVDecodeEngine, HostDecodeEngine,
-                     LUTDecodeEngine)
+                     LUTDecodeEngine, kv_cache_bytes)
+from .disagg import (KV_TRANSFER_PHASE, PLACEMENT_POLICIES, ColocatedPlacement,
+                     DisaggregatedPlacement, DisaggScheduler, DisaggSweepPoint,
+                     HostPrefillPool, HybridPlacement, KVTransferModel,
+                     PlacementPolicy, PoolSnapshot, disagg_load_sweep,
+                     make_placement)
 from .engine import GEMMPIMEngine, HostEngine, PIMDLEngine
 from .graph import ATTENTION, ELEMENTWISE, LINEAR, OperatorSpec, layer_graph, model_graph
 from .report import EngineReport, OpLatency
@@ -49,4 +54,18 @@ __all__ = [
     "EngineCostModel",
     "poisson_requests",
     "scheduler_load_sweep",
+    "kv_cache_bytes",
+    "KV_TRANSFER_PHASE",
+    "PLACEMENT_POLICIES",
+    "KVTransferModel",
+    "PoolSnapshot",
+    "PlacementPolicy",
+    "ColocatedPlacement",
+    "DisaggregatedPlacement",
+    "HybridPlacement",
+    "make_placement",
+    "HostPrefillPool",
+    "DisaggScheduler",
+    "DisaggSweepPoint",
+    "disagg_load_sweep",
 ]

@@ -59,6 +59,22 @@ class DecodeReport:
         return self.batch_size / self.token_latency_s
 
 
+def kv_cache_bytes(
+    config: TransformerConfig, tokens: int, batch: int = 1, dtype_bytes: int = 2
+) -> float:
+    """KV-cache footprint of ``batch`` sequences with ``tokens`` cached each.
+
+    K and V per layer: ``2 * num_layers * tokens * batch * hidden_dim``
+    elements.  This is the payload a disaggregated deployment migrates
+    from the prefill pool to the decode pool
+    (:class:`~repro.engine.disagg.KVTransferModel`), and the same cache
+    the attention reads in :func:`_attention_decode_time` stream over.
+    """
+    if tokens <= 0 or batch <= 0:
+        return 0.0
+    return 2.0 * config.num_layers * tokens * batch * config.hidden_dim * dtype_bytes
+
+
 def _attention_decode_time(
     host: RooflineDevice, config: TransformerConfig, batch: int, context: int
 ) -> float:

@@ -1,0 +1,880 @@
+"""Disaggregated prefill/decode pools with hybrid host<->PIM placement.
+
+:class:`~repro.engine.scheduler.RequestScheduler` serializes prefill and
+decode on one engine — the deployment the paper evaluates, and the right
+baseline.  But the two phases want different hardware: prefill is a
+batched GEMM workload that still favors a compute-rich device (the host
+roofline, or a compute-configured PIM platform), while decode is the
+bandwidth-bound LUT/GEMV regime that belongs on the DRAM-PIM side (the
+Cho et al. memory-accelerator placement argument, PAPERS.md).  This
+module models that split:
+
+* a **prefill pool** — a serialized FIFO resource costed through its own
+  :class:`~repro.engine.scheduler.EngineCostModel` (by default a second
+  identical PIM engine; optionally a host roofline via
+  :class:`HostPrefillPool` or any compute-configured server);
+* a **decode pool** — the continuous-batching engine of
+  ``RequestScheduler``, running concurrently with the prefill pool;
+* an explicit **KV-cache migration** between them, charged through
+  :class:`KVTransferModel` as a first-class ``kv_transfer`` phase
+  (sibling to the cluster's ``shard_transfer``) whenever a request
+  prefills on one pool and decodes on the other;
+* pluggable **placement policies** — ``colocated`` (everything on the
+  decode pool; numerically identical to ``RequestScheduler``),
+  ``disaggregated`` (every prompt on the prefill pool), and ``hybrid``
+  (per-request choice from prompt length, the live backlog of both
+  pools, and the transfer cost).
+
+Phase attribution keeps the exact-partition guarantee: the ``prefill/*``,
+``decode/*`` and ``kv_transfer`` entries of
+:attr:`~repro.engine.scheduler.ScheduleResult.phase_seconds` sum to
+``busy_s`` (pool-busy plus transfer seconds) to float precision — engine
+phase reports are normalized per step so the invariant survives engines
+whose phases drift from wall time (e.g. under transfer overlap).
+
+Everything is instrumented under the ``disagg.*`` telemetry namespace and
+the per-pool busy segments are exported for the Chrome-trace bridge's
+pool lanes (:func:`repro.obs.bridge.schedule_to_chrome_events`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .. import obs
+from ..baselines.roofline import RooflineDevice
+from ..pim.platforms import TransferBandwidth
+from ..workloads.configs import TransformerConfig
+from .engine import HostEngine
+from .scheduler import (
+    EngineCostModel,
+    Request,
+    RequestScheduler,
+    RequestStats,
+    ScheduleResult,
+    SchedulerPolicy,
+    _InFlight,
+    poisson_requests,
+)
+from .serving import GenerationServer
+
+__all__ = [
+    "KV_TRANSFER_PHASE",
+    "PLACEMENT_POLICIES",
+    "KVTransferModel",
+    "PoolSnapshot",
+    "PlacementPolicy",
+    "ColocatedPlacement",
+    "DisaggregatedPlacement",
+    "HybridPlacement",
+    "make_placement",
+    "HostPrefillPool",
+    "DisaggScheduler",
+    "DisaggSweepPoint",
+    "disagg_load_sweep",
+]
+
+#: Phase key under which KV-cache migrations appear in phase breakdowns —
+#: a top-level sibling of the cluster's ``shard_transfer``.
+KV_TRANSFER_PHASE = "kv_transfer"
+
+#: Placement decisions a policy can return.
+_POOL = "pool"
+_COLOCATED = "colocated"
+
+
+@dataclass(frozen=True)
+class KVTransferModel:
+    """Cost of migrating one request's KV cache between pools.
+
+    After prefill, the request's KV cache is ``2 * num_layers * tokens *
+    hidden_dim`` elements (K and V per layer); migrating it to the decode
+    pool crosses ``interconnect`` — the same setup-latency + rate curve
+    every other transfer in the repo uses (DynaNDE-style explicit
+    activation movement, PAPERS.md).
+    """
+
+    config: TransformerConfig
+    interconnect: TransferBandwidth
+    #: Bytes per KV element; defaults to the platform's GEMM dtype at the
+    #: construction sites.
+    kv_dtype_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.kv_dtype_bytes <= 0:
+            raise ValueError("kv_dtype_bytes must be positive")
+
+    def kv_bytes(self, tokens: int, batch: int = 1) -> float:
+        """KV-cache footprint of ``batch`` sequences ``tokens`` deep."""
+        from .decode import kv_cache_bytes
+
+        return kv_cache_bytes(
+            self.config, tokens, batch=batch, dtype_bytes=self.kv_dtype_bytes
+        )
+
+    def transfer_s(self, tokens: int, batch: int = 1) -> float:
+        """Seconds to migrate that KV cache across the interconnect."""
+        if tokens <= 0:
+            return 0.0
+        return self.interconnect.latency(self.kv_bytes(tokens, batch))
+
+    def to_jsonable(self) -> dict:
+        return {
+            "kv_dtype_bytes": self.kv_dtype_bytes,
+            "interconnect_peak_bytes_per_s": self.interconnect.peak_bytes_per_s,
+            "interconnect_setup_latency_s": self.interconnect.setup_latency_s,
+        }
+
+
+@dataclass(frozen=True)
+class PoolSnapshot:
+    """Live view a placement policy sees for one admission decision."""
+
+    now: float
+    #: Seconds until the prefill pool would start this request (exact:
+    #: the pool is FIFO with deterministic job durations).
+    prefill_pool_backlog_s: float
+    #: Estimated seconds of work already committed to the decode pool
+    #: (queued colocated prefills plus the longest in-flight decode tail).
+    decode_pool_backlog_s: float
+    #: This request's prefill cost on the prefill pool.
+    pool_prefill_s: float
+    #: This request's prefill cost if run colocated on the decode pool.
+    colocated_prefill_s: float
+    #: KV migration cost the pool path would charge.
+    kv_transfer_s: float
+
+
+class PlacementPolicy:
+    """Decides, per request, which pool runs its prefill."""
+
+    name = "base"
+
+    def choose(self, request: Request, pools: PoolSnapshot) -> str:
+        raise NotImplementedError
+
+
+class ColocatedPlacement(PlacementPolicy):
+    """Everything on the decode pool — the single-engine baseline."""
+
+    name = "colocated"
+
+    def choose(self, request: Request, pools: PoolSnapshot) -> str:
+        return _COLOCATED
+
+
+class DisaggregatedPlacement(PlacementPolicy):
+    """Every prompt on the prefill pool, decode on the PIM pool."""
+
+    name = "disaggregated"
+
+    def choose(self, request: Request, pools: PoolSnapshot) -> str:
+        return _POOL
+
+
+class HybridPlacement(PlacementPolicy):
+    """Per-request choice by estimated time-to-decode-ready.
+
+    The pool path becomes decode-ready after the prefill pool's backlog,
+    this prompt's prefill there, and the KV migration; the colocated path
+    after the decode pool's committed backlog plus the prompt's prefill
+    in-batch.  Prompt length enters through both prefill costs, the live
+    backlog through both queue terms, and the migration through the
+    transfer term — ties keep the request colocated, so an idle system
+    never pays a transfer for nothing.
+    """
+
+    name = "hybrid"
+
+    def choose(self, request: Request, pools: PoolSnapshot) -> str:
+        pool_eta = (
+            pools.prefill_pool_backlog_s
+            + pools.pool_prefill_s
+            + pools.kv_transfer_s
+        )
+        colocated_eta = pools.decode_pool_backlog_s + pools.colocated_prefill_s
+        return _POOL if pool_eta < colocated_eta else _COLOCATED
+
+
+PLACEMENT_POLICIES = {
+    "colocated": ColocatedPlacement,
+    "disaggregated": DisaggregatedPlacement,
+    "hybrid": HybridPlacement,
+}
+
+
+def make_placement(
+    placement: Union[str, PlacementPolicy],
+) -> PlacementPolicy:
+    """Resolve a policy name (or pass an instance through)."""
+    if isinstance(placement, PlacementPolicy):
+        return placement
+    try:
+        return PLACEMENT_POLICIES[placement]()
+    except KeyError:
+        known = ", ".join(sorted(PLACEMENT_POLICIES))
+        raise ValueError(
+            f"unknown placement policy {placement!r} (known: {known})"
+        ) from None
+
+
+class HostPrefillPool:
+    """A ``GenerationServer``-shaped facade that prefills on a host roofline.
+
+    Duck-types the one surface :class:`EngineCostModel` needs for prefill
+    costing (``prefill_engine.run``), so a disaggregated prefill pool can
+    be costed on the host roofline (or any
+    :class:`~repro.baselines.roofline.RooflineDevice`, e.g.
+    :func:`~repro.baselines.roofline.prefill_host`) instead of a second
+    PIM engine.
+    """
+
+    def __init__(self, device: RooflineDevice):
+        self.host = device
+        self._prefill = HostEngine(device)
+
+    @property
+    def name(self) -> str:
+        return f"host-prefill[{self.host.name}]"
+
+    @property
+    def prefill_engine(self):
+        return self._prefill
+
+
+def _normalized_phases(
+    phases: Dict[str, float], duration_s: float
+) -> Dict[str, float]:
+    """Scale an engine's phase report to partition ``duration_s`` exactly.
+
+    Engine reports may drift from their wall time (e.g. overlap-hidden
+    transfer seconds); the scheduler-level invariant — phase seconds sum
+    to busy seconds within 1e-9 — must hold regardless, so each step's
+    phases are renormalized to its charged duration.  An engine with no
+    phase report charges everything to ``other``.
+    """
+    if duration_s <= 0.0:
+        return {}
+    total = sum(phases.values())
+    if not phases or total <= 0.0:
+        return {"other": duration_s}
+    scale = duration_s / total
+    return {phase: seconds * scale for phase, seconds in phases.items()}
+
+
+class DisaggScheduler:
+    """Two-pool discrete-event scheduler with pluggable placement.
+
+    Interface-compatible with
+    :class:`~repro.engine.scheduler.RequestScheduler` (``run``,
+    ``fifo_service_time``, a shareable ``cost`` model, ``policy``,
+    ``name``), so the cluster layer can drop it in per replica.  The
+    decode pool replicates the single-engine scheduler's continuous
+    batching exactly; under the ``colocated`` policy no request ever
+    touches the prefill pool, and the simulation is numerically identical
+    to ``RequestScheduler`` (pinned to 1e-9 in ``tests/test_disagg.py``).
+
+    Parameters
+    ----------
+    placement:
+        Policy name (``colocated`` / ``disaggregated`` / ``hybrid``) or a
+        :class:`PlacementPolicy` instance.
+    prefill_server:
+        Cost source for the prefill pool: another
+        :class:`~repro.engine.serving.GenerationServer` (e.g. a
+        compute-configured platform) or a :class:`HostPrefillPool`.
+        ``None`` uses a second engine identical to ``server`` and shares
+        its memoized prefill costs.
+    kv_transfer:
+        :class:`KVTransferModel` for the pool->pool KV migration.
+        ``None`` builds one over the platform's scatter path at its GEMM
+        dtype — the same interconnect default the cluster's shard plan
+        uses.
+    """
+
+    def __init__(
+        self,
+        server: GenerationServer,
+        config: TransformerConfig,
+        policy: Optional[SchedulerPolicy] = None,
+        placement: Union[str, PlacementPolicy] = "hybrid",
+        prefill_server=None,
+        kv_transfer: Optional[KVTransferModel] = None,
+        context_bucket: int = 32,
+        name: Optional[str] = None,
+    ):
+        self.server = server
+        self.config = config
+        self.policy = policy or SchedulerPolicy()
+        self.placement = make_placement(placement)
+        self.cost = EngineCostModel(server, config, context_bucket=context_bucket)
+        if prefill_server is None:
+            # A second identical PIM engine: share the memoized costs.
+            self.prefill_cost = self.cost
+        else:
+            self.prefill_cost = EngineCostModel(
+                prefill_server, config, context_bucket=context_bucket
+            )
+        if kv_transfer is not None:
+            self.kv = kv_transfer
+        else:
+            self.kv = KVTransferModel(
+                config=config,
+                interconnect=server.platform.scatter,
+                kv_dtype_bytes=server.platform.gemm_dtype_bytes,
+            )
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Admission policy (identical to RequestScheduler's)
+    # ------------------------------------------------------------------
+    def _feasible(self, request: Request) -> bool:
+        return (
+            request.batch <= self.policy.max_batch_size
+            and request.total_context <= self.policy.max_context_tokens
+        )
+
+    def _fits(self, request: Request, running: List[_InFlight]) -> bool:
+        seqs = sum(f.request.batch for f in running)
+        tokens = sum(f.request.total_context for f in running)
+        return (
+            seqs + request.batch <= self.policy.max_batch_size
+            and tokens + request.total_context <= self.policy.max_context_tokens
+        )
+
+    # ------------------------------------------------------------------
+    def fifo_service_time(self, request: Request) -> float:
+        """Unbatched colocated service time — the same normalization
+        ``RequestScheduler`` uses, so load levels are comparable across
+        placement policies."""
+        total = self.cost.prefill_s(request.prompt_len, request.batch)
+        for step in range(request.generate_len):
+            total += self.cost.decode_step_s(
+                request.batch, request.prompt_len + step
+            )
+        return total
+
+    # ------------------------------------------------------------------
+    def _decode_backlog_s(self, running: List[_InFlight]) -> float:
+        """Committed decode-pool work: queued colocated prefills plus the
+        longest in-flight decode tail at today's batch shape (a live
+        estimate — the actual step costs depend on future admissions)."""
+        backlog = 0.0
+        for f in running:
+            if f.prefill_remaining > 0:
+                backlog += self.cost.prefill_s(
+                    f.prefill_remaining, f.request.batch
+                )
+        decoding = [f for f in running if f.prefill_remaining <= 0]
+        remaining = [
+            f.request.generate_len - f.generated
+            for f in decoding
+            if f.request.generate_len > f.generated
+        ]
+        if remaining:
+            seqs = sum(f.request.batch for f in decoding)
+            total_ctx = sum(f.context_len * f.request.batch for f in decoding)
+            step_s = self.cost.decode_step_s(seqs, total_ctx / seqs)
+            backlog += max(remaining) * step_s
+        return backlog
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+    def run(self, requests: Sequence[Request]) -> ScheduleResult:
+        """Simulate the stream across both pools; see the module docstring."""
+        policy = self.policy
+        registry = obs.get_registry()
+        tracer = obs.get_tracer()
+        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+
+        ledger = None
+        scope = None
+        if self.server.resilience is not None and self.server.resilience.active:
+            ledger = self.server.resilience.ledger
+            owner = f"disagg.run[{self.name}]" if self.name else "disagg.run"
+            scope = ledger.open_request_scope(owner)
+
+        waiting: deque = deque()
+        running: List[_InFlight] = []
+        #: Prefill-pool output awaiting a decode-batch slot, FIFO by
+        #: transfer-completion time.
+        ready: deque = deque()
+        #: In-flight KV migrations: (ready_at, tiebreak, flight).
+        transfers: List[Tuple[float, int, _InFlight]] = []
+        stats: Dict[int, RequestStats] = {}
+        rejected = 0
+        steps = 0
+        pool_busy_s = 0.0
+        decode_busy_s = 0.0
+        kv_transfer_s = 0.0
+        kv_transfers = 0
+        prefill_tokens = 0
+        generated_tokens = 0
+        occupancy: List[Tuple[float, float]] = []
+        occupancy_weighted = 0.0
+        peak_occupancy = 0
+        timeline: List[Tuple[str, str, float, float]] = []
+        phase_totals: Dict[str, float] = {}
+        pool_free_at = 0.0
+        last_finish = 0.0
+        now = 0.0
+        idx = 0
+        transfer_seq = 0
+
+        def add_phases(
+            request_class: str, phases: Dict[str, float], duration_s: float
+        ) -> None:
+            for phase, seconds in _normalized_phases(phases, duration_s).items():
+                key = f"{request_class}/{phase}"
+                phase_totals[key] = phase_totals.get(key, 0.0) + seconds
+
+        def finish(flight: _InFlight, when: float) -> None:
+            nonlocal generated_tokens, last_finish
+            r = flight.request
+            stats[r.request_id] = RequestStats(
+                request_id=r.request_id,
+                arrival_s=r.arrival_s,
+                prompt_len=r.prompt_len,
+                generate_len=r.generate_len,
+                batch=r.batch,
+                admitted_s=flight.admitted_s,
+                prefill_done_s=flight.prefill_done_s,
+                first_token_s=(
+                    flight.first_token_s
+                    if flight.first_token_s is not None
+                    else flight.prefill_done_s
+                ),
+                finished_s=when,
+            )
+            last_finish = max(last_finish, when)
+            registry.counter("disagg.requests_completed").inc()
+            registry.histogram("disagg.ttft_s").observe(
+                stats[r.request_id].ttft_s
+            )
+            registry.histogram("disagg.e2e_s").observe(stats[r.request_id].e2e_s)
+
+        def reject(r: Request) -> None:
+            nonlocal rejected
+            rejected += 1
+            stats[r.request_id] = RequestStats(
+                request_id=r.request_id,
+                arrival_s=r.arrival_s,
+                prompt_len=r.prompt_len,
+                generate_len=r.generate_len,
+                batch=r.batch,
+                rejected=True,
+            )
+            registry.counter("disagg.requests_rejected").inc()
+
+        def place_on_pool(r: Request, at_s: float) -> None:
+            """Run the prompt on the prefill pool and start the migration.
+
+            The pool is FIFO with deterministic durations, so its whole
+            schedule for this job is known at placement time.
+            """
+            nonlocal pool_free_at, pool_busy_s, kv_transfer_s, kv_transfers
+            nonlocal prefill_tokens, transfer_seq
+            flight = _InFlight(request=r, admitted_s=at_s)
+            duration = self.prefill_cost.prefill_s(r.prompt_len, r.batch)
+            start = max(at_s, pool_free_at)
+            done = start + duration
+            pool_free_at = done
+            pool_busy_s += duration
+            prefill_tokens += r.prompt_len * r.batch
+            add_phases(
+                "prefill",
+                self.prefill_cost.prefill_phases(r.prompt_len, r.batch),
+                duration,
+            )
+            flight.prefilled = r.prompt_len
+            flight.prefill_done_s = done
+            timeline.append(
+                ("prefill_pool", f"prefill req {r.request_id}", start, done)
+            )
+            registry.counter("disagg.pool_prefills").inc()
+            if r.generate_len == 0:
+                # Prefill-only request: done at the pool, no migration.
+                finish(flight, done)
+                return
+            migrate_s = self.kv.transfer_s(r.prompt_len, r.batch)
+            kv_transfer_s += migrate_s
+            kv_transfers += 1
+            phase_totals[KV_TRANSFER_PHASE] = (
+                phase_totals.get(KV_TRANSFER_PHASE, 0.0) + migrate_s
+            )
+            registry.counter("disagg.kv_transfers").inc()
+            registry.histogram("disagg.kv_transfer_s").observe(migrate_s)
+            if migrate_s > 0:
+                timeline.append(
+                    ("kv_transfer", f"kv req {r.request_id}", done,
+                     done + migrate_s)
+                )
+            flight.decode_ready = True
+            transfer_seq += 1
+            heapq.heappush(transfers, (done + migrate_s, transfer_seq, flight))
+
+        try:
+            with tracer.span(
+                "disagg.run",
+                model=self.config.name,
+                engine=self.server.name,
+                placement=self.placement.name,
+                requests=len(ordered),
+                max_batch_size=policy.max_batch_size,
+            ) as run_span:
+                while (
+                    idx < len(ordered) or waiting or ready or transfers or running
+                ):
+                    # 1. Move arrivals into the bounded wait queue.
+                    while idx < len(ordered) and ordered[idx].arrival_s <= now:
+                        r = ordered[idx]
+                        idx += 1
+                        if not self._feasible(r):
+                            reject(r)
+                        elif len(waiting) >= policy.max_queue_len:
+                            reject(r)
+                        else:
+                            waiting.append(r)
+                            registry.counter("disagg.requests_queued").inc()
+
+                    # 2. Matured KV migrations join the decode-ready queue.
+                    while transfers and transfers[0][0] <= now:
+                        _, _, flight = heapq.heappop(transfers)
+                        ready.append(flight)
+
+                    # 3. Admit decode-ready pool output first (its prefill
+                    #    is already paid), then place from the wait queue.
+                    while ready and self._fits(ready[0].request, running):
+                        running.append(ready.popleft())
+                        registry.counter("disagg.requests_admitted").inc()
+                    while waiting:
+                        head = waiting[0]
+                        pools = PoolSnapshot(
+                            now=now,
+                            prefill_pool_backlog_s=max(0.0, pool_free_at - now),
+                            decode_pool_backlog_s=self._decode_backlog_s(running),
+                            pool_prefill_s=self.prefill_cost.prefill_s(
+                                head.prompt_len, head.batch
+                            ),
+                            colocated_prefill_s=self.cost.prefill_s(
+                                head.prompt_len, head.batch
+                            ),
+                            kv_transfer_s=(
+                                self.kv.transfer_s(head.prompt_len, head.batch)
+                                if head.generate_len
+                                else 0.0
+                            ),
+                        )
+                        if self.placement.choose(head, pools) == _POOL:
+                            waiting.popleft()
+                            registry.counter("disagg.placed_pool").inc()
+                            place_on_pool(head, now)
+                        elif self._fits(head, running):
+                            waiting.popleft()
+                            registry.counter("disagg.placed_colocated").inc()
+                            running.append(
+                                _InFlight(request=head, admitted_s=now)
+                            )
+                        else:
+                            break  # head-of-line blocking, as single-pool
+
+                    # 4. Execute one decode-pool step (colocated prefill
+                    #    work, then a decode iteration — identical to the
+                    #    single-engine scheduler's step).
+                    decoding = [f for f in running if f.decode_ready]
+                    has_prefill = any(f.prefill_remaining > 0 for f in running)
+                    if running and (decoding or has_prefill):
+                        step_s = 0.0
+                        step_prefill = 0
+                        budget = (
+                            policy.prefill_chunk
+                            if policy.chunked_prefill
+                            else float("inf")
+                        )
+                        prefilling: List[_InFlight] = []
+                        with tracer.span("disagg.step") as sp:
+                            for f in running:
+                                if f.prefill_remaining <= 0 or budget <= 0:
+                                    continue
+                                take = f.prefill_remaining
+                                if policy.chunked_prefill:
+                                    take = min(take, int(budget))
+                                cost_s = self.cost.prefill_s(
+                                    take, f.request.batch
+                                )
+                                step_s += cost_s
+                                add_phases(
+                                    "prefill",
+                                    self.cost.prefill_phases(
+                                        take, f.request.batch
+                                    ),
+                                    cost_s,
+                                )
+                                f.prefilled += take
+                                budget -= take
+                                step_prefill += take * f.request.batch
+                                prefilling.append(f)
+
+                            seqs = sum(f.request.batch for f in decoding)
+                            if seqs:
+                                total_ctx = sum(
+                                    f.context_len * f.request.batch
+                                    for f in decoding
+                                )
+                                decode_s = self.cost.decode_step_s(
+                                    seqs, total_ctx / seqs
+                                )
+                                step_s += decode_s
+                                add_phases(
+                                    "decode",
+                                    self.cost.decode_step_phases(
+                                        seqs, total_ctx / seqs
+                                    ),
+                                    decode_s,
+                                )
+                            sp.set_attribute("batch_seqs", seqs)
+                            sp.set_attribute("prefill_tokens", step_prefill)
+                            sp.set_attribute("model_seconds", step_s)
+
+                        if step_s <= 0.0:
+                            # Freshly prefilled requests become decode-ready
+                            # without consuming time, as in the single pool.
+                            for f in running:
+                                f.decode_ready = (
+                                    f.prefilled >= f.request.prompt_len
+                                )
+                            continue
+
+                        step_start = now
+                        now += step_s
+                        decode_busy_s += step_s
+                        steps += 1
+                        prefill_tokens += step_prefill
+                        timeline.append(
+                            ("decode_pool", f"step[b={seqs}]", step_start, now)
+                        )
+                        registry.counter("disagg.steps").inc()
+                        registry.counter("disagg.prefill_tokens").inc(
+                            step_prefill
+                        )
+                        registry.counter("disagg.decode_tokens").inc(seqs)
+                        generated_tokens += seqs
+
+                        # 5. Post-step bookkeeping.
+                        for f in prefilling:
+                            if (
+                                f.prefill_remaining <= 0
+                                and f.prefill_done_s is None
+                            ):
+                                f.prefill_done_s = now
+                                f.decode_ready = True
+                        for f in decoding:
+                            f.generated += 1
+                            if f.first_token_s is None:
+                                f.first_token_s = now
+                        for f in list(running):
+                            if f.done:
+                                if f.prefill_done_s is None:
+                                    f.prefill_done_s = now
+                                finish(f, now)
+                                running.remove(f)
+
+                        occ = float(sum(f.request.batch for f in running))
+                        occupancy.append((now, occ))
+                        occupancy_weighted += occ * step_s
+                        peak_occupancy = max(peak_occupancy, int(occ))
+                        registry.series("disagg.batch_occupancy").append(occ)
+                        continue
+
+                    # 6. Idle decode pool: jump to the next event.
+                    horizon = []
+                    if idx < len(ordered):
+                        horizon.append(ordered[idx].arrival_s)
+                    if transfers:
+                        horizon.append(transfers[0][0])
+                    if not horizon:
+                        break  # nothing left anywhere
+                    now = max(now, min(horizon))
+
+                run_span.set_attribute("completed", len(stats) - rejected)
+                run_span.set_attribute("rejected", rejected)
+                run_span.set_attribute("kv_transfers", kv_transfers)
+                run_span.set_attribute("model_makespan_s", max(now, last_finish))
+        except BaseException:
+            if scope is not None:
+                ledger.close_request_scope(scope)
+            raise
+
+        degradation = None
+        if scope is not None:
+            degradation = ledger.close_request_scope(scope)
+            if degradation.degraded:
+                registry.counter("disagg.degraded_runs").inc()
+
+        done = [s for s in stats.values() if not s.rejected]
+
+        def pct(values: List[float], q: float) -> float:
+            from ..obs.metrics import Histogram
+
+            if not values:
+                return 0.0
+            hist = Histogram("disagg.pct", sample_capacity=len(values))
+            for v in values:
+                hist.observe(v)
+            return hist.percentile(q)
+
+        ttfts = [s.ttft_s for s in done]
+        tpots = [s.tpot_s for s in done if s.generate_len]
+        e2es = [s.e2e_s for s in done]
+        ordered_stats = tuple(
+            stats[r.request_id] for r in ordered if r.request_id in stats
+        )
+        busy_s = pool_busy_s + decode_busy_s + kv_transfer_s
+        return ScheduleResult(
+            policy=policy,
+            completed=len(done),
+            rejected=rejected,
+            steps=steps,
+            makespan_s=max(now, last_finish),
+            busy_s=busy_s,
+            prefill_tokens=prefill_tokens,
+            generated_tokens=generated_tokens,
+            ttft_p50_s=pct(ttfts, 50),
+            ttft_p95_s=pct(ttfts, 95),
+            ttft_p99_s=pct(ttfts, 99),
+            tpot_p50_s=pct(tpots, 50),
+            tpot_p95_s=pct(tpots, 95),
+            tpot_p99_s=pct(tpots, 99),
+            e2e_p50_s=pct(e2es, 50),
+            e2e_p95_s=pct(e2es, 95),
+            e2e_p99_s=pct(e2es, 99),
+            mean_e2e_s=float(np.mean(e2es)) if e2es else 0.0,
+            mean_batch_occupancy=(
+                occupancy_weighted / decode_busy_s if decode_busy_s > 0 else 0.0
+            ),
+            peak_batch_occupancy=peak_occupancy,
+            occupancy_timeline=tuple(occupancy),
+            requests=ordered_stats,
+            degradation=degradation,
+            phase_seconds=phase_totals,
+            placement=self.placement.name,
+            kv_transfers=kv_transfers,
+            kv_transfer_s=kv_transfer_s,
+            prefill_pool_busy_s=pool_busy_s,
+            decode_pool_busy_s=decode_busy_s,
+            pool_timeline=tuple(timeline),
+        )
+
+
+@dataclass(frozen=True)
+class DisaggSweepPoint:
+    """One (placement, load) cell of :func:`disagg_load_sweep`."""
+
+    placement: str
+    target_utilization: float
+    arrival_rate_rps: float
+    result: ScheduleResult
+
+    def to_jsonable(self) -> dict:
+        return {
+            "placement": self.placement,
+            "target_utilization": self.target_utilization,
+            "arrival_rate_rps": self.arrival_rate_rps,
+            "result": self.result.to_jsonable(),
+        }
+
+
+def disagg_load_sweep(
+    server: GenerationServer,
+    config: TransformerConfig,
+    placements: Sequence[Union[str, PlacementPolicy]] = (
+        "colocated", "disaggregated", "hybrid",
+    ),
+    utilizations: Sequence[float] = (0.6, 0.9, 1.2, 1.6),
+    num_requests: int = 100,
+    prompt_len: int = 128,
+    generate_len: int = 64,
+    batch: int = 1,
+    policy: Optional[SchedulerPolicy] = None,
+    prefill_server=None,
+    kv_transfer: Optional[KVTransferModel] = None,
+    context_bucket: int = 32,
+    arrivals: str = "poisson",
+    seed: int = 0,
+) -> List[DisaggSweepPoint]:
+    """Colocated-vs-disaggregated sweep on identical seeded streams.
+
+    Extends :func:`~repro.engine.scheduler.scheduler_load_sweep` across
+    placement policies: every policy at one load level consumes the
+    *identical* seeded stream, and load is normalized against the
+    colocated FIFO service time for every policy, so goodput cells are
+    directly comparable.  ``rho >= 1`` overloads the single colocated
+    engine — the regime where the decode pool's freedom from prefill
+    stalls shows up as retained goodput.
+    """
+    for rho in utilizations:
+        if rho <= 0.0:
+            raise ValueError(f"utilizations must be positive, got {rho}")
+    if not placements:
+        raise ValueError("placements must name at least one policy")
+
+    schedulers: Dict[str, DisaggScheduler] = {}
+    shared: Optional[DisaggScheduler] = None
+    for placement in placements:
+        sched = DisaggScheduler(
+            server,
+            config,
+            policy=policy,
+            placement=placement,
+            prefill_server=prefill_server,
+            kv_transfer=kv_transfer,
+            context_bucket=context_bucket,
+        )
+        if shared is None:
+            shared = sched
+        else:  # share the memoized engine costs across policies
+            sched.cost = shared.cost
+            sched.prefill_cost = shared.prefill_cost
+        if sched.placement.name in schedulers:
+            raise ValueError(
+                f"duplicate placement policy {sched.placement.name!r}"
+            )
+        schedulers[sched.placement.name] = sched
+
+    probe = Request(
+        request_id=-1,
+        arrival_s=0.0,
+        prompt_len=prompt_len,
+        generate_len=generate_len,
+        batch=batch,
+    )
+    service_s = shared.fifo_service_time(probe)
+
+    points: List[DisaggSweepPoint] = []
+    for rho in utilizations:
+        rate = rho / service_s
+        stream = poisson_requests(
+            num_requests,
+            rate,
+            prompt_len=prompt_len,
+            generate_len=generate_len,
+            batch=batch,
+            arrivals=arrivals,
+            seed=seed,
+        )
+        for name, sched in schedulers.items():
+            points.append(
+                DisaggSweepPoint(
+                    placement=name,
+                    target_utilization=float(rho),
+                    arrival_rate_rps=rate,
+                    result=sched.run(stream),
+                )
+            )
+    return points

@@ -199,8 +199,30 @@ class ScheduleResult:
     #: Modeled phase attribution of the busy time, keyed
     #: ``"<request class>/<phase>"`` where the class is ``prefill`` or
     #: ``decode`` — e.g. ``"decode/reduce"``.  Sums to ``busy_s`` when
-    #: the underlying engines report phases for every step.
+    #: the underlying engines report phases for every step.  Disaggregated
+    #: runs (:mod:`repro.engine.disagg`) add a top-level ``kv_transfer``
+    #: phase (sibling to the cluster's ``shard_transfer``) and guarantee
+    #: the partition exactly.
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Placement policy name when produced by the disaggregated pool
+    #: scheduler (:class:`~repro.engine.disagg.DisaggScheduler`);
+    #: ``None`` for single-pool runs.
+    placement: Optional[str] = None
+    #: KV-cache migrations charged (prefill pool -> decode pool).
+    kv_transfers: int = 0
+    #: Seconds spent migrating KV caches between pools; equals
+    #: ``phase_seconds["kv_transfer"]`` when any migration happened.
+    kv_transfer_s: float = 0.0
+    #: Busy seconds per pool.  Zero for single-pool runs (``busy_s`` then
+    #: carries the whole engine); for disaggregated runs
+    #: ``prefill_pool_busy_s + decode_pool_busy_s + kv_transfer_s``
+    #: equals ``busy_s``.
+    prefill_pool_busy_s: float = 0.0
+    decode_pool_busy_s: float = 0.0
+    #: ``(lane, label, start_s, end_s)`` busy segments for the per-pool
+    #: Chrome-trace lanes; lanes are ``prefill_pool`` / ``kv_transfer`` /
+    #: ``decode_pool``.  Empty for single-pool runs.
+    pool_timeline: Tuple[Tuple[str, str, float, float], ...] = ()
 
     @property
     def utilization(self) -> float:
@@ -299,6 +321,17 @@ class ScheduleResult:
             },
             "degradation": (
                 self.degradation.to_jsonable() if self.degradation else None
+            ),
+            "placement": self.placement,
+            "disagg": (
+                {
+                    "kv_transfers": self.kv_transfers,
+                    "kv_transfer_s": self.kv_transfer_s,
+                    "prefill_pool_busy_s": self.prefill_pool_busy_s,
+                    "decode_pool_busy_s": self.decode_pool_busy_s,
+                }
+                if self.placement is not None
+                else None
             ),
         }
 
@@ -812,6 +845,14 @@ def scheduler_load_sweep(
     capacity win.  With ``compare_fifo`` each point also runs the identical
     stream through the batch-1 policy.
     """
+    # Validate the whole sweep before simulating anything: a bad value in
+    # the middle of the list must not burn the earlier points first.  The
+    # check is an explicit non-positive comparison, never truthiness —
+    # ``0.0`` is an error here, not "use a default" (the same convention
+    # ``serve-sim`` applies to --rate/--utilization).
+    for rho in utilizations:
+        if rho <= 0.0:
+            raise ValueError(f"utilizations must be positive, got {rho}")
     probe = Request(
         request_id=-1,
         arrival_s=0.0,
@@ -829,8 +870,6 @@ def scheduler_load_sweep(
     fifo_sched.cost = scheduler.cost  # share the memoized engine costs
     points = []
     for rho in utilizations:
-        if rho <= 0.0:
-            raise ValueError("utilizations must be positive")
         rate = rho / service_s
         stream = poisson_requests(
             num_requests,

@@ -53,6 +53,7 @@ from .bridge import (
     kernel_trace_to_chrome_events,
     profile_to_chrome_events,
     report_to_chrome_events,
+    schedule_to_chrome_events,
 )
 from .profiler import (
     PHASE_ORDER,
@@ -150,6 +151,7 @@ __all__ = [
     "kernel_trace_to_chrome_events",
     "profile_to_chrome_events",
     "cluster_to_chrome_events",
+    "schedule_to_chrome_events",
     "PHASE_ORDER",
     "PhaseProfile",
     "PhaseSegment",

@@ -179,6 +179,49 @@ def cluster_to_chrome_events(result, pid: int) -> List[dict]:
     return events
 
 
+#: Lane order for :func:`schedule_to_chrome_events` — prefill pool on
+#: top, the KV migration link between the pools, decode pool below.
+_POOL_LANES = ("prefill_pool", "kv_transfer", "decode_pool")
+
+
+def schedule_to_chrome_events(result, pid: int) -> List[dict]:
+    """Render a disaggregated :class:`~repro.engine.scheduler.ScheduleResult`
+    as per-pool lanes.
+
+    Each pool gets its own row — prefill pool, KV-transfer link, decode
+    pool — carrying one ``X`` event per busy segment of
+    :attr:`~repro.engine.scheduler.ScheduleResult.pool_timeline`, so the
+    prefill/decode overlap (and the migration gap between them) is
+    visible at a glance.  Single-pool results (no timeline) render an
+    empty process.
+    """
+    events: List[dict] = []
+    label = f"disagg: {result.placement or 'single-pool'} placement"
+    process_metadata(pid, label, events)
+    for tid, lane in enumerate(_POOL_LANES, start=1):
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+             "args": {"name": lane.replace("_", " ")}}
+        )
+    lane_tid = {lane: tid for tid, lane in enumerate(_POOL_LANES, start=1)}
+    for lane, name, start_s, end_s in result.pool_timeline:
+        events.append(
+            {
+                "name": name,
+                "cat": "disagg",
+                "ph": "X",
+                "ts": start_s * _US,
+                "dur": (end_s - start_s) * _US,
+                "pid": pid,
+                # Unknown lanes land below the known three rather than
+                # silently dropping.
+                "tid": lane_tid.get(lane, len(_POOL_LANES) + 1),
+                "args": {"pool": lane},
+            }
+        )
+    return events
+
+
 def profile_to_chrome_events(profile, pid: int) -> List[dict]:
     """Render a :class:`~repro.obs.profiler.PhaseProfile` as per-rank lanes.
 

@@ -22,6 +22,7 @@ from .bridge import (
     kernel_trace_to_chrome_events,
     profile_to_chrome_events,
     report_to_chrome_events,
+    schedule_to_chrome_events,
 )
 from .tracing import Span
 
@@ -133,6 +134,7 @@ def build_chrome_trace(
     kernel_traces: Sequence = (),
     profiles: Sequence = (),
     clusters: Sequence = (),
+    schedules: Sequence = (),
     metrics: Optional[dict] = None,
     complete: bool = True,
 ) -> dict:
@@ -141,9 +143,11 @@ def build_chrome_trace(
     ``reports`` are :class:`~repro.engine.report.EngineReport` objects,
     ``kernel_traces`` are :class:`~repro.pim.trace.KernelTrace` objects,
     ``profiles`` are :class:`~repro.obs.profiler.PhaseProfile` objects
-    (rendered as per-rank occupancy lanes), and ``clusters`` are
+    (rendered as per-rank occupancy lanes), ``clusters`` are
     :class:`~repro.cluster.scheduler.ClusterResult` objects (rendered as
-    per-replica request lanes); each gets its own process id.
+    per-replica request lanes), and ``schedules`` are disaggregated
+    :class:`~repro.engine.scheduler.ScheduleResult` objects (rendered as
+    per-pool busy lanes); each gets its own process id.
     ``metrics`` (e.g. a registry snapshot) rides along in ``otherData``.
     """
     events: List[dict] = list(spans_to_chrome_events(spans, complete=complete))
@@ -159,6 +163,9 @@ def build_chrome_trace(
         pid += 1
     for cluster in clusters:
         events.extend(cluster_to_chrome_events(cluster, pid))
+        pid += 1
+    for schedule in schedules:
+        events.extend(schedule_to_chrome_events(schedule, pid))
         pid += 1
     metadata = [e for e in events if e.get("ph") == "M"]
     timed = [e for e in events if e.get("ph") != "M"]
@@ -179,6 +186,7 @@ def write_chrome_trace(
     kernel_traces: Sequence = (),
     profiles: Sequence = (),
     clusters: Sequence = (),
+    schedules: Sequence = (),
     metrics: Optional[dict] = None,
     complete: bool = True,
 ) -> dict:
@@ -189,6 +197,7 @@ def write_chrome_trace(
         kernel_traces=kernel_traces,
         profiles=profiles,
         clusters=clusters,
+        schedules=schedules,
         metrics=metrics,
         complete=complete,
     )

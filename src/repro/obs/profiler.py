@@ -33,9 +33,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 #: compute, ``overhead`` is per-loop-iteration instruction cost, and
 #: ``launch`` is the per-kernel driver dispatch.  Engine-level profiles
 #: add host-side phases (``ccs``, ``attention``, ``elementwise``, ...).
+#: Serving-layer transfer phases (cluster shard boundaries, disaggregated
+#: KV migrations) sort after the device phases they interleave with.
 PHASE_ORDER: Tuple[str, ...] = (
     "distribution", "ccs", "dma", "lookup", "reduce", "overhead",
-    "gather", "launch",
+    "gather", "launch", "shard_transfer", "kv_transfer",
 )
 
 

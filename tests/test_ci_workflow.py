@@ -8,6 +8,7 @@ becoming un-collectable (which would break the nightly job at startup).
 """
 
 import os
+import re
 import subprocess
 import sys
 
@@ -72,6 +73,38 @@ class TestWorkflowFile:
         assert "tests/test_overlap.py" in runs
         assert "tests/test_kernel_schedule.py" in runs
 
+    def test_tests_job_runs_disagg_suite(self, workflow):
+        """The disaggregated serving module is an explicit tier-1 member."""
+        runs = " ".join(_run_commands(workflow["jobs"]["tests"]))
+        assert "tests/test_disagg.py" in runs
+
+    def test_coverage_floor_raised(self, workflow):
+        """The suite has grown; the line-coverage floor moved 70 -> 75."""
+        runs = " ".join(_run_commands(workflow["jobs"]["tests"]))
+        assert "--cov-fail-under=75" in runs
+
+    def test_concurrency_cancels_superseded_runs(self, workflow):
+        """Pushing over an in-flight run cancels it instead of queueing."""
+        concurrency = workflow["concurrency"]
+        assert concurrency["cancel-in-progress"] is True
+        group = concurrency["group"]
+        # Grouped per workflow+ref so unrelated branches never cancel each
+        # other, and nightly runs are isolated via run_id.
+        assert "github.workflow" in group
+        assert "github.ref" in group
+        assert "github.run_id" in group
+
+    def test_all_actions_pinned_by_major(self, workflow):
+        """Every third-party action pins an explicit major version."""
+        for name, job in workflow["jobs"].items():
+            for step in job["steps"]:
+                uses = step.get("uses")
+                if uses is None:
+                    continue
+                assert re.search(r"@v\d+$", uses), (
+                    f"{name}: {uses!r} must pin a major version (@vN)"
+                )
+
     def test_overlap_and_schedule_benches_registered(self):
         """The nightly `bench` suites carry the new ids (modeled overlap
         flows through `bench compare --suite modeled` automatically)."""
@@ -102,6 +135,12 @@ class TestWorkflowFile:
         runs = _run_commands(workflow["jobs"]["lint"])
         assert any(r.startswith("ruff check") for r in runs)
 
+    def test_lint_findings_surface_as_annotations(self, workflow):
+        """Ruff emits GitHub workflow commands -> inline PR annotations."""
+        runs = _run_commands(workflow["jobs"]["lint"])
+        check = next(r for r in runs if r.startswith("ruff check"))
+        assert "--output-format=github" in check
+
     def test_slow_job_is_nightly_or_manual_only(self, workflow):
         triggers = _triggers(workflow)
         assert "schedule" in triggers
@@ -129,6 +168,11 @@ class TestWorkflowFile:
     def test_nightly_bench_runs_cluster_scaling_gate(self, workflow):
         runs = " ".join(_run_commands(workflow["jobs"]["nightly-bench"]))
         assert "benchmarks/test_ext_cluster_scaling.py" in runs
+
+    def test_nightly_bench_runs_disagg_serving_gate(self, workflow):
+        """The disaggregated-vs-colocated goodput gate runs nightly."""
+        runs = " ".join(_run_commands(workflow["jobs"]["nightly-bench"]))
+        assert "benchmarks/test_ext_disagg_serving.py" in runs
 
     def test_nightly_bench_persists_store_and_uploads_comparison(self, workflow):
         steps = workflow["jobs"]["nightly-bench"]["steps"]

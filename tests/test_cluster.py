@@ -437,6 +437,16 @@ class TestGoodputScaling:
                  for p in points]
         assert total == [16, 16]
 
+    def test_sweep_validates_utilizations_upfront(self, server, config):
+        """A bad rho anywhere in the list fails before any simulation —
+        the explicit non-positive check, never truthiness (0.0 is an
+        error, not a default), matching the serve-sim convention."""
+        for bad in ((0.0,), (0.8, 0.0), (-1.5,)):
+            with pytest.raises(ValueError,
+                               match="utilizations must be positive"):
+                cluster_load_sweep(server, config, utilizations=bad,
+                                   num_requests=5)
+
 
 # ----------------------------------------------------------------------
 # obs: chrome-trace replica lanes and CLI

@@ -395,6 +395,16 @@ class TestSLOAndSweep:
         # At the overloaded point the FIFO baseline has strictly worse P95.
         assert points[-1].batched.e2e_p95_s < points[-1].fifo.e2e_p95_s
 
+    def test_load_sweep_validates_utilizations_upfront(self, scheduler):
+        """A bad rho anywhere in the list fails before any simulation —
+        the explicit non-positive check, never truthiness (0.0 is an
+        error, not a default), matching the serve-sim convention."""
+        for bad in ((0.0,), (0.5, 0.0, 0.9), (-0.2,)):
+            with pytest.raises(ValueError,
+                               match="utilizations must be positive"):
+                scheduler_load_sweep(scheduler, utilizations=bad,
+                                     num_requests=5)
+
 
 class TestSchedulerTelemetry:
     def test_counters_histograms_and_spans_recorded(self, server, config):
