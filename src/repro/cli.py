@@ -129,6 +129,32 @@ def _finish_telemetry(
     return 0
 
 
+def _apply_layers_override(config, layers: Optional[int]):
+    """Apply ``--layers`` to a model config.
+
+    ``--layers 0`` must error, not silently keep the model's default depth
+    (the falsy-arg trap: ``if args.layers`` treats 0 like "not given").
+    """
+    if layers is None:
+        return config
+    if layers <= 0:
+        raise ValueError(f"--layers must be positive, got {layers}")
+    return config.with_(num_layers=layers)
+
+
+def _resolve_slo_s(value_ms: Optional[float], default_s: float, flag: str) -> float:
+    """An SLO flag in milliseconds, or its unloaded-headroom default.
+
+    Resolves on *presence* (``is None``), not truthiness: ``--slo-ttft-ms 0``
+    must error rather than silently fall back to the default SLO.
+    """
+    if value_ms is None:
+        return default_s
+    if value_ms <= 0:
+        raise ValueError(f"{flag} must be positive, got {value_ms}")
+    return value_ms / 1e3
+
+
 def _maybe_trace_kernel(shape: LUTShape, mapping: Mapping, platform):
     """Trace the micro-kernel when it is within the explicit-walk bound."""
     try:
@@ -656,8 +682,11 @@ def cmd_faults(args) -> int:
         print("note: empty fault plan — serving runs fault-free", file=sys.stderr)
 
     config = EVAL_MODELS[args.model]
-    if args.layers:
-        config = config.with_(num_layers=args.layers)
+    try:
+        config = _apply_layers_override(config, args.layers)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     policy = RetryPolicy(max_retries=args.max_retries)
     manager = RecoveryManager(FaultInjector(plan), policy=policy)
     server = GenerationServer(
@@ -767,8 +796,11 @@ def cmd_serve_sim(args) -> int:
                          SchedulerPolicy, poisson_requests)
 
     config = EVAL_MODELS[args.model]
-    if args.layers:
-        config = config.with_(num_layers=args.layers)
+    try:
+        config = _apply_layers_override(config, args.layers)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     server = GenerationServer(
         get_platform(args.platform), wimpy_host(), v=args.v, ct=args.ct,
         lut_nn=not args.native,
@@ -782,8 +814,13 @@ def cmd_serve_sim(args) -> int:
     prescheduler = RequestScheduler(server, config)
     service_s = prescheduler.fifo_service_time(probe)
     unloaded_ttft_s = prescheduler.cost.prefill_s(args.prompt_len, args.batch)
-    slo_ttft_s = args.slo_ttft_ms / 1e3 if args.slo_ttft_ms else 2.5 * unloaded_ttft_s
-    slo_e2e_s = args.slo_e2e_ms / 1e3 if args.slo_e2e_ms else 2.5 * service_s
+    try:
+        slo_ttft_s = _resolve_slo_s(
+            args.slo_ttft_ms, 2.5 * unloaded_ttft_s, "--slo-ttft-ms")
+        slo_e2e_s = _resolve_slo_s(args.slo_e2e_ms, 2.5 * service_s, "--slo-e2e-ms")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     policy = SchedulerPolicy(
         max_batch_size=args.max_batch,
@@ -914,8 +951,11 @@ def cmd_serve_cluster(args) -> int:
     from .resilience import FaultPlan
 
     config = EVAL_MODELS[args.model]
-    if args.layers:
-        config = config.with_(num_layers=args.layers)
+    try:
+        config = _apply_layers_override(config, args.layers)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     platform = get_platform(args.platform)
     server = GenerationServer(
         platform, wimpy_host(), v=args.v, ct=args.ct, lut_nn=not args.native,
@@ -945,8 +985,13 @@ def cmd_serve_cluster(args) -> int:
     prescheduler = RequestScheduler(server, config)
     service_s = prescheduler.fifo_service_time(probe)
     unloaded_ttft_s = prescheduler.cost.prefill_s(args.prompt_len, args.batch)
-    slo_ttft_s = args.slo_ttft_ms / 1e3 if args.slo_ttft_ms else 2.5 * unloaded_ttft_s
-    slo_e2e_s = args.slo_e2e_ms / 1e3 if args.slo_e2e_ms else 2.5 * service_s
+    try:
+        slo_ttft_s = _resolve_slo_s(
+            args.slo_ttft_ms, 2.5 * unloaded_ttft_s, "--slo-ttft-ms")
+        slo_e2e_s = _resolve_slo_s(args.slo_e2e_ms, 2.5 * service_s, "--slo-e2e-ms")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     policy = SchedulerPolicy(
         max_batch_size=args.max_batch,
         max_context_tokens=args.max_context_tokens,
@@ -1133,8 +1178,11 @@ def cmd_serve_disagg(args) -> int:
                          disagg_load_sweep, poisson_requests)
 
     config = EVAL_MODELS[args.model]
-    if args.layers:
-        config = config.with_(num_layers=args.layers)
+    try:
+        config = _apply_layers_override(config, args.layers)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     server = GenerationServer(
         get_platform(args.platform), wimpy_host(), v=args.v, ct=args.ct,
         lut_nn=not args.native,
@@ -1167,8 +1215,13 @@ def cmd_serve_disagg(args) -> int:
     )
     service_s = prescheduler.fifo_service_time(probe)
     unloaded_ttft_s = prescheduler.cost.prefill_s(args.prompt_len, args.batch)
-    slo_ttft_s = args.slo_ttft_ms / 1e3 if args.slo_ttft_ms else 2.5 * unloaded_ttft_s
-    slo_e2e_s = args.slo_e2e_ms / 1e3 if args.slo_e2e_ms else 2.5 * service_s
+    try:
+        slo_ttft_s = _resolve_slo_s(
+            args.slo_ttft_ms, 2.5 * unloaded_ttft_s, "--slo-ttft-ms")
+        slo_e2e_s = _resolve_slo_s(args.slo_e2e_ms, 2.5 * service_s, "--slo-e2e-ms")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     policy = SchedulerPolicy(
         max_batch_size=args.max_batch,
         max_context_tokens=args.max_context_tokens,
@@ -1328,6 +1381,137 @@ def cmd_serve_disagg(args) -> int:
     return _finish_telemetry(args, schedules=[result])
 
 
+def cmd_moe(args) -> int:
+    """MoE expert-as-LUT sweep: experts x top-k x routing x placement."""
+    from .baselines import wimpy_host
+    from .engine import PIMDLEngine
+    from .obs import BottleneckReport
+    from .pim import EXPERT_PLACERS
+    from .workloads import MoEConfig, ROUTING_KINDS
+
+    config = EVAL_MODELS[args.model]
+    try:
+        config = _apply_layers_override(config, args.layers)
+        experts_list = _csv_ints(args.experts, "--experts")
+        topk_list = _csv_ints(args.top_k, "--top-k")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if any(e <= 0 for e in experts_list) or any(k <= 0 for k in topk_list):
+        print("error: --experts and --top-k values must be positive",
+              file=sys.stderr)
+        return 2
+    routings = [r.strip() for r in args.routing.split(",") if r.strip()]
+    unknown = [r for r in routings if r not in ROUTING_KINDS]
+    if unknown or not routings:
+        print(f"error: unknown routing {unknown or args.routing!r} "
+              f"(known: {', '.join(ROUTING_KINDS)})", file=sys.stderr)
+        return 2
+    placers = [p.strip() for p in args.placers.split(",") if p.strip()]
+    unknown = [p for p in placers if p not in EXPERT_PLACERS]
+    if unknown or not placers:
+        print(f"error: unknown placer {unknown or args.placers!r} "
+              f"(known: {', '.join(EXPERT_PLACERS)})", file=sys.stderr)
+        return 2
+
+    platform = get_platform(args.platform)
+    engine = PIMDLEngine(platform, wimpy_host(), v=args.v, ct=args.ct)
+    if not args.json:
+        print(f"model {config.name} on {platform.name} "
+              f"({platform.ranks} ranks), tokens/layer {config.tokens}")
+
+    cells = []
+    for num_experts in experts_list:
+        for top_k in topk_list:
+            if top_k > num_experts:
+                print(f"note: skipping top_k={top_k} > experts={num_experts}",
+                      file=sys.stderr)
+                continue
+            for routing in routings:
+                per_placer = {}
+                for placer in placers:
+                    moe = MoEConfig(
+                        num_experts=num_experts, top_k=top_k, routing=routing,
+                        zipf_s=args.zipf_s, seed=args.seed, placement=placer,
+                    )
+                    cost = engine.moe_layer_cost(config, moe)
+                    report = engine.run(config, moe=moe)
+                    per_placer[placer] = (cost, report)
+                cells.append((num_experts, top_k, routing, per_placer))
+
+    rows = []
+    for num_experts, top_k, routing, per_placer in cells:
+        for placer, (cost, report) in per_placer.items():
+            counts = cost.expert_tokens
+            rows.append([
+                num_experts, top_k, routing, placer,
+                f"{max(counts)}/{sum(counts) // len(counts)}",
+                f"{cost.imbalance_index:.1%}",
+                f"{cost.lut_makespan_s * 1e3:.3f}",
+                f"{cost.lut_serial_s * 1e3:.3f}",
+                f"{report.total_s * 1e3:.2f}",
+            ])
+    table = format_table(
+        ["experts", "top-k", "routing", "placer", "tok max/mean",
+         "rank imb", "lut makespan ms", "lut serial ms", "model ms"],
+        rows,
+    )
+
+    payload = {
+        "model": config.name,
+        "platform": platform.name,
+        "ranks": platform.ranks,
+        "cells": [
+            {
+                "experts": num_experts,
+                "top_k": top_k,
+                "routing": routing,
+                "placers": {
+                    placer: {
+                        "expert_tokens": list(cost.expert_tokens),
+                        "placement": list(cost.placement),
+                        "rank_seconds": list(cost.rank_seconds),
+                        "rank_imbalance_index": cost.imbalance_index,
+                        "lut_makespan_s": cost.lut_makespan_s,
+                        "lut_serial_s": cost.lut_serial_s,
+                        "ccs_s": cost.ccs_s,
+                        "gate_s": cost.gate_s,
+                        "layer_total_s": cost.total_s,
+                        "model_total_s": report.total_s,
+                    }
+                    for placer, (cost, report) in per_placer.items()
+                },
+            }
+            for num_experts, top_k, routing, per_placer in cells
+        ],
+    }
+    if args.json:
+        _print_json(payload)
+    else:
+        print(table)
+        if "round-robin" in placers and "balanced" in placers:
+            for num_experts, top_k, routing, per_placer in cells:
+                rr = per_placer["round-robin"][0].lut_makespan_s
+                bal = per_placer["balanced"][0].lut_makespan_s
+                speedup = rr / bal if bal > 0 else 1.0
+                print(
+                    f"E={num_experts} k={top_k} {routing}: balanced placement "
+                    f"{speedup:.2f}x vs round-robin on LUT makespan"
+                )
+    if args.attribution:
+        for num_experts, top_k, routing, per_placer in cells:
+            for placer, (cost, report) in per_placer.items():
+                attribution = BottleneckReport.from_phases(
+                    cost.phases,
+                    imbalance_index=cost.imbalance_index,
+                    top_ranks=cost.top_ranks(3),
+                )
+                print(f"[E={num_experts} k={top_k} {routing} {placer}] "
+                      f"{attribution.render()}")
+    reports = [report for _, _, _, pp in cells for _, report in pp.values()]
+    return _finish_telemetry(args, reports=reports)
+
+
 # ----------------------------------------------------------------------
 # Benchmark suites feeding the persistent baseline store
 # ----------------------------------------------------------------------
@@ -1355,6 +1539,28 @@ def _bench_engine_bert(platform_name: str):
     platform = get_platform(platform_name)
     report = PIMDLEngine(platform, wimpy_host()).run(EVAL_MODELS["bert-base"])
     return report.total_s, {"model": "bert-base"}
+
+
+def _bench_engine_moe_bert(platform_name: str):
+    """Modeled: MoE BERT-base latency (32 zipf-routed experts, balanced
+    placement) — pins the expert-as-LUT rank-contention cost model."""
+    from .baselines import wimpy_host
+    from .engine import PIMDLEngine
+    from .workloads import MoEConfig
+
+    platform = get_platform(platform_name)
+    moe = MoEConfig(num_experts=32, top_k=2, routing="zipf",
+                    placement="balanced", seed=0)
+    engine = PIMDLEngine(platform, wimpy_host())
+    report = engine.run(EVAL_MODELS["bert-base"], moe=moe)
+    cost = engine.moe_layer_cost(EVAL_MODELS["bert-base"], moe)
+    return report.total_s, {
+        "model": "bert-base",
+        "experts": 32,
+        "top_k": 2,
+        "routing": "zipf",
+        "rank_imbalance": cost.imbalance_index,
+    }
 
 
 def _bench_sim_overlap_bert(platform_name: str):
@@ -1437,6 +1643,7 @@ def _bench_host_lut(platform_name: str):
 _BENCH_REGISTRY = {
     "sim.lut-kernel": ("modeled", _bench_sim_kernel),
     "engine.bert-base": ("modeled", _bench_engine_bert),
+    "engine.moe-bert-base": ("modeled", _bench_engine_moe_bert),
     "sim.overlap-bert-base": ("modeled", _bench_sim_overlap_bert),
     "kernels.host-ccs": ("measured", _bench_host_ccs),
     "kernels.host-lut": ("measured", _bench_host_lut),
@@ -1947,6 +2154,39 @@ def build_parser() -> argparse.ArgumentParser:
                                    "kv_transfer)")
     _add_telemetry_arguments(serve_disagg)
 
+    moe = sub.add_parser(
+        "moe",
+        help="MoE expert-as-LUT serving sweep: experts x top-k x routing "
+             "skew x expert placement, priced as max-over-ranks makespan",
+    )
+    moe.add_argument("--model", default="bert-base",
+                     choices=sorted(EVAL_MODELS))
+    moe.add_argument("--platform", default="upmem", choices=sorted(PLATFORMS))
+    moe.add_argument("--v", type=int, default=4)
+    moe.add_argument("--ct", type=int, default=16)
+    moe.add_argument("--layers", type=int, default=None, metavar="N",
+                     help="override the model's layer count")
+    moe.add_argument("--experts", default="32", metavar="E[,E...]",
+                     help="expert counts to sweep")
+    moe.add_argument("--top-k", default="2", metavar="K[,K...]",
+                     help="experts consulted per token")
+    moe.add_argument("--routing", default="uniform,zipf",
+                     metavar="KIND[,KIND...]",
+                     help="token-to-expert routing: uniform, zipf")
+    moe.add_argument("--zipf-s", type=float, default=1.2, metavar="S",
+                     help="Zipf skew exponent (expert 0 hottest)")
+    moe.add_argument("--placers", default="round-robin,balanced",
+                     metavar="P[,P...]",
+                     help="expert placement: round-robin, balanced")
+    moe.add_argument("--seed", type=int, default=0,
+                     help="routing trace seed")
+    moe.add_argument("--json", action="store_true",
+                     help="machine-readable output")
+    moe.add_argument("--attribution", action="store_true",
+                     help="print per-phase bottleneck attribution with the "
+                          "rank-imbalance index and most-loaded ranks")
+    _add_telemetry_arguments(moe)
+
     trace_export = sub.add_parser(
         "trace-export",
         help="tune + simulate one shape and write a Chrome-trace file",
@@ -2009,6 +2249,7 @@ COMMANDS = {
     "serve-sim": cmd_serve_sim,
     "serve-cluster": cmd_serve_cluster,
     "serve-disagg": cmd_serve_disagg,
+    "moe": cmd_moe,
     "trace-export": cmd_trace_export,
     "bench": cmd_bench,
 }

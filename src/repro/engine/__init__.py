@@ -8,7 +8,9 @@ from .disagg import (KV_TRANSFER_PHASE, PLACEMENT_POLICIES, ColocatedPlacement,
                      PlacementPolicy, PoolSnapshot, disagg_load_sweep,
                      make_placement)
 from .engine import GEMMPIMEngine, HostEngine, PIMDLEngine
-from .graph import ATTENTION, ELEMENTWISE, LINEAR, OperatorSpec, layer_graph, model_graph
+from .graph import (ATTENTION, ELEMENTWISE, LINEAR, MOE, OperatorSpec,
+                    layer_graph, model_graph)
+from .moe import MoELayerCost, make_rank_tuner, price_moe_ffn, token_bucket
 from .report import EngineReport, OpLatency
 from .multiplex import (SharingPoint, best_latency, best_throughput,
                         slice_platform, space_sharing_sweep)
@@ -28,6 +30,11 @@ __all__ = [
     "LINEAR",
     "ATTENTION",
     "ELEMENTWISE",
+    "MOE",
+    "MoELayerCost",
+    "price_moe_ffn",
+    "make_rank_tuner",
+    "token_bucket",
     "EngineReport",
     "OpLatency",
     "DecodeReport",

@@ -26,6 +26,8 @@ from ..mapping.tuner import AutoTuner
 from ..pim.gemm_kernels import linear_layer_on_pim
 from ..pim.platforms import PIMPlatform
 from ..workloads.configs import TransformerConfig
+from ..workloads.routing import MoEConfig
+from .moe import make_rank_tuner, price_moe_ffn
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle (resilience uses tuner)
     from ..resilience.recovery import RecoveryManager
@@ -155,6 +157,7 @@ class LUTDecodeEngine:
         self.resilience = resilience
         #: Double-buffer the LUT micro-kernel loop (see PIMDLEngine).
         self.overlap = overlap
+        self._rank_tuner: Optional[AutoTuner] = None
 
     def _ccs_time(self, batch: int, h: int) -> float:
         if self.host_kernel_profile is not None:
@@ -164,9 +167,37 @@ class LUTDecodeEngine:
         argmin = self.host.op_time(batch * cb * self.ct, batch * cb * self.ct * 4.0)
         return distance + argmin
 
+    def _moe_cost(self, config: TransformerConfig, batch_size: int, moe: MoEConfig):
+        if self._rank_tuner is None:
+            self._rank_tuner = make_rank_tuner(
+                self.platform,
+                amortize_lut_distribution=self.tuner.amortize_lut_distribution,
+                cache=self.tuner.cache,
+            )
+        return price_moe_ffn(
+            self._rank_tuner,
+            self.host,
+            batch_size,
+            config.hidden_dim,
+            config.ffn_dim,
+            moe,
+            num_ranks=self.platform.ranks,
+            v=self.v,
+            ct=self.ct,
+            ccs_time=self._ccs_time,
+        )
+
     def run(
-        self, config: TransformerConfig, batch_size: int = 1, context_len: int = 512
+        self,
+        config: TransformerConfig,
+        batch_size: int = 1,
+        context_len: int = 512,
+        moe: Optional[MoEConfig] = None,
     ) -> DecodeReport:
+        """Per-token decode cost; ``moe`` swaps the FFN pair for a gated
+        mixture of experts priced as gate + CCS + max-over-ranks LUT
+        makespan (same model as :meth:`PIMDLEngine.moe_layer_cost`, with
+        N = batch)."""
         if config.hidden_dim % self.v or config.ffn_dim % self.v:
             raise ValueError(f"model dims not divisible by V={self.v}")
         linear_s = 0.0
@@ -177,6 +208,14 @@ class LUTDecodeEngine:
             phases[phase] = phases.get(phase, 0.0) + seconds
 
         for name, h, f in config.linear_layer_shapes():
+            if moe is not None and name in ("FFN1", "FFN2"):
+                if name == "FFN2":
+                    continue  # priced inside the MoE layer below
+                cost = self._moe_cost(config, batch_size, moe)
+                linear_s += cost.total_s
+                for phase, seconds in cost.phases.items():
+                    add(phase, seconds)
+                continue
             shape = LUTShape(n=batch_size, h=h, f=f, v=self.v, ct=self.ct)
             if self.resilience is not None and self.resilience.active:
                 lut_s, _ = self.resilience.lut_op_seconds(

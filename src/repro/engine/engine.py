@@ -25,7 +25,9 @@ from ..pim.energy import host_only_energy, pim_system_energy
 from ..pim.gemm_kernels import linear_layer_on_pim
 from ..pim.platforms import PIMPlatform
 from ..workloads.configs import TransformerConfig
-from .graph import LINEAR, model_graph
+from ..workloads.routing import MoEConfig
+from .graph import LINEAR, MOE, model_graph
+from .moe import MoELayerCost, make_rank_tuner, price_moe_ffn
 from .report import EngineReport, OpLatency
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle (resilience uses tuner)
@@ -191,6 +193,8 @@ class PIMDLEngine:
         self.host_kernel_profile = host_kernel_profile
         self.resilience = resilience
         self.overlap = overlap
+        self._rank_tuner: Optional[AutoTuner] = None
+        self._moe_costs: dict = {}
 
     @property
     def name(self) -> str:
@@ -222,8 +226,44 @@ class PIMDLEngine:
             raise ValueError(f"hidden dim {h} not divisible by V={self.v}")
         return LUTShape(n=n, h=h, f=f, v=self.v, ct=self.ct)
 
+    def rank_tuner(self) -> AutoTuner:
+        """Auto-Tuner for a single-rank platform slice (MoE expert kernels).
+
+        Shares the dense tuner's ``MappingCache`` (keyed by platform, so
+        slice entries never collide with full-platform entries) and its
+        amortization setting.
+        """
+        if self._rank_tuner is None:
+            self._rank_tuner = make_rank_tuner(
+                self.platform,
+                amortize_lut_distribution=self.tuner.amortize_lut_distribution,
+                cache=self.tuner.cache,
+            )
+        return self._rank_tuner
+
+    def moe_layer_cost(self, config: TransformerConfig, moe: MoEConfig) -> MoELayerCost:
+        """Price one MoE FFN layer of ``config`` (memoized per engine)."""
+        key = (config.tokens, config.hidden_dim, config.ffn_dim, moe)
+        if key not in self._moe_costs:
+            self._moe_costs[key] = price_moe_ffn(
+                self.rank_tuner(),
+                self.host,
+                config.tokens,
+                config.hidden_dim,
+                config.ffn_dim,
+                moe,
+                num_ranks=self.platform.ranks,
+                v=self.v,
+                ct=self.ct,
+                ccs_time=self._ccs_time,
+            )
+        return self._moe_costs[key]
+
     def run(
-        self, config: TransformerConfig, pipeline_overlap: bool = False
+        self,
+        config: TransformerConfig,
+        pipeline_overlap: bool = False,
+        moe: Optional[MoEConfig] = None,
     ) -> EngineReport:
         """Estimate one inference of ``config``.
 
@@ -232,13 +272,20 @@ class PIMDLEngine:
         against PIM LUT kernels, so per inference only
         ``max(host_time, pim_time)`` is exposed instead of their sum.  The
         sequential default matches the paper's measured system.
+
+        ``moe`` replaces the dense FFN of every layer with a gated
+        mixture of experts; the FFN pair is then priced as gate + CCS +
+        the expert placement's max-over-ranks LUT makespan
+        (:func:`repro.engine.moe.price_moe_ffn`).
         """
         tracer = obs.get_tracer()
         report = EngineReport(engine=self.name, model=config.name)
         with tracer.span("engine.run", engine=self.name, model=config.name) as root:
             n = config.tokens
-            for op in model_graph(config):
-                if op.kind == LINEAR:
+            for op in model_graph(config, moe=moe):
+                if op.kind == MOE:
+                    self._run_moe_op(report, tracer, config, moe, op)
+                elif op.kind == LINEAR:
                     with tracer.span(
                         f"op:{op.name}/CCS", engine=self.name, device="host",
                         category="ccs",
@@ -319,3 +366,29 @@ class PIMDLEngine:
             )
             _finish_run(report, root)
         return report
+
+    def _run_moe_op(self, report, tracer, config, moe, op) -> None:
+        """Observe one ``FFN-MoE`` operator as gate + CCS + LUT makespan."""
+        with tracer.span(
+            f"op:{op.name}", engine=self.name, device="pim", category="moe",
+        ) as sp:
+            cost = self.moe_layer_cost(config, moe)
+            sp.set_attribute("model_seconds", cost.total_s)
+            sp.set_attribute("experts", moe.num_experts)
+            sp.set_attribute("rank_imbalance", cost.imbalance_index)
+        _observe_op(
+            report, OpLatency(f"{op.name}/Gate", "host", "gate", cost.gate_s)
+        )
+        _observe_op(
+            report, OpLatency(f"{op.name}/CCS", "host", "ccs", cost.ccs_s)
+        )
+        lut_phases = {
+            phase: s
+            for phase, s in cost.phases.items()
+            if phase not in ("ccs", "gate")
+        }
+        _observe_op(
+            report,
+            OpLatency(f"{op.name}/LUT", "pim", "lut", cost.lut_makespan_s),
+            phases=lut_phases,
+        )

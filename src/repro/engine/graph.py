@@ -10,13 +10,17 @@ and GELU are element-wise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..workloads.configs import TransformerConfig
+from ..workloads.routing import MoEConfig
 
 LINEAR = "linear"
 ATTENTION = "attention"
 ELEMENTWISE = "elementwise"
+#: Mixture-of-experts FFN: a compound operator priced as gate + per-expert
+#: CCS + max-over-ranks LUT makespan (see ``repro.engine.moe``).
+MOE = "moe"
 
 
 @dataclass(frozen=True)
@@ -35,14 +39,22 @@ class OperatorSpec:
     f: int = 0
 
     def __post_init__(self) -> None:
-        if self.kind not in (LINEAR, ATTENTION, ELEMENTWISE):
+        if self.kind not in (LINEAR, ATTENTION, ELEMENTWISE, MOE):
             raise ValueError(f"unknown operator kind {self.kind!r}")
-        if self.kind == LINEAR and (self.h <= 0 or self.f <= 0):
-            raise ValueError("linear operators need h and f")
+        if self.kind in (LINEAR, MOE) and (self.h <= 0 or self.f <= 0):
+            raise ValueError(f"{self.kind} operators need h and f")
 
 
-def layer_graph(config: TransformerConfig, dtype_bytes: int = 4) -> List[OperatorSpec]:
-    """Operator sequence of one encoder layer (paper Fig. 6-(b))."""
+def layer_graph(
+    config: TransformerConfig,
+    dtype_bytes: int = 4,
+    moe: Optional[MoEConfig] = None,
+) -> List[OperatorSpec]:
+    """Operator sequence of one encoder layer (paper Fig. 6-(b)).
+
+    With ``moe`` set, FFN1/GELU/FFN2 collapse into one ``FFN-MoE`` compound
+    operator (the experts' activations run inside it).
+    """
     n = config.tokens
     h = config.hidden_dim
     s = config.seq_len
@@ -80,10 +92,52 @@ def layer_graph(config: TransformerConfig, dtype_bytes: int = 4) -> List[Operato
                                3.0 * norm_elems * dtype_bytes))
     ops.append(OperatorSpec("Add&Norm-2", ELEMENTWISE, 5.0 * norm_elems,
                             3.0 * norm_elems * dtype_bytes))
+
+    if moe is not None:
+        ops = _replace_ffn_with_moe(ops, config, dtype_bytes, moe)
     return ops
 
 
-def model_graph(config: TransformerConfig, dtype_bytes: int = 4) -> List[OperatorSpec]:
+def _replace_ffn_with_moe(
+    ops: List[OperatorSpec],
+    config: TransformerConfig,
+    dtype_bytes: int,
+    moe: MoEConfig,
+) -> List[OperatorSpec]:
+    """Collapse FFN1 + GELU + FFN2 into one ``FFN-MoE`` compound operator."""
+    n = config.tokens
+    h = config.hidden_dim
+    ffn = config.ffn_dim
+    # Compute: the dense FFN pair + GELU for each of the top_k expert
+    # evaluations per token, plus the gate projection (N x H x E).
+    expert_flops = 2.0 * n * h * ffn * 2 + float(n) * ffn
+    gate_flops = 2.0 * n * h * moe.num_experts
+    # Bytes: activations in/out per selected expert, plus every expert's
+    # weights resident (no cross-token reuse is assumed lost; the engines
+    # refine this with the routed per-expert token counts).
+    weight_bytes = moe.num_experts * 2.0 * h * ffn * dtype_bytes
+    act_bytes = (n * h * (moe.top_k + 1) + n * ffn * moe.top_k) * dtype_bytes
+    moe_op = OperatorSpec(
+        name="FFN-MoE", kind=MOE,
+        flops=moe.top_k * expert_flops + gate_flops,
+        bytes_moved=weight_bytes + act_bytes,
+        h=h, f=ffn,
+    )
+    out: List[OperatorSpec] = []
+    for op in ops:
+        if op.name in ("FFN1", "GELU", "FFN2"):
+            if op.name == "FFN1":
+                out.append(moe_op)
+            continue
+        out.append(op)
+    return out
+
+
+def model_graph(
+    config: TransformerConfig,
+    dtype_bytes: int = 4,
+    moe: Optional[MoEConfig] = None,
+) -> List[OperatorSpec]:
     """Operator sequence of the full model (``num_layers`` repeats)."""
-    per_layer = layer_graph(config, dtype_bytes)
+    per_layer = layer_graph(config, dtype_bytes, moe=moe)
     return per_layer * config.num_layers

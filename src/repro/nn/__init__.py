@@ -3,6 +3,7 @@
 from .attention import KVCache, MultiHeadAttention
 from .layers import (
     DEFAULT_INIT_STD,
+    DEFAULT_RNG_SEED,
     Dropout,
     Embedding,
     GELU,
@@ -10,9 +11,12 @@ from .layers import (
     Linear,
     ReLU,
     Tanh,
+    default_rng,
+    reset_default_rng,
 )
 from .models import DecoderLM, PatchClassifier, TextClassifier
 from .module import Module, ModuleList, Sequential
+from .moe import MoEFeedForward
 from .transformer import EncoderLayer, FeedForward, TransformerEncoder
 
 __all__ = [
@@ -27,9 +31,13 @@ __all__ = [
     "Tanh",
     "Dropout",
     "DEFAULT_INIT_STD",
+    "DEFAULT_RNG_SEED",
+    "default_rng",
+    "reset_default_rng",
     "MultiHeadAttention",
     "KVCache",
     "FeedForward",
+    "MoEFeedForward",
     "EncoderLayer",
     "TransformerEncoder",
     "TextClassifier",

@@ -16,6 +16,33 @@ from .module import Module
 #: BERT's weight initialization standard deviation.
 DEFAULT_INIT_STD = 0.02
 
+#: Seed of the module-level default generator used when a layer is built
+#: without an explicit ``rng``.  Layers used to fall back to an *unseeded*
+#: ``np.random.default_rng()``, so two identically-constructed models (and
+#: anything downstream of their weights, e.g. MoE gate routing) diverged
+#: run-to-run.  A shared seeded generator keeps default construction
+#: reproducible while still giving every layer distinct weights.
+DEFAULT_RNG_SEED = 0
+
+_default_rng = np.random.default_rng(DEFAULT_RNG_SEED)
+
+
+def default_rng() -> np.random.Generator:
+    """The shared seeded generator layers fall back to when ``rng=None``."""
+    return _default_rng
+
+
+def reset_default_rng(seed: int = DEFAULT_RNG_SEED) -> np.random.Generator:
+    """Re-seed the shared default generator (test isolation / fresh runs).
+
+    Returns the new generator so callers can hold a direct reference.
+    """
+    global _default_rng
+    if seed is None or seed < 0:
+        raise ValueError("seed must be a non-negative int")
+    _default_rng = np.random.default_rng(seed)
+    return _default_rng
+
 
 class Linear(Module):
     """Affine map ``y = x W + b`` with weight shape (in_features, out_features).
@@ -34,7 +61,8 @@ class Linear(Module):
         super().__init__()
         if in_features <= 0 or out_features <= 0:
             raise ValueError("feature dims must be positive")
-        rng = rng or np.random.default_rng()
+        if rng is None:
+            rng = default_rng()
         self.in_features = in_features
         self.out_features = out_features
         self.weight = normal((in_features, out_features), DEFAULT_INIT_STD, rng)
@@ -72,7 +100,10 @@ class Embedding(Module):
 
     def __init__(self, vocab_size: int, dim: int, rng: np.random.Generator = None):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        if vocab_size <= 0 or dim <= 0:
+            raise ValueError("vocab_size and dim must be positive")
+        if rng is None:
+            rng = default_rng()
         self.vocab_size = vocab_size
         self.dim = dim
         self.weight = normal((vocab_size, dim), DEFAULT_INIT_STD, rng)
@@ -107,7 +138,7 @@ class Dropout(Module):
         if not 0.0 <= rate < 1.0:
             raise ValueError("dropout rate must be in [0, 1)")
         self.rate = rate
-        self.rng = rng or np.random.default_rng()
+        self.rng = default_rng() if rng is None else rng
 
     def forward(self, x: Tensor) -> Tensor:
         return F.dropout(x, self.rate, self.training, self.rng)

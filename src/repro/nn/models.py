@@ -14,7 +14,8 @@ import numpy as np
 
 from ..autograd import Tensor
 from ..autograd.init import normal
-from .layers import DEFAULT_INIT_STD, Embedding, LayerNorm, Linear, Tanh
+from .layers import (DEFAULT_INIT_STD, Embedding, LayerNorm, Linear, Tanh,
+                     default_rng)
 from .module import Module
 from .transformer import TransformerEncoder
 
@@ -37,14 +38,20 @@ class TextClassifier(Module):
         num_heads: int = 4,
         mlp_ratio: int = 4,
         rng: np.random.Generator = None,
+        moe_experts: int = None,
+        moe_top_k: int = 2,
     ):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        if rng is None:
+            rng = default_rng()
         self.max_seq_len = max_seq_len
         self.token_embed = Embedding(vocab_size, dim, rng=rng)
         self.pos_embed = normal((max_seq_len, dim), DEFAULT_INIT_STD, rng)
         self.embed_norm = LayerNorm(dim)
-        self.encoder = TransformerEncoder(num_layers, dim, num_heads, mlp_ratio, rng=rng)
+        self.encoder = TransformerEncoder(
+            num_layers, dim, num_heads, mlp_ratio, rng=rng,
+            moe_experts=moe_experts, moe_top_k=moe_top_k,
+        )
         self.pooler = Linear(dim, dim, rng=rng)
         self.pool_act = Tanh()
         self.classifier = Linear(dim, num_classes, rng=rng)
@@ -80,15 +87,19 @@ class DecoderLM(Module):
         num_heads: int = 4,
         mlp_ratio: int = 4,
         rng: np.random.Generator = None,
+        moe_experts: int = None,
+        moe_top_k: int = 2,
     ):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        if rng is None:
+            rng = default_rng()
         self.vocab_size = vocab_size
         self.max_seq_len = max_seq_len
         self.token_embed = Embedding(vocab_size, dim, rng=rng)
         self.pos_embed = normal((max_seq_len, dim), DEFAULT_INIT_STD, rng)
         self.encoder = TransformerEncoder(
-            num_layers, dim, num_heads, mlp_ratio, causal=True, rng=rng
+            num_layers, dim, num_heads, mlp_ratio, causal=True, rng=rng,
+            moe_experts=moe_experts, moe_top_k=moe_top_k,
         )
         self.norm = LayerNorm(dim)
         self.lm_head = Linear(dim, vocab_size, rng=rng)
@@ -175,14 +186,20 @@ class PatchClassifier(Module):
         num_heads: int = 4,
         mlp_ratio: int = 4,
         rng: np.random.Generator = None,
+        moe_experts: int = None,
+        moe_top_k: int = 2,
     ):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        if rng is None:
+            rng = default_rng()
         self.num_patches = num_patches
         self.patch_proj = Linear(patch_dim, dim, rng=rng)
         self.cls_token = normal((1, 1, dim), DEFAULT_INIT_STD, rng)
         self.pos_embed = normal((num_patches + 1, dim), DEFAULT_INIT_STD, rng)
-        self.encoder = TransformerEncoder(num_layers, dim, num_heads, mlp_ratio, rng=rng)
+        self.encoder = TransformerEncoder(
+            num_layers, dim, num_heads, mlp_ratio, rng=rng,
+            moe_experts=moe_experts, moe_top_k=moe_top_k,
+        )
         self.norm = LayerNorm(dim)
         self.head = Linear(dim, num_classes, rng=rng)
 

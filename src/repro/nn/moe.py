@@ -1,0 +1,124 @@
+"""Mixture-of-Experts feed-forward layer (top-k gated expert MLPs).
+
+``MoEFeedForward`` is a drop-in replacement for the dense
+:class:`repro.nn.transformer.FeedForward` block: same input/output shape,
+same per-expert MLP structure (fc1 -> GELU -> fc2), but each token is
+processed by only its ``top_k`` highest-scoring experts, weighted by a
+softmax renormalized over the selected gate logits (Shazeer et al.;
+Switch/GShard routing).
+
+Two properties matter for the LUT-NN serving model downstream:
+
+* every expert is an ordinary stack of :class:`repro.nn.layers.Linear`
+  layers, so the standard ``convert_to_lut_nn`` path turns each expert
+  into LUT form unchanged (the gate stays dense — its output is a
+  *discrete* routing decision, which centroid quantization would flip);
+* the layer records its last routing decision (``last_assignments`` /
+  ``last_expert_tokens``), the token-to-expert histogram the simulator
+  prices as rank contention.
+
+Routing is deterministic given the weights: ties in the gate logits break
+toward the lower expert index (stable argsort), so a seeded model routes
+identically run-to-run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor
+from .layers import Linear, default_rng
+from .module import Module, ModuleList
+from .transformer import FeedForward
+
+
+class MoEFeedForward(Module):
+    """Top-k gated mixture of ``FeedForward`` experts.
+
+    Parameters
+    ----------
+    dim, hidden_dim:
+        Expert MLP dims, identical to the dense ``FeedForward`` they
+        replace.
+    num_experts:
+        Number of expert MLPs (must be positive).
+    top_k:
+        Experts consulted per token, ``1 <= top_k <= num_experts``.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        hidden_dim: int,
+        num_experts: int,
+        top_k: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if dim <= 0 or hidden_dim <= 0:
+            raise ValueError("dim and hidden_dim must be positive")
+        if num_experts <= 0:
+            raise ValueError("num_experts must be positive")
+        if top_k <= 0 or top_k > num_experts:
+            raise ValueError("top_k must be in [1, num_experts]")
+        if rng is None:
+            rng = default_rng()
+        self.dim = dim
+        self.hidden_dim = hidden_dim
+        self.num_experts = num_experts
+        self.top_k = top_k
+        self.gate = Linear(dim, num_experts, bias=False, rng=rng)
+        self.experts = ModuleList(
+            [FeedForward(dim, hidden_dim, rng=rng) for _ in range(num_experts)]
+        )
+        #: (tokens, top_k) expert indices of the most recent forward pass.
+        self.last_assignments: Optional[np.ndarray] = None
+        #: (num_experts,) token counts of the most recent forward pass.
+        self.last_expert_tokens: Optional[np.ndarray] = None
+
+    def route(self, logits: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-k selection + softmax renormalization over selected logits.
+
+        Returns ``(weights, assignments)`` where ``weights`` is a dense
+        (..., num_experts) array that is zero outside the selected experts
+        and sums to 1 over them, and ``assignments`` is (tokens, top_k)
+        selected expert indices (descending score).
+        """
+        flat = np.asarray(logits, dtype=np.float64).reshape(-1, self.num_experts)
+        # Stable sort so logit ties route to the lower expert index.
+        order = np.argsort(-flat, axis=1, kind="stable")[:, : self.top_k]
+        top = np.take_along_axis(flat, order, axis=1)
+        top = np.exp(top - top.max(axis=1, keepdims=True))
+        top /= top.sum(axis=1, keepdims=True)
+        weights = np.zeros_like(flat)
+        np.put_along_axis(weights, order, top, axis=1)
+        return weights.reshape(np.shape(logits)), order
+
+    def forward(self, x: Tensor) -> Tensor:
+        logits = self.gate(x)
+        weights, assignments = self.route(logits.data)
+        self.last_assignments = assignments
+        self.last_expert_tokens = np.bincount(
+            assignments.ravel(), minlength=self.num_experts
+        )
+        # Dense evaluation: every expert sees every token and is masked by
+        # its gate weight.  Mathematically identical to sparse dispatch
+        # (zero-weight positions contribute zero); the simulator, not this
+        # reference implementation, models the sparse per-expert cost.
+        out: Optional[Tensor] = None
+        for e, expert in enumerate(self.experts):
+            w = weights[..., e : e + 1]
+            if not np.any(w):
+                continue
+            term = expert(x) * w
+            out = term if out is None else out + term
+        assert out is not None  # top_k >= 1 selects at least one expert
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"MoEFeedForward(dim={self.dim}, hidden={self.hidden_dim}, "
+            f"experts={self.num_experts}, top_k={self.top_k})"
+        )

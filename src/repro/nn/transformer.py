@@ -39,11 +39,21 @@ class EncoderLayer(Module):
         dropout: float = 0.0,
         causal: bool = False,
         rng: np.random.Generator = None,
+        moe_experts: int = None,
+        moe_top_k: int = 2,
     ):
         super().__init__()
         self.attention = MultiHeadAttention(dim, num_heads, causal=causal, rng=rng)
         self.norm1 = LayerNorm(dim)
-        self.ffn = FeedForward(dim, mlp_ratio * dim, rng=rng)
+        if moe_experts is None:
+            self.ffn = FeedForward(dim, mlp_ratio * dim, rng=rng)
+        else:
+            # Local import: moe.py reuses FeedForward as the expert MLP.
+            from .moe import MoEFeedForward
+
+            self.ffn = MoEFeedForward(
+                dim, mlp_ratio * dim, moe_experts, top_k=moe_top_k, rng=rng
+            )
         self.norm2 = LayerNorm(dim)
         self.drop = Dropout(dropout, rng=rng)
 
@@ -71,12 +81,17 @@ class TransformerEncoder(Module):
         dropout: float = 0.0,
         causal: bool = False,
         rng: np.random.Generator = None,
+        moe_experts: int = None,
+        moe_top_k: int = 2,
     ):
         super().__init__()
         if num_layers <= 0:
             raise ValueError("num_layers must be positive")
         self.layers = ModuleList(
-            EncoderLayer(dim, num_heads, mlp_ratio, dropout, causal=causal, rng=rng)
+            EncoderLayer(
+                dim, num_heads, mlp_ratio, dropout, causal=causal, rng=rng,
+                moe_experts=moe_experts, moe_top_k=moe_top_k,
+            )
             for _ in range(num_layers)
         )
 

@@ -164,13 +164,16 @@ class Histogram:
         Exact (linear interpolation between order statistics, matching
         ``numpy.percentile``) while the retained samples cover every
         observation; otherwise interpolated from the bucket bounds, with
-        the observed min/max tightening the two edge buckets.
+        the observed min/max tightening the two edge buckets.  ``q=0`` and
+        ``q=100`` always return the exact observed min/max.  An empty
+        histogram returns 0.0 on every path — never NaN, so callers can
+        render snapshots without NaN-propagation or numpy warnings.
         """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
         with self._lock:
             if self._count == 0:
-                return float("nan")
+                return 0.0
             if self._samples is not None:
                 ordered = sorted(self._samples)
                 pos = (len(ordered) - 1) * q / 100.0
@@ -200,7 +203,7 @@ class Histogram:
                     cumulative += count
                 if edge is not None:
                     prev_edge = edge
-            return float(self._max) if self._max is not None else float("nan")
+            return float(self._max) if self._max is not None else 0.0
 
     def snapshot(self) -> dict:
         snap = {
@@ -393,7 +396,8 @@ class _NullInstrument:
         pass
 
     def percentile(self, q: float) -> float:
-        return float("nan")
+        # Matches an empty Histogram: 0.0, never NaN.
+        return 0.0
 
     def append(self, value: float) -> None:
         pass

@@ -8,6 +8,15 @@ from .gemm_kernels import (
     gemv_sequence_on_pim,
     linear_layer_on_pim,
 )
+from .placement import (
+    EXPERT_PLACERS,
+    balanced_placement,
+    load_imbalance,
+    makespan,
+    place_experts,
+    rank_loads,
+    round_robin_placement,
+)
 from .platforms import (
     PLATFORMS,
     LocalMemory,
@@ -52,4 +61,11 @@ __all__ = [
     "EnergyReport",
     "pim_system_energy",
     "host_only_energy",
+    "EXPERT_PLACERS",
+    "round_robin_placement",
+    "balanced_placement",
+    "place_experts",
+    "rank_loads",
+    "makespan",
+    "load_imbalance",
 ]

@@ -55,7 +55,10 @@ def gemm_on_pim(
     """
     if min(n, h, f) <= 0:
         raise ValueError("GEMM dims must be positive")
-    dtype_bytes = dtype_bytes or platform.gemm_dtype_bytes
+    if dtype_bytes is None:
+        dtype_bytes = platform.gemm_dtype_bytes
+    if dtype_bytes <= 0:
+        raise ValueError("dtype_bytes must be positive")
     num_pes = platform.num_pes
     compute = platform.compute
 
@@ -96,7 +99,10 @@ def gemv_sequence_on_pim(
     """
     if min(n, h, f) <= 0:
         raise ValueError("GEMV dims must be positive")
-    dtype_bytes = dtype_bytes or platform.gemm_dtype_bytes
+    if dtype_bytes is None:
+        dtype_bytes = platform.gemm_dtype_bytes
+    if dtype_bytes <= 0:
+        raise ValueError("dtype_bytes must be positive")
     compute = platform.compute
 
     efficiency = platform.extras.get("gemv_bandwidth_efficiency", 1.0)

@@ -1,0 +1,112 @@
+"""Expert-to-rank placement for MoE layers on a DRAM-PIM system.
+
+Each expert's LUT tables live on one PIM rank (replicating tables across
+ranks would multiply the already-dominant LUT capacity cost), so the MoE
+layer finishes when the most-loaded rank finishes: the layer latency is
+the *makespan* ``max over ranks of (sum of assigned expert work)``.  With
+skewed token-to-expert routing this is a classic multiprocessor
+scheduling problem, and placement is the lever.
+
+Two strategies:
+
+* ``round-robin`` — expert ``e`` on rank ``e % num_ranks``; the naive
+  baseline, oblivious to load.
+* ``balanced`` — greedy LPT (longest processing time first: sort experts
+  by load descending, always assign to the currently least-loaded rank).
+  LPT is the textbook 4/3-approximation for makespan; as a guard against
+  its rare pathological inputs the result is compared with round-robin on
+  the same loads and the better placement is returned, so balanced is
+  never worse than the baseline by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+#: Strategy names accepted by :func:`place_experts`.
+EXPERT_PLACERS = ("round-robin", "balanced")
+
+
+def round_robin_placement(num_experts: int, num_ranks: int) -> Tuple[int, ...]:
+    """Expert ``e`` -> rank ``e % num_ranks`` (load-oblivious baseline)."""
+    if num_experts is None or num_experts <= 0:
+        raise ValueError("num_experts must be positive")
+    if num_ranks is None or num_ranks <= 0:
+        raise ValueError("num_ranks must be positive")
+    return tuple(e % num_ranks for e in range(num_experts))
+
+
+def balanced_placement(
+    expert_loads: Sequence[float], num_ranks: int
+) -> Tuple[int, ...]:
+    """Greedy LPT placement, never worse than round-robin on these loads."""
+    if num_ranks is None or num_ranks <= 0:
+        raise ValueError("num_ranks must be positive")
+    loads = np.asarray(expert_loads, dtype=np.float64)
+    if loads.size == 0:
+        raise ValueError("expert_loads must be non-empty")
+    if (loads < 0).any():
+        raise ValueError("expert loads must be non-negative")
+
+    placement = [0] * loads.size
+    rank_total = np.zeros(num_ranks)
+    # Ties (equal loads) break toward the lower expert index, then the
+    # lower rank index — deterministic for a given input.
+    for e in sorted(range(loads.size), key=lambda i: (-loads[i], i)):
+        rank = int(np.argmin(rank_total))
+        placement[e] = rank
+        rank_total[rank] += loads[e]
+    lpt = tuple(placement)
+
+    rr = round_robin_placement(loads.size, num_ranks)
+    if makespan(lpt, loads, num_ranks) <= makespan(rr, loads, num_ranks):
+        return lpt
+    return rr
+
+
+def place_experts(
+    strategy: str, expert_loads: Sequence[float], num_ranks: int
+) -> Tuple[int, ...]:
+    """Dispatch on strategy name (see :data:`EXPERT_PLACERS`)."""
+    if strategy == "round-robin":
+        return round_robin_placement(len(expert_loads), num_ranks)
+    if strategy == "balanced":
+        return balanced_placement(expert_loads, num_ranks)
+    raise ValueError(f"unknown placement strategy {strategy!r}; "
+                     f"expected one of {EXPERT_PLACERS}")
+
+
+def rank_loads(
+    placement: Sequence[int], expert_loads: Sequence[float], num_ranks: int
+) -> Tuple[float, ...]:
+    """Per-rank total load under ``placement`` (length ``num_ranks``)."""
+    if num_ranks is None or num_ranks <= 0:
+        raise ValueError("num_ranks must be positive")
+    if len(placement) != len(expert_loads):
+        raise ValueError("placement and expert_loads must align")
+    totals = np.zeros(num_ranks)
+    for rank, load in zip(placement, expert_loads):
+        if rank < 0 or rank >= num_ranks:
+            raise ValueError(f"rank {rank} out of range [0, {num_ranks})")
+        totals[rank] += load
+    return tuple(float(t) for t in totals)
+
+
+def makespan(
+    placement: Sequence[int], expert_loads: Sequence[float], num_ranks: int
+) -> float:
+    """Layer completion time: the most-loaded rank's total."""
+    return max(rank_loads(placement, expert_loads, num_ranks))
+
+
+def load_imbalance(loads: Sequence[float]) -> float:
+    """``1 - mean/max`` in [0, 1); 0.0 for empty or all-zero loads."""
+    values = np.asarray(loads, dtype=np.float64)
+    if values.size == 0:
+        return 0.0
+    peak = values.max()
+    if peak <= 0:
+        return 0.0
+    return float(1.0 - values.mean() / peak)

@@ -18,6 +18,15 @@ from .glue_suite import (
     default_suite,
     evaluate_suite,
 )
+from .routing import (
+    MoEConfig,
+    PLACEMENT_KINDS,
+    ROUTING_KINDS,
+    RoutingTrace,
+    route_tokens,
+    uniform_routing,
+    zipf_routing,
+)
 from .synthetic import (
     SyntheticPatchTask,
     SyntheticTextTask,
@@ -42,6 +51,13 @@ __all__ = [
     "train_classifier",
     "TrainingHistory",
     "pad_seq_for_pim",
+    "MoEConfig",
+    "RoutingTrace",
+    "ROUTING_KINDS",
+    "PLACEMENT_KINDS",
+    "route_tokens",
+    "uniform_routing",
+    "zipf_routing",
     "SentimentTask",
     "TopicTask",
     "CopyDetectionTask",

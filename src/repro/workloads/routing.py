@@ -1,0 +1,148 @@
+"""Seeded token-to-expert routing traces for MoE serving workloads.
+
+The serving simulator does not run a trained gate; it needs the *routing
+distribution* the gate would produce, because on a bandwidth-bound LUT
+engine the first-order MoE effect is load: how many tokens each expert's
+LUT gather must serve, and therefore how much work lands on whichever PIM
+rank hosts that expert.  Two seeded generators cover the regimes the MoE
+literature reports:
+
+* ``uniform`` — every expert equally likely (the load-balanced ideal that
+  auxiliary losses push toward);
+* ``zipf`` — expert popularity follows a Zipf law with exponent ``s``
+  (expert 0 hottest), the skewed regime observed without (or despite)
+  balancing losses, where a few hot experts dominate token traffic.
+
+Both draw ``top_k`` *distinct* experts per token via Gumbel top-k sampling
+(without replacement, marginals proportional to the popularity weights),
+so a trace is reproducible from ``(kind, tokens, num_experts, top_k,
+s, seed)`` alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Routing distributions ``MoEConfig.routing`` accepts.
+ROUTING_KINDS = ("uniform", "zipf")
+
+#: Expert-placement strategies ``MoEConfig.placement`` accepts (implemented
+#: in ``repro.pim.placement``; mirrored here so the config validates
+#: without importing the pim package).
+PLACEMENT_KINDS = ("round-robin", "balanced")
+
+
+@dataclass(frozen=True)
+class MoEConfig:
+    """MoE serving-workload description attached to a transformer config.
+
+    Frozen and hashable so engines can memoize per-layer pricing on it.
+    """
+
+    num_experts: int
+    top_k: int = 2
+    routing: str = "uniform"
+    zipf_s: float = 1.2
+    seed: int = 0
+    placement: str = "balanced"
+
+    def __post_init__(self):
+        if self.num_experts is None or self.num_experts <= 0:
+            raise ValueError("num_experts must be positive")
+        if self.top_k is None or self.top_k <= 0 or self.top_k > self.num_experts:
+            raise ValueError("top_k must be in [1, num_experts]")
+        if self.routing not in ROUTING_KINDS:
+            raise ValueError(
+                f"routing must be one of {ROUTING_KINDS}, got {self.routing!r}"
+            )
+        if self.zipf_s is None or self.zipf_s <= 0:
+            raise ValueError("zipf_s must be positive")
+        if self.seed is None or self.seed < 0:
+            raise ValueError("seed must be a non-negative int")
+        if self.placement not in PLACEMENT_KINDS:
+            raise ValueError(
+                f"placement must be one of {PLACEMENT_KINDS}, got {self.placement!r}"
+            )
+
+
+@dataclass(frozen=True, eq=False)
+class RoutingTrace:
+    """A concrete token-to-expert assignment.
+
+    ``assignments`` has shape (tokens, top_k); each row holds ``top_k``
+    distinct expert ids.
+    """
+
+    num_experts: int
+    top_k: int
+    assignments: np.ndarray
+
+    @property
+    def tokens(self) -> int:
+        return int(self.assignments.shape[0])
+
+    def expert_token_counts(self) -> np.ndarray:
+        """(num_experts,) tokens routed to each expert (slot counts)."""
+        return np.bincount(self.assignments.ravel(), minlength=self.num_experts)
+
+    def skew_index(self) -> float:
+        """Load imbalance of the token counts, ``1 - mean/max`` in [0, 1)."""
+        counts = self.expert_token_counts()
+        peak = counts.max()
+        if peak == 0:
+            return 0.0
+        return float(1.0 - counts.mean() / peak)
+
+
+def _gumbel_top_k(
+    weights: np.ndarray, tokens: int, top_k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample ``top_k`` distinct experts per token, marginals ~ ``weights``."""
+    keys = np.log(weights)[None, :] + rng.gumbel(size=(tokens, weights.size))
+    # Stable argsort keeps traces reproducible across numpy versions.
+    return np.argsort(-keys, axis=1, kind="stable")[:, :top_k]
+
+
+def uniform_routing(
+    tokens: int, num_experts: int, top_k: int = 1, seed: int = 0
+) -> RoutingTrace:
+    """Every expert equally popular (balanced-gate regime)."""
+    _validate_trace_args(tokens, num_experts, top_k, seed)
+    rng = np.random.default_rng(seed)
+    weights = np.full(num_experts, 1.0 / num_experts)
+    return RoutingTrace(num_experts, top_k, _gumbel_top_k(weights, tokens, top_k, rng))
+
+
+def zipf_routing(
+    tokens: int, num_experts: int, top_k: int = 1, s: float = 1.2, seed: int = 0
+) -> RoutingTrace:
+    """Zipf-popular experts: expert ``e`` has weight ``(e+1)^-s``."""
+    _validate_trace_args(tokens, num_experts, top_k, seed)
+    if s is None or s <= 0:
+        raise ValueError("zipf exponent s must be positive")
+    rng = np.random.default_rng(seed)
+    weights = (np.arange(1, num_experts + 1, dtype=np.float64)) ** (-s)
+    weights /= weights.sum()
+    return RoutingTrace(num_experts, top_k, _gumbel_top_k(weights, tokens, top_k, rng))
+
+
+def route_tokens(tokens: int, moe: MoEConfig) -> RoutingTrace:
+    """Generate the routing trace ``moe`` describes for ``tokens`` tokens."""
+    if moe.routing == "uniform":
+        return uniform_routing(tokens, moe.num_experts, moe.top_k, seed=moe.seed)
+    return zipf_routing(
+        tokens, moe.num_experts, moe.top_k, s=moe.zipf_s, seed=moe.seed
+    )
+
+
+def _validate_trace_args(tokens: int, num_experts: int, top_k: int, seed: int):
+    if tokens is None or tokens <= 0:
+        raise ValueError("tokens must be positive")
+    if num_experts is None or num_experts <= 0:
+        raise ValueError("num_experts must be positive")
+    if top_k is None or top_k <= 0 or top_k > num_experts:
+        raise ValueError("top_k must be in [1, num_experts]")
+    if seed is None or seed < 0:
+        raise ValueError("seed must be a non-negative int")

@@ -78,6 +78,11 @@ class TestWorkflowFile:
         runs = " ".join(_run_commands(workflow["jobs"]["tests"]))
         assert "tests/test_disagg.py" in runs
 
+    def test_tests_job_runs_moe_suite(self, workflow):
+        """The MoE workload/placement stack is an explicit tier-1 member."""
+        runs = " ".join(_run_commands(workflow["jobs"]["tests"]))
+        assert "tests/test_moe.py" in runs
+
     def test_coverage_floor_raised(self, workflow):
         """The suite has grown; the line-coverage floor moved 70 -> 75."""
         runs = " ".join(_run_commands(workflow["jobs"]["tests"]))
@@ -173,6 +178,17 @@ class TestWorkflowFile:
         """The disaggregated-vs-colocated goodput gate runs nightly."""
         runs = " ".join(_run_commands(workflow["jobs"]["nightly-bench"]))
         assert "benchmarks/test_ext_disagg_serving.py" in runs
+
+    def test_nightly_bench_runs_moe_placement_gate(self, workflow):
+        """The balanced-vs-round-robin MoE placement gate runs nightly."""
+        runs = " ".join(_run_commands(workflow["jobs"]["nightly-bench"]))
+        assert "benchmarks/test_ext_moe_serving.py" in runs
+
+    def test_moe_bench_registered_as_modeled(self):
+        """`bench compare --suite modeled` picks up the MoE latency pin."""
+        from repro.cli import _BENCH_REGISTRY
+
+        assert _BENCH_REGISTRY["engine.moe-bert-base"][0] == "modeled"
 
     def test_nightly_bench_persists_store_and_uploads_comparison(self, workflow):
         steps = workflow["jobs"]["nightly-bench"]["steps"]

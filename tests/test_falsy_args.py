@@ -1,0 +1,90 @@
+"""Regression tests for the falsy-argument sweep.
+
+Several call sites used Python truthiness (``if args.layers:``,
+``dtype_bytes or platform...``) to detect "flag not given", which makes
+an explicit ``0`` indistinguishable from absent — the option is silently
+ignored instead of rejected.  These tests pin the fixed behavior:
+presence is resolved with ``is None``, and explicit non-positive values
+are hard errors (CLI exit code 2, or ``ValueError`` at the library
+layer).
+"""
+
+import pytest
+
+from repro import cli
+from repro.cli import _apply_layers_override, _resolve_slo_s
+from repro.pim import get_platform
+from repro.pim.gemm_kernels import gemm_on_pim, gemv_sequence_on_pim
+from repro.workloads import bert_base
+
+
+class TestHelpers:
+    def test_layers_none_keeps_config(self):
+        config = bert_base()
+        assert _apply_layers_override(config, None) is config
+
+    def test_layers_positive_overrides(self):
+        config = _apply_layers_override(bert_base(), 3)
+        assert config.num_layers == 3
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_layers_nonpositive_rejected(self, bad):
+        with pytest.raises(ValueError, match="--layers"):
+            _apply_layers_override(bert_base(), bad)
+
+    def test_slo_none_uses_default(self):
+        assert _resolve_slo_s(None, 1.5, "--slo-ttft-ms") == 1.5
+
+    def test_slo_value_converts_ms(self):
+        assert _resolve_slo_s(250.0, 1.5, "--slo-ttft-ms") == 0.25
+
+    @pytest.mark.parametrize("bad", [0.0, -5.0])
+    def test_slo_nonpositive_rejected(self, bad):
+        with pytest.raises(ValueError, match="--slo-e2e-ms"):
+            _resolve_slo_s(bad, 1.5, "--slo-e2e-ms")
+
+
+class TestCLIZeroFlags:
+    """``--layers 0`` / ``--slo-*-ms 0`` must exit 2, never run silently."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["faults", "--layers", "0"],
+            ["serve-sim", "--layers", "0"],
+            ["serve-cluster", "--layers", "0"],
+            ["serve-disagg", "--layers", "0"],
+            ["moe", "--layers", "0"],
+        ],
+    )
+    def test_zero_layers_exits_2(self, argv, capsys):
+        assert cli.main(argv) == 2
+        assert "--layers" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["serve-sim", "serve-cluster", "serve-disagg"])
+    @pytest.mark.parametrize("flag", ["--slo-ttft-ms", "--slo-e2e-ms"])
+    def test_zero_slo_exits_2(self, command, flag, capsys):
+        argv = [command, "--layers", "1", flag, "0"]
+        assert cli.main(argv) == 2
+        assert flag in capsys.readouterr().err
+
+
+class TestKernelDtypeBytes:
+    """``dtype_bytes=0`` must raise, not silently fall back to the platform."""
+
+    @pytest.fixture(scope="class")
+    def upmem(self):
+        return get_platform("upmem")
+
+    def test_gemm_zero_dtype_bytes_rejected(self, upmem):
+        with pytest.raises(ValueError, match="dtype_bytes"):
+            gemm_on_pim(upmem, 64, 64, 64, dtype_bytes=0)
+
+    def test_gemv_zero_dtype_bytes_rejected(self, upmem):
+        with pytest.raises(ValueError, match="dtype_bytes"):
+            gemv_sequence_on_pim(upmem, 4, 64, 64, dtype_bytes=0)
+
+    def test_default_uses_platform_bytes(self, upmem):
+        explicit = gemm_on_pim(upmem, 64, 64, 64,
+                               dtype_bytes=upmem.gemm_dtype_bytes)
+        assert gemm_on_pim(upmem, 64, 64, 64).total == explicit.total

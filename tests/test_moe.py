@@ -1,0 +1,446 @@
+"""MoE expert layers as LUTs: routing traces, placement, pricing, CLI.
+
+Covers the whole stack the MoE serving model is built from: seeded
+routing generators (``repro.workloads.routing``), expert-to-rank
+placement (``repro.pim.placement``), the ``MoEFeedForward`` reference
+layer (``repro.nn.moe``) and its LUT convertibility, the engine-side
+pricing (``repro.engine.moe`` via ``PIMDLEngine``/``LUTDecodeEngine``),
+and the ``moe`` CLI subcommand.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.baselines import wimpy_host
+from repro.core import convert_to_lut_nn, lut_layers, set_lut_mode
+from repro.engine import (LUTDecodeEngine, MOE, PIMDLEngine, model_graph,
+                          token_bucket)
+from repro.nn import MoEFeedForward, TextClassifier, reset_default_rng
+from repro.pim import (EXPERT_PLACERS, balanced_placement, get_platform,
+                       load_imbalance, makespan, place_experts, rank_loads,
+                       round_robin_placement)
+from repro.workloads import (MoEConfig, bert_base, route_tokens,
+                             uniform_routing, zipf_routing)
+
+
+@pytest.fixture(scope="module")
+def upmem():
+    return get_platform("upmem")
+
+
+@pytest.fixture(scope="module")
+def small_bert():
+    # One layer, small token count: tuner-backed pricing stays fast.
+    return bert_base(seq_len=128, batch_size=1).with_(num_layers=1)
+
+
+class TestRoutingTraces:
+    def test_same_seed_same_trace(self):
+        a = zipf_routing(256, 16, top_k=2, s=1.2, seed=7)
+        b = zipf_routing(256, 16, top_k=2, s=1.2, seed=7)
+        np.testing.assert_array_equal(a.assignments, b.assignments)
+
+    def test_different_seed_different_trace(self):
+        a = uniform_routing(256, 16, top_k=2, seed=0)
+        b = uniform_routing(256, 16, top_k=2, seed=1)
+        assert not np.array_equal(a.assignments, b.assignments)
+
+    def test_top_k_experts_distinct_per_token(self):
+        trace = zipf_routing(128, 8, top_k=4, s=1.5, seed=3)
+        for row in trace.assignments:
+            assert len(set(row.tolist())) == 4
+
+    def test_counts_sum_to_token_slots(self):
+        trace = uniform_routing(200, 16, top_k=2, seed=0)
+        counts = trace.expert_token_counts()
+        assert counts.sum() == 200 * 2
+        assert trace.tokens == 200
+
+    def test_zipf_skewer_than_uniform(self):
+        uni = uniform_routing(4096, 16, top_k=2, seed=0)
+        zipf = zipf_routing(4096, 16, top_k=2, s=1.2, seed=0)
+        assert zipf.skew_index() > uni.skew_index()
+
+    def test_zipf_expert_zero_hottest(self):
+        counts = zipf_routing(4096, 16, top_k=1, s=1.2, seed=0).expert_token_counts()
+        assert counts.argmax() == 0
+
+    def test_route_tokens_dispatch(self):
+        moe = MoEConfig(num_experts=8, top_k=2, routing="zipf", zipf_s=1.2, seed=5)
+        direct = zipf_routing(64, 8, top_k=2, s=1.2, seed=5)
+        np.testing.assert_array_equal(
+            route_tokens(64, moe).assignments, direct.assignments
+        )
+
+    @pytest.mark.parametrize("bad", [0, -1, None])
+    def test_zero_tokens_rejected(self, bad):
+        with pytest.raises(ValueError):
+            uniform_routing(bad, 8, top_k=1)
+
+    def test_top_k_beyond_experts_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_routing(10, 4, top_k=5)
+
+    def test_nonpositive_zipf_s_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_routing(10, 4, top_k=1, s=0.0)
+
+
+class TestMoEConfig:
+    def test_valid_config_is_hashable(self):
+        moe = MoEConfig(num_experts=8)
+        assert hash(moe) == hash(MoEConfig(num_experts=8))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_experts": 0},
+            {"num_experts": None},
+            {"num_experts": 8, "top_k": 0},
+            {"num_experts": 8, "top_k": 9},
+            {"num_experts": 8, "routing": "pareto"},
+            {"num_experts": 8, "zipf_s": 0.0},
+            {"num_experts": 8, "seed": -1},
+            {"num_experts": 8, "placement": "random"},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MoEConfig(**kwargs)
+
+
+class TestPlacement:
+    def test_round_robin_assignment(self):
+        assert round_robin_placement(6, 4) == (0, 1, 2, 3, 0, 1)
+
+    def test_balanced_never_worse_than_round_robin(self):
+        rng = np.random.default_rng(11)
+        for _ in range(25):
+            ranks = int(rng.integers(2, 9))
+            loads = rng.pareto(1.5, size=int(rng.integers(ranks, 40)))
+            rr = makespan(round_robin_placement(loads.size, ranks), loads, ranks)
+            bal = makespan(balanced_placement(loads, ranks), loads, ranks)
+            assert bal <= rr + 1e-12
+
+    def test_balanced_splits_two_heavy_experts(self):
+        # RR puts both heavy experts on rank 0; balanced must split them.
+        loads = [10.0, 0.1, 10.0, 0.1]
+        assert makespan(balanced_placement(loads, 2), loads, 2) == pytest.approx(10.1)
+
+    def test_place_experts_dispatch_and_unknown(self):
+        loads = [1.0, 2.0, 3.0]
+        assert place_experts("round-robin", loads, 2) == (0, 1, 0)
+        assert "balanced" in EXPERT_PLACERS
+        with pytest.raises(ValueError):
+            place_experts("hashing", loads, 2)
+
+    def test_rank_loads_and_makespan(self):
+        loads = rank_loads((0, 1, 0), [1.0, 2.0, 3.0], 2)
+        assert loads == (4.0, 2.0)
+        assert makespan((0, 1, 0), [1.0, 2.0, 3.0], 2) == 4.0
+
+    def test_load_imbalance_edges(self):
+        assert load_imbalance([]) == 0.0
+        assert load_imbalance([0.0, 0.0]) == 0.0
+        assert load_imbalance([2.0, 2.0]) == 0.0
+        assert 0.0 < load_imbalance([1.0, 3.0]) < 1.0
+
+    def test_empty_loads_rejected_by_balanced(self):
+        with pytest.raises(ValueError):
+            balanced_placement([], 2)
+        with pytest.raises(ValueError):
+            balanced_placement([1.0], 0)
+
+
+class TestMoEFeedForward:
+    def test_output_shape_matches_input(self):
+        rng = np.random.default_rng(0)
+        layer = MoEFeedForward(16, 32, num_experts=4, top_k=2, rng=rng)
+        x = rng.standard_normal((3, 10, 16))
+        from repro.autograd import Tensor
+
+        out = layer(Tensor(x))
+        assert out.data.shape == (3, 10, 16)
+
+    def test_gate_weights_sum_to_one_over_top_k(self):
+        rng = np.random.default_rng(1)
+        layer = MoEFeedForward(8, 16, num_experts=6, top_k=2, rng=rng)
+        logits = rng.standard_normal((5, 6))
+        weights, assignments = layer.route(logits)
+        np.testing.assert_allclose(weights.sum(axis=-1), 1.0, atol=1e-12)
+        assert assignments.shape == (5, 2)
+        # Weight mass sits exactly on the selected experts.
+        for t in range(5):
+            selected = set(assignments[t].tolist())
+            for e in range(6):
+                if e not in selected:
+                    assert weights[t, e] == 0.0
+
+    def test_records_routing_histogram(self):
+        rng = np.random.default_rng(2)
+        layer = MoEFeedForward(8, 16, num_experts=4, top_k=2, rng=rng)
+        from repro.autograd import Tensor
+
+        layer(Tensor(rng.standard_normal((2, 6, 8))))
+        assert layer.last_assignments.shape == (12, 2)
+        assert layer.last_expert_tokens.sum() == 12 * 2
+
+    def test_seeded_default_rng_reproducible(self):
+        from repro.autograd import Tensor
+
+        reset_default_rng(0)
+        a = MoEFeedForward(8, 16, num_experts=3, top_k=1)
+        reset_default_rng(0)
+        b = MoEFeedForward(8, 16, num_experts=3, top_k=1)
+        x = Tensor(np.random.default_rng(3).standard_normal((4, 8)))
+        np.testing.assert_array_equal(a(x).data, b(x).data)
+
+    def test_experts_differ_from_each_other(self):
+        rng = np.random.default_rng(4)
+        layer = MoEFeedForward(8, 16, num_experts=2, top_k=1, rng=rng)
+        assert not np.array_equal(
+            layer.experts[0].fc1.weight.data, layer.experts[1].fc1.weight.data
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dim": 0, "hidden_dim": 4, "num_experts": 2},
+            {"dim": 4, "hidden_dim": 0, "num_experts": 2},
+            {"dim": 4, "hidden_dim": 4, "num_experts": 0},
+            {"dim": 4, "hidden_dim": 4, "num_experts": 2, "top_k": 3},
+            {"dim": 4, "hidden_dim": 4, "num_experts": 2, "top_k": 0},
+        ],
+    )
+    def test_invalid_args_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MoEFeedForward(**kwargs)
+
+    def test_transformer_integration(self):
+        rng = np.random.default_rng(5)
+        model = TextClassifier(
+            vocab_size=30, max_seq_len=10, num_classes=3,
+            dim=16, num_layers=2, num_heads=2, rng=rng,
+            moe_experts=4, moe_top_k=2,
+        )
+        ffn = model.encoder.layers[0].ffn
+        assert isinstance(ffn, MoEFeedForward)
+        tokens = rng.integers(0, 30, size=(4, 10))
+        assert model(tokens).data.shape == (4, 3)
+
+
+class TestLUTConvertedExperts:
+    def test_expert_filter_converts_only_experts(self):
+        rng = np.random.default_rng(6)
+        model = TextClassifier(
+            vocab_size=30, max_seq_len=10, num_classes=3,
+            dim=16, num_layers=1, num_heads=2, rng=rng,
+            moe_experts=2, moe_top_k=1,
+        )
+        tokens = rng.integers(0, 30, size=(8, 10))
+        replaced = convert_to_lut_nn(
+            model, [tokens], v=2, ct=4, rng=rng,
+            layer_filter=lambda n, layer: ".experts." in n,
+        )
+        names = [n for n, _ in replaced]
+        # 2 experts x (fc1, fc2); the gate stays dense.
+        assert len(names) == 4
+        assert all(".experts." in n for n in names)
+        assert not any(".gate" in n for n in names)
+
+    def test_exact_mode_preserves_moe_output(self):
+        rng = np.random.default_rng(7)
+        model = TextClassifier(
+            vocab_size=30, max_seq_len=10, num_classes=3,
+            dim=16, num_layers=1, num_heads=2, rng=rng,
+            moe_experts=2, moe_top_k=1,
+        )
+        tokens = rng.integers(0, 30, size=(8, 10))
+        model.eval()
+        before = model(tokens).data.copy()
+        convert_to_lut_nn(
+            model, [tokens], v=2, ct=4, rng=rng,
+            layer_filter=lambda n, layer: ".experts." in n,
+        )
+        set_lut_mode(model, "exact")
+        model.eval()
+        np.testing.assert_allclose(model(tokens).data, before, atol=1e-10)
+
+    def test_lut_mode_runs_and_stays_close(self):
+        rng = np.random.default_rng(8)
+        model = TextClassifier(
+            vocab_size=30, max_seq_len=10, num_classes=3,
+            dim=16, num_layers=1, num_heads=2, rng=rng,
+            moe_experts=2, moe_top_k=1,
+        )
+        tokens = rng.integers(0, 30, size=(16, 10))
+        model.eval()
+        before = model(tokens).data.copy()
+        convert_to_lut_nn(
+            model, [tokens], v=2, ct=8, rng=rng,
+            layer_filter=lambda n, layer: ".experts." in n,
+        )
+        assert len(lut_layers(model)) == 4
+        set_lut_mode(model, "lut")
+        model.eval()
+        after = model(tokens).data
+        assert after.shape == before.shape
+        assert np.isfinite(after).all()
+        # Centroid quantization of two small MLPs should not blow up the
+        # logits; this is a sanity bound, not an accuracy claim.
+        assert np.abs(after - before).max() < 10.0
+
+
+class TestEnginePricing:
+    @pytest.fixture(scope="class")
+    def engine(self, upmem):
+        return PIMDLEngine(upmem, wimpy_host())
+
+    def test_token_bucket(self):
+        assert token_bucket(1) == 1
+        assert token_bucket(2) == 2
+        assert token_bucket(3) == 4
+        assert token_bucket(1025) == 2048
+        with pytest.raises(ValueError):
+            token_bucket(0)
+
+    def test_makespan_is_max_over_ranks(self, engine, small_bert):
+        moe = MoEConfig(num_experts=16, top_k=2, routing="zipf", placement="balanced")
+        cost = engine.moe_layer_cost(small_bert, moe)
+        assert cost.lut_makespan_s == pytest.approx(max(cost.rank_seconds))
+        assert sum(cost.rank_seconds) == pytest.approx(cost.lut_serial_s)
+        assert cost.rank_seconds[cost.critical_rank] == pytest.approx(
+            cost.lut_makespan_s
+        )
+        assert 0.0 <= cost.imbalance_index < 1.0
+        assert sum(cost.expert_tokens) == small_bert.tokens * moe.top_k
+
+    def test_phases_partition_total(self, engine, small_bert):
+        moe = MoEConfig(num_experts=16, top_k=2, routing="zipf")
+        cost = engine.moe_layer_cost(small_bert, moe)
+        assert sum(cost.phases.values()) == pytest.approx(cost.total_s, abs=1e-12)
+        assert cost.total_s == pytest.approx(
+            cost.gate_s + cost.ccs_s + cost.lut_makespan_s
+        )
+
+    def test_balanced_beats_round_robin_under_zipf(self, engine, small_bert):
+        # More experts than ranks (32 > 16), so round-robin is forced to
+        # co-locate experts and skew gives LPT something to fix.
+        kwargs = dict(num_experts=32, top_k=2, routing="zipf", zipf_s=1.2, seed=0)
+        rr = engine.moe_layer_cost(small_bert, MoEConfig(placement="round-robin", **kwargs))
+        bal = engine.moe_layer_cost(small_bert, MoEConfig(placement="balanced", **kwargs))
+        # Same routing trace, so identical serial work; balanced is never
+        # worse on the makespan by construction and strictly better under
+        # this skew.
+        assert bal.lut_serial_s == pytest.approx(rr.lut_serial_s)
+        assert bal.lut_makespan_s <= rr.lut_makespan_s + 1e-15
+        assert bal.lut_makespan_s < rr.lut_makespan_s
+        assert bal.imbalance_index <= rr.imbalance_index + 1e-12
+
+    def test_balanced_matches_round_robin_under_uniform(self, engine, small_bert):
+        kwargs = dict(num_experts=16, top_k=2, routing="uniform", seed=0)
+        rr = engine.moe_layer_cost(small_bert, MoEConfig(placement="round-robin", **kwargs))
+        bal = engine.moe_layer_cost(small_bert, MoEConfig(placement="balanced", **kwargs))
+        assert bal.lut_makespan_s <= rr.lut_makespan_s + 1e-15
+        # Within noise: uniform routing leaves little for placement to fix.
+        assert bal.lut_makespan_s > 0.9 * rr.lut_makespan_s
+
+    def test_pricing_memoized(self, engine, small_bert):
+        moe = MoEConfig(num_experts=16, top_k=2)
+        assert engine.moe_layer_cost(small_bert, moe) is engine.moe_layer_cost(
+            small_bert, moe
+        )
+
+    def test_top_ranks_descending(self, engine, small_bert):
+        moe = MoEConfig(num_experts=16, top_k=2, routing="zipf")
+        top = engine.moe_layer_cost(small_bert, moe).top_ranks(3)
+        assert len(top) == 3
+        seconds = [s for _, s in top]
+        assert seconds == sorted(seconds, reverse=True)
+
+    def test_model_graph_replaces_ffn_with_moe_op(self, small_bert):
+        moe = MoEConfig(num_experts=8, top_k=2)
+        ops = model_graph(small_bert, moe=moe)
+        names = [op.name for op in ops]
+        assert "FFN-MoE" in names
+        assert "FFN1" not in names and "FFN2" not in names and "GELU" not in names
+        moe_op = next(op for op in ops if op.kind == MOE)
+        assert moe_op.h == small_bert.hidden_dim
+        assert moe_op.f == small_bert.ffn_dim
+
+    def test_engine_report_phases_partition(self, engine, small_bert):
+        moe = MoEConfig(num_experts=16, top_k=2, routing="zipf")
+        report = engine.run(small_bert, moe=moe)
+        assert sum(report.phase_seconds.values()) == pytest.approx(
+            report.total_s, rel=1e-9
+        )
+        op_names = [op.name for op in report.ops]
+        assert "FFN-MoE/Gate" in op_names
+        assert "FFN-MoE/CCS" in op_names
+        assert "FFN-MoE/LUT" in op_names
+
+    def test_moe_run_differs_from_dense(self, engine, small_bert):
+        dense = engine.run(small_bert)
+        moe = engine.run(small_bert, moe=MoEConfig(num_experts=16, top_k=2))
+        assert moe.total_s != pytest.approx(dense.total_s)
+
+    def test_decode_engine_moe_phases_partition(self, upmem, small_bert):
+        engine = LUTDecodeEngine(upmem, wimpy_host())
+        moe = MoEConfig(num_experts=8, top_k=2, routing="zipf")
+        report = engine.run(small_bert, batch_size=4, context_len=64, moe=moe)
+        assert sum(report.phase_seconds.values()) == pytest.approx(
+            report.token_latency_s, rel=1e-9
+        )
+        dense = engine.run(small_bert, batch_size=4, context_len=64)
+        assert report.linear_s != pytest.approx(dense.linear_s)
+
+
+class TestMoECLI:
+    def test_smoke_table(self, capsys):
+        rc = cli.main([
+            "moe", "--layers", "1", "--experts", "8", "--top-k", "2",
+            "--routing", "zipf", "--seed", "0",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "zipf" in out
+        assert "balanced" in out and "round-robin" in out
+        assert "balanced placement" in out  # the speedup verdict line
+
+    def test_json_payload(self, capsys):
+        rc = cli.main([
+            "moe", "--layers", "1", "--experts", "8", "--top-k", "2",
+            "--routing", "uniform", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        cells = payload["cells"]
+        assert len(cells) == 1  # one (experts, top_k, routing) cell
+        cell = cells[0]
+        assert cell["experts"] == 8
+        assert set(cell["placers"]) == {"round-robin", "balanced"}
+        for stats in cell["placers"].values():
+            assert 0.0 <= stats["rank_imbalance_index"] < 1.0
+            assert stats["lut_makespan_s"] <= stats["lut_serial_s"] + 1e-15
+            assert stats["layer_total_s"] == pytest.approx(
+                stats["gate_s"] + stats["ccs_s"] + stats["lut_makespan_s"]
+            )
+
+    def test_attribution_reports_imbalance(self, capsys):
+        rc = cli.main([
+            "moe", "--layers", "1", "--experts", "8", "--routing", "zipf",
+            "--attribution",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rank imbalance" in out
+        assert "most loaded" in out
+
+    def test_bad_experts_rejected(self, capsys):
+        assert cli.main(["moe", "--layers", "1", "--experts", "0"]) == 2
+
+    def test_bad_routing_rejected(self, capsys):
+        assert cli.main(["moe", "--layers", "1", "--routing", "pareto"]) == 2

@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.autograd import Tensor
-from repro.nn import Dropout, Embedding, GELU, LayerNorm, Linear, ReLU, Tanh
+from repro.nn import (Dropout, Embedding, GELU, LayerNorm, Linear, ReLU, Tanh,
+                      default_rng, reset_default_rng)
 
 
 class TestLinear:
@@ -125,3 +126,60 @@ class TestActivationsAndDropout:
             Dropout(1.0)
         with pytest.raises(ValueError):
             Dropout(-0.1)
+
+
+class TestSeededDefaultRng:
+    """Unspecified ``rng`` falls back to a module-level *seeded* generator.
+
+    Regression for layers silently using ``np.random.default_rng()``
+    (fresh OS entropy) when no generator was passed: two identically
+    configured models differed run-to-run.  ``reset_default_rng`` rewinds
+    the shared stream so construction is reproducible on demand.
+    """
+
+    def test_linear_reproducible_after_reset(self):
+        reset_default_rng(0)
+        a = Linear(8, 4)
+        reset_default_rng(0)
+        b = Linear(8, 4)
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+        np.testing.assert_array_equal(a.bias.data, b.bias.data)
+
+    def test_stream_is_shared_not_per_call(self):
+        # Two layers built back-to-back consume one stream: same shapes
+        # must NOT collapse to identical weights.
+        reset_default_rng(0)
+        a = Linear(8, 4)
+        b = Linear(8, 4)
+        assert not np.array_equal(a.weight.data, b.weight.data)
+
+    def test_embedding_reproducible_after_reset(self):
+        reset_default_rng(3)
+        a = Embedding(12, 6)
+        reset_default_rng(3)
+        b = Embedding(12, 6)
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_dropout_mask_reproducible_after_reset(self):
+        x = Tensor(np.ones((32, 32)))
+        reset_default_rng(1)
+        first = Dropout(0.5)(x).data.copy()
+        reset_default_rng(1)
+        second = Dropout(0.5)(x).data
+        np.testing.assert_array_equal(first, second)
+
+    def test_reset_returns_fresh_generator(self):
+        gen = reset_default_rng(5)
+        assert gen is default_rng()
+
+    @pytest.mark.parametrize("bad", [None, -1])
+    def test_reset_rejects_bad_seed(self, bad):
+        with pytest.raises(ValueError):
+            reset_default_rng(bad)
+        reset_default_rng()  # restore the default stream for other tests
+
+    def test_embedding_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Embedding(0, 4)
+        with pytest.raises(ValueError):
+            Embedding(4, 0)

@@ -116,12 +116,39 @@ class TestHistogram:
 
     def test_percentile_validation_and_empty(self):
         hist = Histogram("h", buckets=(1.0,))
-        assert hist.percentile(50) != hist.percentile(50)  # NaN
+        # Empty histograms answer 0.0 (never NaN) for every quantile, so
+        # dashboards and gates can compare without isnan guards.
+        for q in (0, 50, 100):
+            assert hist.percentile(q) == 0.0
         hist.observe(1.0)
         with pytest.raises(ValueError):
             hist.percentile(-1)
         with pytest.raises(ValueError):
             hist.percentile(101)
+
+    def test_percentile_extremes_exact_after_overflow(self):
+        # Even when sample capacity is exceeded (bucket interpolation for
+        # interior quantiles), q=0 and q=100 return the observed extremes.
+        hist = Histogram("h", buckets=(1.0, 2.0, 4.0), sample_capacity=2)
+        for v in (0.25, 1.5, 3.75):
+            hist.observe(v)
+        assert not hist.samples_complete
+        assert hist.percentile(0) == 0.25
+        assert hist.percentile(100) == 3.75
+
+    def test_percentile_property_vs_numpy(self):
+        np = pytest.importorskip("numpy")
+        rng = np.random.default_rng(17)
+        for trial in range(5):
+            values = rng.exponential(size=int(rng.integers(1, 120)))
+            hist = Histogram("h", buckets=(0.5, 1.0, 2.0, 4.0))
+            for v in values:
+                hist.observe(float(v))
+            assert hist.samples_complete
+            for q in rng.integers(0, 101, size=8):
+                assert hist.percentile(int(q)) == pytest.approx(
+                    float(np.percentile(values, int(q))), rel=1e-9, abs=1e-12
+                )
 
     def test_zero_capacity_always_interpolates(self):
         hist = Histogram("h", buckets=(1.0, 2.0), sample_capacity=0)
